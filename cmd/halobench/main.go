@@ -1,0 +1,54 @@
+// Command halobench regenerates the tables and figures of the HALO paper
+// (ISCA 2019) from the simulated platform.
+//
+// Usage:
+//
+//	halobench                     # run every experiment at paper scale
+//	halobench -quick              # shrunk sweeps (seconds instead of minutes)
+//	halobench -experiment fig9    # one experiment
+//	halobench -list               # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"halo/internal/experiments"
+)
+
+func main() {
+	var (
+		quick      = flag.Bool("quick", false, "run shrunk sweeps")
+		experiment = flag.String("experiment", "", "run a single experiment (see -list)")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
+		seed       = flag.Uint64("seed", 0x48414c4f, "workload seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.Registry() {
+			fmt.Printf("%-14s %s\n", r.ID, r.Paper)
+		}
+		return
+	}
+
+	cfg := experiments.DefaultConfig()
+	cfg.Quick = *quick
+	cfg.Seed = *seed
+
+	start := time.Now()
+	if *experiment != "" {
+		r, ok := experiments.Find(*experiment)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "halobench: unknown experiment %q (try -list)\n", *experiment)
+			os.Exit(2)
+		}
+		fmt.Printf("### %s — %s\n\n", r.ID, r.Paper)
+		r.Run(cfg, os.Stdout)
+	} else {
+		experiments.RunAll(cfg, os.Stdout)
+	}
+	fmt.Printf("(completed in %v)\n", time.Since(start).Round(time.Millisecond))
+}

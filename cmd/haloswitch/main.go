@@ -1,0 +1,145 @@
+// Command haloswitch runs the simulated OVS-style virtual switch over a
+// generated traffic workload and prints the per-stage breakdown and
+// throughput, with either the software or the HALO classification engine.
+//
+// Usage:
+//
+//	haloswitch -flows 100000 -rules 10 -packets 20000 -engine halo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"halo/internal/classify"
+	"halo/internal/cpu"
+	ihalo "halo/internal/halo"
+	"halo/internal/metrics"
+	"halo/internal/packet"
+	"halo/internal/trafficgen"
+	"halo/internal/vswitch"
+)
+
+// workloadRules adapts a generated workload to the switch's rule installer.
+type workloadRules struct{ w *trafficgen.Workload }
+
+func (wr workloadRules) Install(ts *classify.TupleSpace) error { return wr.w.InstallRules(ts) }
+
+func main() {
+	var (
+		flows    = flag.Int("flows", 100_000, "number of concurrent flows")
+		rules    = flag.Int("rules", 10, "number of wildcard rules (tuples)")
+		packets  = flag.Int("packets", 20_000, "packets to forward (after warm-up)")
+		engine   = flag.String("engine", "software", "classification engine: software | halo | hybrid")
+		openflow = flag.Bool("openflow", false, "enable the OpenFlow slow-path layer (rules install there; megaflows are learned)")
+		zipf     = flag.Bool("zipf", false, "zipf flow popularity instead of uniform")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		trace    = flag.String("trace", "", "replay a flowgen trace file instead of generating traffic")
+	)
+	flag.Parse()
+
+	cfg := vswitch.DefaultConfig()
+	switch *engine {
+	case "software":
+	case "halo":
+		cfg.Engine = vswitch.EngineHalo
+	case "hybrid":
+		cfg.Engine = vswitch.EngineHybrid
+	default:
+		fmt.Fprintf(os.Stderr, "haloswitch: unknown engine %q\n", *engine)
+		os.Exit(2)
+	}
+	cfg.OpenFlow = *openflow
+
+	// Traffic source: a generated workload or a replayed trace.
+	var nextPacket func() packet.Packet
+	var installRules func(*vswitch.Switch) error
+	if *trace != "" {
+		f, err := os.Open(*trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "haloswitch:", err)
+			os.Exit(1)
+		}
+		tr, err := trafficgen.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "haloswitch:", err)
+			os.Exit(1)
+		}
+		nextPacket = tr.NextPacket
+		installRules = func(sw *vswitch.Switch) error {
+			target := sw.Mega
+			if sw.Open != nil {
+				target = sw.Open
+			}
+			return tr.InstallRules(target)
+		}
+	} else {
+		pop := trafficgen.Uniform
+		if *zipf {
+			pop = trafficgen.Zipf
+		}
+		scn := trafficgen.Scenario{Name: "cli", Flows: *flows, Rules: *rules, Popularity: pop}
+		w := trafficgen.Generate(scn, *seed)
+		nextPacket = func() packet.Packet { pkt, _ := w.NextPacket(); return pkt }
+		installRules = func(sw *vswitch.Switch) error {
+			return sw.InstallRules([]vswitch.RuleInstaller{workloadRules{w}})
+		}
+	}
+
+	p := ihalo.NewPlatform(ihalo.DefaultPlatformConfig())
+	sw, err := vswitch.New(p, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "haloswitch:", err)
+		os.Exit(1)
+	}
+	if err := installRules(sw); err != nil {
+		fmt.Fprintln(os.Stderr, "haloswitch:", err)
+		os.Exit(1)
+	}
+	sw.Warm()
+	th := cpu.NewThread(p.Hier, 0)
+
+	for i := 0; i < *packets/2; i++ { // warm-up pass
+		pkt := nextPacket()
+		sw.ProcessPacket(th, &pkt)
+	}
+	sw.ResetStats()
+	for i := 0; i < *packets; i++ {
+		pkt := nextPacket()
+		if _, ok := sw.ProcessPacket(th, &pkt); !ok {
+			fmt.Fprintln(os.Stderr, "haloswitch: unclassified packet (rule generation bug)")
+			os.Exit(1)
+		}
+	}
+
+	b := sw.Breakdown()
+	tb := metrics.NewTable(fmt.Sprintf("virtual switch, %s engine", *engine),
+		"stage", "cycles/pkt", "share")
+	for s := vswitch.StagePacketIO; s <= vswitch.StageOther; s++ {
+		tb.AddRow(s.String(), float64(b[s])/float64(sw.Packets()),
+			metrics.Percent(float64(b[s])/float64(b.Total())))
+	}
+	tb.Render(os.Stdout)
+
+	cpp := sw.CyclesPerPacket()
+	hits, misses := sw.MegaStats()
+	fmt.Printf("packets:             %d\n", sw.Packets())
+	fmt.Printf("cycles/packet:       %.1f\n", cpp)
+	fmt.Printf("throughput:          %.2f Mpps @ 2.1 GHz (single core)\n", metrics.Mpps(cpp, 2.1))
+	fmt.Printf("classification:      %s of packet cost\n", metrics.Percent(b.ClassificationShare()))
+	fmt.Printf("emc hit rate:        %s\n", metrics.Percent(sw.EMC.HitRate()))
+	fmt.Printf("megaflow hits/miss:  %d/%d\n", hits, misses)
+	if cfg.OpenFlow {
+		fmt.Printf("openflow hits:       %d (megaflows learned: %d)\n", sw.OpenFlowHits(), sw.Mega.RuleCount())
+	}
+	if mode, ok := sw.HybridMode(); ok {
+		fmt.Printf("hybrid mode:         %v\n", mode)
+	}
+	if cfg.Engine == vswitch.EngineHalo {
+		s := p.Unit.Stats()
+		fmt.Printf("halo queries:        %d (hit rate %s, meta-cache hits %d)\n",
+			s.Queries, metrics.Percent(float64(s.Hits)/float64(s.Queries)), s.MetaHits)
+	}
+}

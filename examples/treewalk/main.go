@@ -1,0 +1,88 @@
+// Tree walk: the paper's §4.8 generality claim as a runnable program. A
+// HiCuts/EffiCuts-style decision-tree classifier is laid out in simulated
+// memory in the accelerator's node format; the same HALO datapath that walks
+// hash buckets walks tree nodes, fetch-and-compare per level.
+package main
+
+import (
+	"fmt"
+
+	"halo"
+)
+
+func main() {
+	sys := halo.New()
+
+	// An access-control rule set: source-prefix × destination-port ranges.
+	var rules []halo.TreeRule
+	for i := 0; i < 800; i++ {
+		r := halo.AnyTreeRule(uint16(i%500+1), uint64(i+1))
+		base := uint64(uint32(i) * 2654435761)
+		r.Lo[0] = base &^ 0xFF // a /24 on the source address
+		r.Hi[0] = r.Lo[0] | 0xFF
+		r.Lo[3] = uint64(i * 53 % 60000)
+		r.Hi[3] = r.Lo[3] + 200
+		rules = append(rules, r)
+	}
+	rules = append(rules, halo.AnyTreeRule(0, 0xFFFF)) // default rule
+
+	tree, err := sys.BuildTree(rules)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("decision tree: %d rules -> %d nodes, depth %d (%d KB in simulated memory)\n",
+		len(rules), tree.Nodes(), tree.MaxDepth(), tree.Nodes()*64/1024)
+
+	th := sys.Thread(0)
+	keyBuf := sys.AllocLines(1)
+	lcg := uint64(12345)
+	next := func() halo.FiveTuple {
+		lcg = lcg*6364136223846793005 + 1442695040888963407
+		return halo.FiveTuple{
+			SrcIP:   uint32(lcg >> 33),
+			DstIP:   uint32(lcg >> 13),
+			SrcPort: uint16(lcg >> 7),
+			DstPort: uint16(lcg >> 41),
+			Proto:   6,
+		}
+	}
+
+	const walks = 3000
+	// Software walk.
+	start := th.Now
+	swHits := 0
+	lcg = 12345
+	for i := 0; i < walks; i++ {
+		if _, ok := tree.ClassifyTimed(th, next()); ok {
+			swHits++
+		}
+	}
+	software := float64(th.Now-start) / walks
+
+	// Accelerator walk over the same tuples: identical answers required.
+	start = th.Now
+	hwHits := 0
+	lcg = 12345
+	for i := 0; i < walks; i++ {
+		tp := next()
+		sys.DMAWrite(keyBuf, halo.TreeKey(tp))
+		want, _ := tree.Classify(tp)
+		got, ok := tree.ClassifyHalo(th, sys.Unit(), keyBuf)
+		if ok {
+			hwHits++
+			if got != want {
+				panic("accelerator walk diverged from the software walk")
+			}
+		}
+	}
+	accelerated := float64(th.Now-start) / walks
+
+	if swHits != hwHits {
+		panic("hit counts diverged")
+	}
+	fmt.Printf("classified %d packets (%d matched a rule):\n", walks, swHits)
+	fmt.Printf("  software walk:     %6.1f cycles/packet\n", software)
+	fmt.Printf("  HALO tree walk:    %6.1f cycles/packet (%.2fx)\n", accelerated, software/accelerated)
+	fmt.Println("note: near-cache walks win once the node array is LLC-resident rather than")
+	fmt.Println("private-cache-hot; see internal/dtree tests for the controlled comparison.")
+}

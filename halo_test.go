@@ -1,0 +1,162 @@
+package halo_test
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"halo"
+)
+
+func facadeKey(i uint64) []byte {
+	k := make([]byte, 16)
+	binary.LittleEndian.PutUint64(k, i)
+	binary.LittleEndian.PutUint64(k[8:], ^i)
+	return k
+}
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	sys := halo.New()
+	if sys.Cores() != 16 {
+		t.Fatalf("cores = %d, want 16 (paper Table 2)", sys.Cores())
+	}
+	table, err := sys.NewTable(halo.TableConfig{Entries: 1 << 12, KeyLen: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 3000; i++ {
+		if err := table.Insert(facadeKey(i), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.WarmTable(table)
+	th := sys.Thread(0)
+
+	// Software and accelerator paths agree.
+	for i := uint64(0); i < 500; i++ {
+		sv, sok := table.TimedLookup(th, facadeKey(i), halo.SoftwareLookupDefaults())
+		hv, hok := sys.Unit().LookupB(th, table.Base(), facadeKey(i))
+		if sv != hv || sok != hok {
+			t.Fatalf("paths diverged on key %d", i)
+		}
+	}
+	if th.Now == 0 {
+		t.Fatal("no time elapsed")
+	}
+	if halo.CyclesToMicros(uint64(th.Now)) <= 0 {
+		t.Fatal("time conversion broken")
+	}
+}
+
+func TestFacadeNonBlockingBatch(t *testing.T) {
+	sys := halo.New()
+	table, err := sys.NewTable(halo.TableConfig{Entries: 1 << 10, KeyLen: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 700; i++ {
+		if err := table.Insert(facadeKey(i), i*5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	th := sys.Thread(2)
+	queries := make([]halo.NBQuery, 16)
+	for i := range queries {
+		queries[i] = halo.NBQuery{TableAddr: table.Base(), Key: facadeKey(uint64(i * 3))}
+	}
+	results := sys.Unit().LookupManyNB(th, queries)
+	for i, r := range results {
+		if !r.Found || r.Value != uint64(i*3*5) {
+			t.Fatalf("NB result %d = %+v", i, r)
+		}
+	}
+}
+
+func TestFacadeTupleSpace(t *testing.T) {
+	sys := halo.New()
+	ts := sys.NewTupleSpace(true, 1024)
+	mask := halo.Mask{SrcIPBits: 24, DstIPBits: 0, SrcPortWild: true, DstPortWild: false}
+	flow := halo.FiveTuple{SrcIP: 0x0a000100, DstPort: 443, Proto: 17}
+	if err := ts.InsertRule(mask, flow, halo.Match{RuleID: 9}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := ts.Classify(halo.FiveTuple{SrcIP: 0x0a0001FF, SrcPort: 999, DstPort: 443, Proto: 17})
+	if !ok || got.RuleID != 9 {
+		t.Fatalf("classify = %+v, %v", got, ok)
+	}
+}
+
+func TestFacadeSwitch(t *testing.T) {
+	sys := halo.New()
+	sw, err := sys.NewSwitch(halo.HaloSwitchConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := halo.Mask{SrcIPBits: 0, DstIPBits: 0, SrcPortWild: true, DstPortWild: false}
+	if err := sw.Mega.InsertRule(mask, halo.FiveTuple{DstPort: 80, Proto: 17},
+		halo.Match{RuleID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	th := sys.Thread(0)
+	pkt := halo.Packet{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 80, Proto: 17}
+	m, ok := sw.ProcessPacket(th, &pkt)
+	if !ok || m.RuleID != 1 {
+		t.Fatalf("switch classify = %+v, %v", m, ok)
+	}
+}
+
+func TestFacadeNFs(t *testing.T) {
+	sys := halo.New()
+	nat, err := sys.NewNAT(true, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := sys.Thread(1)
+	pkt := halo.Packet{SrcIP: 0x0a000001, DstIP: 8, SrcPort: 1234, DstPort: 80, Proto: 6}
+	if v := nat.ProcessPacket(th, &pkt); v.String() != "rewritten" {
+		t.Fatalf("NAT verdict %v", v)
+	}
+	filter, err := sys.NewPacketFilter(false, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt2 := halo.Packet{SrcIP: 5, DstPort: 80, Proto: 6}
+	if v := filter.ProcessPacket(th, &pkt2); v.String() != "accept" {
+		t.Fatalf("filter verdict %v", v)
+	}
+	prads, err := sys.NewPrads(true, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prads.ProcessPacket(th, &pkt2)
+	if prads.Assets() != 1 {
+		t.Fatalf("assets = %d", prads.Assets())
+	}
+}
+
+func TestFacadeHybrid(t *testing.T) {
+	sys := halo.New()
+	table, err := sys.NewTable(halo.TableConfig{Entries: 1 << 10, KeyLen: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 500; i++ {
+		if err := table.Insert(facadeKey(i), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hy := sys.NewHybrid()
+	th := sys.Thread(0)
+	for i := uint64(0); i < 2000; i++ {
+		v, ok := hy.Lookup(th, table, facadeKey(i%500))
+		if !ok || v != i%500 {
+			t.Fatalf("hybrid lookup %d failed", i)
+		}
+	}
+}
+
+func TestFacadeOptions(t *testing.T) {
+	sys := halo.New(halo.WithDispatchPolicy(halo.DispatchRoundRobin))
+	if sys.Unit() == nil || sys.Platform() == nil {
+		t.Fatal("accessors broken")
+	}
+}

@@ -1,0 +1,175 @@
+// Package cache models the simulated CPU's cache hierarchy: private L1/L2
+// caches per core and a shared, sliced (NUCA) last-level cache with one
+// Caching-and-Home-Agent (CHA) directory per slice. The hierarchy is a
+// timing-and-state model: functional data lives in the mem package, so a
+// cache bug can only distort cycle counts, never answers.
+//
+// The HALO-specific extensions live here too: the per-line lock bit that the
+// accelerator sets while it walks a bucket (paper §4.4) and the core-valid
+// bit that keeps each accelerator's metadata cache coherent (paper §4.3).
+package cache
+
+import (
+	"fmt"
+
+	"halo/internal/mem"
+	"halo/internal/sim"
+)
+
+// State is a MESI coherence state.
+type State uint8
+
+// Coherence states.
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// line is one cache line's bookkeeping in a set-associative array.
+type line struct {
+	tag   mem.Addr // full line address; 0 is valid only together with valid=true
+	valid bool
+	state State
+	dirty bool
+	lru   uint64
+
+	// Directory state, used only by LLC arrays:
+	coreValid  uint32 // bitmask of cores whose private caches hold the line
+	accelValid bool   // CV bit: line is cached by a HALO metadata cache
+	locked     bool   // HALO hardware lock bit
+	lockFreeAt sim.Cycle
+}
+
+// array is a set-associative cache structure with LRU replacement.
+type array struct {
+	sets    [][]line
+	setMask uint64
+	lruTick uint64
+
+	hits   uint64
+	misses uint64
+}
+
+func newArray(sizeBytes, ways int) *array {
+	if sizeBytes <= 0 || ways <= 0 {
+		panic("cache: array needs positive size and ways")
+	}
+	lines := sizeBytes / mem.LineSize
+	sets := lines / ways
+	if sets == 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d is not a positive power of two", sets))
+	}
+	a := &array{sets: make([][]line, sets), setMask: uint64(sets - 1)}
+	for i := range a.sets {
+		a.sets[i] = make([]line, ways)
+	}
+	return a
+}
+
+func (a *array) setIndex(lineAddr mem.Addr) uint64 {
+	return (uint64(lineAddr) / mem.LineSize) & a.setMask
+}
+
+// lookup finds the line, updating LRU on hit. It returns nil on miss.
+func (a *array) lookup(lineAddr mem.Addr) *line {
+	set := a.sets[a.setIndex(lineAddr)]
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			a.lruTick++
+			set[i].lru = a.lruTick
+			a.hits++
+			return &set[i]
+		}
+	}
+	a.misses++
+	return nil
+}
+
+// peek finds the line without touching LRU or hit/miss counters.
+func (a *array) peek(lineAddr mem.Addr) *line {
+	set := a.sets[a.setIndex(lineAddr)]
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// victim selects the replacement candidate in lineAddr's set: an invalid way
+// if one exists, otherwise the LRU way, skipping locked lines (a locked line
+// must not be evicted mid-query; the paper's lock bit pins it). If every way
+// is locked — impossible in practice given scoreboard limits — the LRU way is
+// returned anyway to guarantee progress.
+func (a *array) victim(lineAddr mem.Addr) *line {
+	set := a.sets[a.setIndex(lineAddr)]
+	var lru *line
+	var lruAny *line
+	for i := range set {
+		l := &set[i]
+		if !l.valid {
+			return l
+		}
+		if lruAny == nil || l.lru < lruAny.lru {
+			lruAny = l
+		}
+		if l.locked {
+			continue
+		}
+		if lru == nil || l.lru < lru.lru {
+			lru = l
+		}
+	}
+	if lru == nil {
+		return lruAny
+	}
+	return lru
+}
+
+// install places lineAddr into the array, overwriting the victim way. The
+// caller must have handled the victim's eviction first; install resets all
+// metadata. If the line is already present it is reused in place (its dirty
+// bit survives; state is updated), so a set can never hold duplicate ways
+// for one tag.
+func (a *array) install(lineAddr mem.Addr, st State) *line {
+	a.lruTick++
+	if l := a.peek(lineAddr); l != nil {
+		l.state = st
+		l.lru = a.lruTick
+		return l
+	}
+	v := a.victim(lineAddr)
+	*v = line{tag: lineAddr, valid: true, state: st, lru: a.lruTick}
+	return v
+}
+
+// invalidate drops the line if present.
+func (a *array) invalidate(lineAddr mem.Addr) {
+	if l := a.peek(lineAddr); l != nil {
+		*l = line{}
+	}
+}
+
+func (a *array) hitRate() float64 {
+	total := a.hits + a.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(a.hits) / float64(total)
+}

@@ -1,0 +1,699 @@
+package cache
+
+import (
+	"fmt"
+
+	"halo/internal/mem"
+	"halo/internal/noc"
+	"halo/internal/sim"
+)
+
+// Config sizes and times the hierarchy. Defaults follow paper Table 2
+// (32 KB L1D, 1 MB L2, 32 MB shared LLC in 16 slices) with latencies
+// calibrated to a Skylake-SP-class part at 2.1 GHz.
+type Config struct {
+	Cores  int
+	Slices int
+
+	L1SizeBytes int
+	L1Ways      int
+	L1Latency   sim.Cycle
+
+	L2SizeBytes int
+	L2Ways      int
+	L2Latency   sim.Cycle
+
+	LLCSliceBytes int
+	LLCWays       int
+	LLCLatency    sim.Cycle
+
+	// MissHandling is the per-private-cache-miss overhead a core pays on top
+	// of raw array latencies: MSHR allocation, fill-buffer management and
+	// load replay. The CHA-side accelerator path does not pay it — that
+	// asymmetry is where HALO's 4.1× faster LLC data access (paper Fig. 10)
+	// comes from.
+	MissHandling sim.Cycle
+
+	// SnoopPenalty is the extra latency to source a line from a remote
+	// core's private cache instead of the LLC data array (paper §3.4 cites
+	// ~2× an LLC hit, >100 cycles total). CleanSnoopPenalty is the cheaper
+	// case: the owner holds the line Exclusive but unmodified, so the CHA
+	// only confirms cleanliness while the LLC supplies the data in
+	// parallel, leaving just the snoop-response tail exposed.
+	SnoopPenalty      sim.Cycle
+	CleanSnoopPenalty sim.Cycle
+
+	// AccelLocalLatency is a HALO accelerator's access time to its own
+	// slice's data array; AccelHopCycles is the per-hop cost of the
+	// dedicated CHA-to-CHA path for remote-slice lines.
+	AccelLocalLatency sim.Cycle
+	AccelHopCycles    sim.Cycle
+
+	// PortOccupancy serialises accesses to one LLC slice's data array.
+	PortOccupancy sim.Cycle
+}
+
+// DefaultConfig returns the paper's Table 2 platform.
+func DefaultConfig() Config {
+	return Config{
+		Cores:             16,
+		Slices:            16,
+		L1SizeBytes:       32 << 10,
+		L1Ways:            8,
+		L1Latency:         4,
+		L2SizeBytes:       1 << 20,
+		L2Ways:            16,
+		L2Latency:         14,
+		LLCSliceBytes:     2 << 20,
+		LLCWays:           16,
+		LLCLatency:        18,
+		MissHandling:      8,
+		SnoopPenalty:      60,
+		CleanSnoopPenalty: 12,
+
+		AccelLocalLatency: 6,
+		AccelHopCycles:    1,
+		PortOccupancy:     2,
+	}
+}
+
+// HitWhere reports which structure serviced an access.
+type HitWhere int
+
+// Access service points, ordered by distance from the core.
+const (
+	InL1 HitWhere = iota
+	InL2
+	InLLC
+	InRemoteCache
+	InMemory
+)
+
+func (w HitWhere) String() string {
+	switch w {
+	case InL1:
+		return "L1"
+	case InL2:
+		return "L2"
+	case InLLC:
+		return "LLC"
+	case InRemoteCache:
+		return "remote-cache"
+	case InMemory:
+		return "memory"
+	}
+	return fmt.Sprintf("HitWhere(%d)", int(w))
+}
+
+// AccessResult carries the completion ticket and service point of an access.
+type AccessResult struct {
+	sim.Ticket
+	Where HitWhere
+}
+
+// Stats is a snapshot of hierarchy activity.
+type Stats struct {
+	L1Hits, L1Misses   uint64
+	L2Hits, L2Misses   uint64
+	LLCHits, LLCMisses uint64
+	RemoteCacheHits    uint64
+	AccelAccesses      uint64
+	AccelAccessCycles  uint64
+	AccelLLCMisses     uint64
+	LockStallCycles    uint64
+	LockStalls         uint64
+	BackInvalidations  uint64
+	Writebacks         uint64
+}
+
+// Hierarchy is the full simulated cache system.
+type Hierarchy struct {
+	cfg  Config
+	ring *noc.Ring
+	dram *mem.DRAM
+
+	l1  []*array // per core
+	l2  []*array // per core
+	llc []*array // per slice
+
+	llcPort []*sim.CalendarResource
+
+	stats Stats
+
+	// OnAccelInvalidate, when set, is called whenever a line with the
+	// accelerator core-valid bit set leaves the LLC or is written, so HALO
+	// metadata caches stay coherent (paper §4.3).
+	OnAccelInvalidate func(lineAddr mem.Addr)
+}
+
+// New builds a hierarchy over the given interconnect and memory controller.
+func New(cfg Config, ring *noc.Ring, dram *mem.DRAM) *Hierarchy {
+	if cfg.Cores <= 0 || cfg.Cores > 32 {
+		panic("cache: core count must be in 1..32 (directory uses a 32-bit mask)")
+	}
+	if cfg.Slices != ring.Stops() {
+		panic("cache: slice count must match ring stops")
+	}
+	h := &Hierarchy{
+		cfg:     cfg,
+		ring:    ring,
+		dram:    dram,
+		l1:      make([]*array, cfg.Cores),
+		l2:      make([]*array, cfg.Cores),
+		llc:     make([]*array, cfg.Slices),
+		llcPort: make([]*sim.CalendarResource, cfg.Slices),
+	}
+	for i := range h.llcPort {
+		h.llcPort[i] = sim.NewCalendarResource(0)
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		h.l1[i] = newArray(cfg.L1SizeBytes, cfg.L1Ways)
+		h.l2[i] = newArray(cfg.L2SizeBytes, cfg.L2Ways)
+	}
+	for i := 0; i < cfg.Slices; i++ {
+		h.llc[i] = newArray(cfg.LLCSliceBytes, cfg.LLCWays)
+	}
+	return h
+}
+
+// Config returns the hierarchy's configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// Stats returns a snapshot of the accumulated counters.
+func (h *Hierarchy) Stats() Stats {
+	s := h.stats
+	for _, a := range h.l1 {
+		s.L1Hits += a.hits
+		s.L1Misses += a.misses
+	}
+	for _, a := range h.l2 {
+		s.L2Hits += a.hits
+		s.L2Misses += a.misses
+	}
+	for _, a := range h.llc {
+		s.LLCHits += a.hits
+		s.LLCMisses += a.misses
+	}
+	return s
+}
+
+// ResetStats zeroes all counters (array hit/miss counters included).
+func (h *Hierarchy) ResetStats() {
+	h.stats = Stats{}
+	for _, a := range h.l1 {
+		a.hits, a.misses = 0, 0
+	}
+	for _, a := range h.l2 {
+		a.hits, a.misses = 0, 0
+	}
+	for _, a := range h.llc {
+		a.hits, a.misses = 0, 0
+	}
+}
+
+func (h *Hierarchy) homeSlice(lineAddr mem.Addr) int {
+	return noc.SliceHash(uint64(lineAddr), h.cfg.Slices)
+}
+
+// lockedUntil returns the cycle a line's hardware lock clears, lazily
+// clearing expired locks. Zero means unlocked.
+func lockedUntil(l *line, now sim.Cycle) sim.Cycle {
+	if !l.locked {
+		return 0
+	}
+	if l.lockFreeAt <= now {
+		l.locked = false
+		l.lockFreeAt = 0
+		return 0
+	}
+	return l.lockFreeAt
+}
+
+// exclusiveOwner returns the single core holding the line in M or E state,
+// or -1 when the line is unowned or shared.
+func (h *Hierarchy) exclusiveOwner(l *line) int {
+	mask := l.coreValid
+	if mask == 0 || mask&(mask-1) != 0 {
+		return -1 // zero or multiple sharers: data in LLC is usable
+	}
+	core := 0
+	for mask>>1 != 0 {
+		mask >>= 1
+		core++
+	}
+	priv := h.l2[core].peek(l.tag)
+	if priv == nil {
+		priv = h.l1[core].peek(l.tag)
+	}
+	if priv != nil && (priv.state == Modified || priv.state == Exclusive) {
+		return core
+	}
+	return -1
+}
+
+// snoopPenaltyFor returns the latency of snooping the owner's copy: the
+// full dirty-forward cost when the owner modified the line, the cheaper
+// clean-confirmation cost otherwise.
+func (h *Hierarchy) snoopPenaltyFor(owner int, lineAddr mem.Addr) sim.Cycle {
+	if op := h.l1[owner].peek(lineAddr); op != nil && (op.dirty || op.state == Modified) {
+		return h.cfg.SnoopPenalty
+	}
+	if op := h.l2[owner].peek(lineAddr); op != nil && (op.dirty || op.state == Modified) {
+		return h.cfg.SnoopPenalty
+	}
+	return h.cfg.CleanSnoopPenalty
+}
+
+// evictLLCVictim prepares a slice's victim way for lineAddr: back-invalidates
+// private copies, notifies the accelerator metadata caches, and writes dirty
+// data back to DRAM (fire and forget).
+func (h *Hierarchy) evictLLCVictim(at sim.Cycle, slice int, lineAddr mem.Addr) {
+	v := h.llc[slice].victim(lineAddr)
+	if !v.valid {
+		return
+	}
+	dirty := v.dirty
+	for core := 0; core < h.cfg.Cores; core++ {
+		if v.coreValid&(1<<core) == 0 {
+			continue
+		}
+		if pl := h.l1[core].peek(v.tag); pl != nil && pl.dirty {
+			dirty = true
+		}
+		if pl := h.l2[core].peek(v.tag); pl != nil && pl.dirty {
+			dirty = true
+		}
+		h.l1[core].invalidate(v.tag)
+		h.l2[core].invalidate(v.tag)
+		h.stats.BackInvalidations++
+	}
+	if v.accelValid && h.OnAccelInvalidate != nil {
+		h.OnAccelInvalidate(v.tag)
+	}
+	if dirty {
+		h.dram.Access(at, v.tag, true)
+		h.stats.Writebacks++
+	}
+	*v = line{}
+}
+
+// installPrivate places a line into a core's L2 and L1, handling evictions.
+// A dirty private victim propagates its dirtiness to the LLC copy. Lines
+// already present are updated in place (no victim is disturbed).
+func (h *Hierarchy) installPrivate(core int, lineAddr mem.Addr, st State) {
+	for _, a := range [2]*array{h.l2[core], h.l1[core]} {
+		if a.peek(lineAddr) == nil {
+			if v := a.victim(lineAddr); v.valid {
+				h.dropPrivateVictim(core, a, v)
+			}
+		}
+		a.install(lineAddr, st)
+	}
+}
+
+// dropPrivateVictim removes one private-cache line, keeping inclusivity (an
+// L2 victim forces the L1 copy out too) and the LLC directory in sync.
+func (h *Hierarchy) dropPrivateVictim(core int, a *array, v *line) {
+	dirty := v.dirty
+	if a == h.l2[core] {
+		if l1c := h.l1[core].peek(v.tag); l1c != nil {
+			if l1c.dirty {
+				dirty = true
+			}
+			h.l1[core].invalidate(v.tag)
+		}
+	} else if h.l2[core].peek(v.tag) != nil {
+		// L1 victim still present in L2: propagate dirtiness there, keep
+		// the directory bit (the core still holds the line in L2).
+		if dirty {
+			h.l2[core].peek(v.tag).dirty = true
+		}
+		*v = line{}
+		return
+	}
+	home := h.homeSlice(v.tag)
+	if ll := h.llc[home].peek(v.tag); ll != nil {
+		if dirty {
+			ll.dirty = true
+		}
+		ll.coreValid &^= 1 << core
+	}
+	*v = line{}
+}
+
+// CoreAccess models one load (write=false) or store (write=true) from a core
+// through its private caches into the shared LLC and memory.
+func (h *Hierarchy) CoreAccess(at sim.Cycle, core int, addr mem.Addr, write bool) AccessResult {
+	lineAddr := mem.LineAddr(addr)
+	t := at + h.cfg.L1Latency
+
+	if l := h.l1[core].lookup(lineAddr); l != nil {
+		if !write {
+			return AccessResult{sim.Ticket{Issued: at, Done: t}, InL1}
+		}
+		if l.state != Shared {
+			l.state = Modified
+			l.dirty = true
+			return AccessResult{sim.Ticket{Issued: at, Done: t}, InL1}
+		}
+		// Write to a Shared line: fall through to the LLC for ownership.
+	} else if l2l := h.l2[core].lookup(lineAddr); l2l != nil {
+		t += h.cfg.L2Latency
+		if !write || l2l.state != Shared {
+			st := l2l.state
+			if write {
+				st = Modified
+				l2l.state = Modified
+				l2l.dirty = true
+			}
+			// Fill L1.
+			if h.l1[core].peek(lineAddr) == nil {
+				if v := h.l1[core].victim(lineAddr); v.valid {
+					h.dropPrivateVictim(core, h.l1[core], v)
+				}
+			}
+			nl := h.l1[core].install(lineAddr, st)
+			if write {
+				nl.dirty = true
+			}
+			return AccessResult{sim.Ticket{Issued: at, Done: t}, InL2}
+		}
+	} else {
+		t += h.cfg.L2Latency
+	}
+	t += h.cfg.MissHandling
+
+	// Go to the home LLC slice.
+	home := h.homeSlice(lineAddr)
+	arrive := t + h.ring.Delay(core, home)
+	start := h.llcPort[home].Claim(arrive, h.cfg.PortOccupancy)
+	done := start + h.cfg.LLCLatency
+	where := InLLC
+
+	l := h.llc[home].lookup(lineAddr)
+	if l == nil {
+		// LLC miss: fetch from DRAM and fill.
+		dt := h.dram.Access(done, lineAddr, false)
+		done = dt.Done
+		h.evictLLCVictim(done, home, lineAddr)
+		l = h.llc[home].install(lineAddr, Exclusive)
+		where = InMemory
+	} else {
+		if write {
+			if until := lockedUntil(l, done); until > 0 {
+				h.stats.LockStalls++
+				h.stats.LockStallCycles += uint64(until - done)
+				done = until
+			}
+		}
+		if owner := h.exclusiveOwner(l); owner >= 0 && owner != core {
+			// Source the line from the remote private cache.
+			done += h.snoopPenaltyFor(owner, lineAddr)
+			where = InRemoteCache
+			h.stats.RemoteCacheHits++
+			// Owner's copy is downgraded (read) or invalidated (write);
+			// either way its dirty data is now captured by the LLC copy.
+			if op := h.l1[owner].peek(lineAddr); op != nil && op.dirty {
+				l.dirty = true
+			}
+			if op := h.l2[owner].peek(lineAddr); op != nil && op.dirty {
+				l.dirty = true
+			}
+			if write {
+				h.l1[owner].invalidate(lineAddr)
+				h.l2[owner].invalidate(lineAddr)
+				l.coreValid &^= 1 << owner
+			} else {
+				if op := h.l1[owner].peek(lineAddr); op != nil {
+					op.state = Shared
+					op.dirty = false
+				}
+				if op := h.l2[owner].peek(lineAddr); op != nil {
+					op.state = Shared
+					op.dirty = false
+				}
+			}
+		} else if write {
+			// Invalidate all other sharers.
+			for c := 0; c < h.cfg.Cores; c++ {
+				if c == core || l.coreValid&(1<<c) == 0 {
+					continue
+				}
+				h.l1[c].invalidate(lineAddr)
+				h.l2[c].invalidate(lineAddr)
+				l.coreValid &^= 1 << c
+			}
+		}
+		if l.accelValid && write {
+			if h.OnAccelInvalidate != nil {
+				h.OnAccelInvalidate(lineAddr)
+			}
+			l.accelValid = false
+		}
+	}
+
+	var st State
+	if write {
+		st = Modified
+		l.dirty = true
+	} else if l.coreValid == 0 {
+		st = Exclusive
+	} else {
+		st = Shared
+		// Downgrade existing holders to Shared.
+		for c := 0; c < h.cfg.Cores; c++ {
+			if l.coreValid&(1<<c) == 0 {
+				continue
+			}
+			if op := h.l1[c].peek(lineAddr); op != nil && op.state == Exclusive {
+				op.state = Shared
+			}
+			if op := h.l2[c].peek(lineAddr); op != nil && op.state == Exclusive {
+				op.state = Shared
+			}
+		}
+	}
+	l.coreValid |= 1 << core
+	h.installPrivate(core, lineAddr, st)
+	if write {
+		if pl := h.l1[core].peek(lineAddr); pl != nil {
+			pl.dirty = true
+		}
+	}
+
+	done += h.ring.Delay(home, core)
+	return AccessResult{sim.Ticket{Issued: at, Done: done}, where}
+}
+
+// AccelAccess models a HALO accelerator at `slice` touching a line. The
+// access never allocates into private caches and is serviced CHA-side: local
+// lines cost AccelLocalLatency, remote-slice lines add the CHA-to-CHA hop
+// path both ways.
+func (h *Hierarchy) AccelAccess(at sim.Cycle, slice int, addr mem.Addr, write bool) AccessResult {
+	lineAddr := mem.LineAddr(addr)
+	home := h.homeSlice(lineAddr)
+	h.stats.AccelAccesses++
+
+	t := at
+	if home != slice {
+		t += sim.Cycle(h.ring.Hops(slice, home)) * h.cfg.AccelHopCycles
+	}
+	start := h.llcPort[home].Claim(t, h.cfg.PortOccupancy)
+	done := start + h.cfg.AccelLocalLatency
+	where := InLLC
+
+	l := h.llc[home].lookup(lineAddr)
+	if l == nil {
+		dt := h.dram.Access(done, lineAddr, false)
+		done = dt.Done
+		h.evictLLCVictim(done, home, lineAddr)
+		l = h.llc[home].install(lineAddr, Exclusive)
+		where = InMemory
+		h.stats.AccelLLCMisses++
+	} else {
+		if write {
+			if until := lockedUntil(l, done); until > 0 {
+				h.stats.LockStalls++
+				h.stats.LockStallCycles += uint64(until - done)
+				done = until
+			}
+		}
+		if owner := h.exclusiveOwner(l); owner >= 0 {
+			// Latest data may live in a core's private cache: snoop it.
+			done += h.snoopPenaltyFor(owner, lineAddr)
+			where = InRemoteCache
+			h.stats.RemoteCacheHits++
+			if op := h.l1[owner].peek(lineAddr); op != nil {
+				if op.dirty {
+					l.dirty = true
+				}
+				op.state = Shared
+				op.dirty = false
+			}
+			if op := h.l2[owner].peek(lineAddr); op != nil {
+				if op.dirty {
+					l.dirty = true
+				}
+				op.state = Shared
+				op.dirty = false
+			}
+			if write {
+				h.l1[owner].invalidate(lineAddr)
+				h.l2[owner].invalidate(lineAddr)
+				l.coreValid &^= 1 << owner
+			}
+		}
+	}
+	if write {
+		// Accelerator writes land in the LLC; core copies are stale.
+		for c := 0; c < h.cfg.Cores; c++ {
+			if l.coreValid&(1<<c) == 0 {
+				continue
+			}
+			h.l1[c].invalidate(lineAddr)
+			h.l2[c].invalidate(lineAddr)
+		}
+		l.coreValid = 0
+		l.dirty = true
+	}
+
+	if home != slice {
+		done += sim.Cycle(h.ring.Hops(slice, home)) * h.cfg.AccelHopCycles
+	}
+	h.stats.AccelAccessCycles += uint64(done - at)
+	return AccessResult{sim.Ticket{Issued: at, Done: done}, where}
+}
+
+// SnapshotRead models the SNAPSHOT_READ instruction (paper §4.5): the core
+// reads the current value of a line without acquiring ownership, so the line
+// stays put (typically in the LLC, where the accelerator writes results) and
+// never bounces between private caches.
+func (h *Hierarchy) SnapshotRead(at sim.Cycle, core int, addr mem.Addr) AccessResult {
+	lineAddr := mem.LineAddr(addr)
+	t := at + h.cfg.L1Latency
+	if h.l1[core].lookup(lineAddr) != nil {
+		return AccessResult{sim.Ticket{Issued: at, Done: t}, InL1}
+	}
+	if h.l2[core].lookup(lineAddr) != nil {
+		return AccessResult{sim.Ticket{Issued: at, Done: t + h.cfg.L2Latency}, InL2}
+	}
+	t += h.cfg.L2Latency
+	home := h.homeSlice(lineAddr)
+	arrive := t + h.ring.Delay(core, home)
+	start := h.llcPort[home].Claim(arrive, h.cfg.PortOccupancy)
+	done := start + h.cfg.LLCLatency
+	where := InLLC
+	if h.llc[home].lookup(lineAddr) == nil {
+		dt := h.dram.Access(done, lineAddr, false)
+		done = dt.Done
+		h.evictLLCVictim(done, home, lineAddr)
+		h.llc[home].install(lineAddr, Exclusive)
+		where = InMemory
+	}
+	done += h.ring.Delay(home, core)
+	return AccessResult{sim.Ticket{Issued: at, Done: done}, where}
+}
+
+// LockLine sets the HALO hardware lock bit on a line until the given cycle
+// (paper §4.4). The line is brought into the LLC if absent. It returns the
+// cycle at which the lock is held.
+func (h *Hierarchy) LockLine(at sim.Cycle, slice int, addr mem.Addr, until sim.Cycle) sim.Cycle {
+	lineAddr := mem.LineAddr(addr)
+	home := h.homeSlice(lineAddr)
+	l := h.llc[home].peek(lineAddr)
+	if l == nil {
+		res := h.AccelAccess(at, slice, addr, false)
+		at = res.Done
+		l = h.llc[home].peek(lineAddr)
+		if l == nil {
+			// Pathological conflict: every way locked. Skip locking.
+			return at
+		}
+	}
+	l.locked = true
+	if until > l.lockFreeAt {
+		l.lockFreeAt = until
+	}
+	return at
+}
+
+// UnlockLine clears a line's lock bit immediately.
+func (h *Hierarchy) UnlockLine(addr mem.Addr) {
+	lineAddr := mem.LineAddr(addr)
+	if l := h.llc[h.homeSlice(lineAddr)].peek(lineAddr); l != nil {
+		l.locked = false
+		l.lockFreeAt = 0
+	}
+}
+
+// MarkAccelValid sets the accelerator core-valid bit on a line so LLC
+// evictions and core writes notify the HALO metadata caches.
+func (h *Hierarchy) MarkAccelValid(addr mem.Addr) {
+	lineAddr := mem.LineAddr(addr)
+	if l := h.llc[h.homeSlice(lineAddr)].peek(lineAddr); l != nil {
+		l.accelValid = true
+	}
+}
+
+// DMAWrite models a DDIO device write (NIC delivering a packet): the line is
+// installed into the LLC dirty and any core copies are invalidated, without
+// charging core time (the device pays, not the thread under test).
+func (h *Hierarchy) DMAWrite(addr mem.Addr) {
+	lineAddr := mem.LineAddr(addr)
+	home := h.homeSlice(lineAddr)
+	l := h.llc[home].peek(lineAddr)
+	if l == nil {
+		h.evictLLCVictim(0, home, lineAddr)
+		l = h.llc[home].install(lineAddr, Modified)
+	}
+	for c := 0; c < h.cfg.Cores; c++ {
+		if l.coreValid&(1<<c) == 0 {
+			continue
+		}
+		h.l1[c].invalidate(lineAddr)
+		h.l2[c].invalidate(lineAddr)
+	}
+	l.coreValid = 0
+	l.dirty = true
+	if l.accelValid && h.OnAccelInvalidate != nil {
+		h.OnAccelInvalidate(lineAddr)
+		l.accelValid = false
+	}
+}
+
+// WarmLLC installs a line into the LLC without charging time, for experiment
+// preconditioning ("10K lookups to warm up", paper §5.2).
+func (h *Hierarchy) WarmLLC(addr mem.Addr) {
+	lineAddr := mem.LineAddr(addr)
+	home := h.homeSlice(lineAddr)
+	if h.llc[home].peek(lineAddr) == nil {
+		h.evictLLCVictim(0, home, lineAddr)
+		h.llc[home].install(lineAddr, Exclusive)
+	}
+}
+
+// WarmPrivate installs a line into a core's L1/L2 (and the LLC, keeping
+// inclusivity) without charging time.
+func (h *Hierarchy) WarmPrivate(core int, addr mem.Addr) {
+	lineAddr := mem.LineAddr(addr)
+	h.WarmLLC(addr)
+	l := h.llc[h.homeSlice(lineAddr)].peek(lineAddr)
+	if l == nil {
+		return
+	}
+	l.coreValid |= 1 << core
+	if h.l2[core].peek(lineAddr) == nil || h.l1[core].peek(lineAddr) == nil {
+		h.installPrivate(core, lineAddr, Shared)
+	}
+}
+
+// Present reports where a line currently resides for a given core's view,
+// without disturbing LRU or counters. Used by tests and the hybrid-mode
+// controller.
+func (h *Hierarchy) Present(core int, addr mem.Addr) (inL1, inL2, inLLC bool) {
+	lineAddr := mem.LineAddr(addr)
+	inL1 = h.l1[core].peek(lineAddr) != nil
+	inL2 = h.l2[core].peek(lineAddr) != nil
+	inLLC = h.llc[h.homeSlice(lineAddr)].peek(lineAddr) != nil
+	return
+}

@@ -1,0 +1,82 @@
+package cuckoo
+
+import (
+	"halo/internal/cpu"
+)
+
+// BulkResult is one lookup's outcome in a bulk operation.
+type BulkResult struct {
+	Value uint64
+	Found bool
+}
+
+// TimedLookupBulk performs a pipelined batch of software lookups the way
+// DPDK's rte_hash_lookup_bulk does: hash every key first, software-prefetch
+// every candidate bucket, then probe — so the bucket fills of key i+1..n
+// overlap with the probe of key i. This is the strongest software baseline
+// (the paper's §2.2 "software optimization by default"); single lookups
+// cannot pipeline this way because each key arrives with its packet.
+func (t *Table) TimedLookupBulk(th *cpu.Thread, keys [][]byte, opts LookupOptions) []BulkResult {
+	results := make([]BulkResult, len(keys))
+
+	// Stage 1: hash all keys and issue bucket prefetches.
+	type probe struct {
+		sig    uint16
+		b1, b2 uint64
+		ok     bool
+	}
+	probes := make([]probe, len(keys))
+	th.Other(6)
+	th.LocalStore(8)
+	for i, key := range keys {
+		if len(key) != t.keyLen {
+			continue
+		}
+		words := (t.keyLen + 7) / 8
+		th.LocalLoad(words)
+		th.ALU(6*words + 8)
+		_, sig, b1, b2 := t.Hashes(key)
+		probes[i] = probe{sig: sig, b1: b1, b2: b2, ok: true}
+		th.Prefetch(t.BucketAddr(b1))
+		if !t.IsSFH() {
+			th.Prefetch(t.BucketAddr(b2))
+		}
+	}
+
+	// Stage 2: optimistic-lock window around the probes.
+	var verBefore uint32
+	if opts.OptimisticLock {
+		th.Load(t.VersionAddr())
+		th.ALU(1)
+		verBefore = t.Version()
+	}
+
+	// Stage 3: probe each key; the prefetched fills have been draining
+	// behind the earlier probes.
+	for i, key := range keys {
+		if !probes[i].ok {
+			continue
+		}
+		v, found := t.timedProbe(th, key, probes[i].sig, probes[i].b1, probes[i].b2)
+		results[i] = BulkResult{Value: v, Found: found}
+	}
+
+	if opts.OptimisticLock {
+		th.Load(t.VersionAddr())
+		th.ALU(2)
+		th.Other(1)
+		if t.Version() != verBefore {
+			// A writer interleaved: re-probe the batch (rare).
+			for i, key := range keys {
+				if !probes[i].ok {
+					continue
+				}
+				v, found := t.timedProbe(th, key, probes[i].sig, probes[i].b1, probes[i].b2)
+				results[i] = BulkResult{Value: v, Found: found}
+			}
+		}
+	}
+	th.Other(8)
+	th.LocalLoad(8)
+	return results
+}

@@ -1,0 +1,94 @@
+package cuckoo
+
+import (
+	"testing"
+
+	"halo/internal/mem"
+)
+
+func TestBulkLookupMatchesSingle(t *testing.T) {
+	tbl, th := timedFixture(t, Config{Entries: 1 << 14, KeyLen: 16})
+	for i := uint64(0); i < 12000; i++ {
+		if err := tbl.Insert(key16(i), i*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys := make([][]byte, 32)
+	for i := range keys {
+		keys[i] = key16(uint64(i * 401))
+	}
+	keys[31] = key16(999_999) // a miss
+	results := tbl.TimedLookupBulk(th, keys, DefaultLookupOptions())
+	for i, r := range results {
+		want, wantOK := tbl.Lookup(keys[i])
+		if r.Value != want || r.Found != wantOK {
+			t.Fatalf("bulk result %d = %+v, want (%d,%v)", i, r, want, wantOK)
+		}
+	}
+	if results[31].Found {
+		t.Fatal("bulk lookup found an absent key")
+	}
+}
+
+func TestBulkLookupSkipsBadKeyLengths(t *testing.T) {
+	tbl, th := timedFixture(t, Config{Entries: 64, KeyLen: 16})
+	results := tbl.TimedLookupBulk(th, [][]byte{{1, 2, 3}}, DefaultLookupOptions())
+	if results[0].Found {
+		t.Fatal("short key matched")
+	}
+}
+
+func TestBulkLookupPipelinesFills(t *testing.T) {
+	// Bulk lookups must beat the same lookups issued one at a time when
+	// the table is LLC-resident: the prefetch pipeline is the whole point.
+	space := mem.NewMemory()
+	alloc := mem.NewAllocator(0x1000, 1<<32)
+	mk := func() *Table {
+		tbl, err := Create(space, alloc, Config{Entries: 1 << 15, KeyLen: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := uint64(0); i < 24000; i++ {
+			if err := tbl.Insert(key16(i), i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return tbl
+	}
+	tbl := mk()
+	_, th := timedFixture(t, Config{Entries: 8, KeyLen: 16}) // fresh hierarchy thread
+	// This thread's hierarchy doesn't know tbl's lines: both passes run
+	// cold-ish but identically warmed.
+	warm := func(run func(base uint64)) {
+		run(1)
+	}
+	single := func(base uint64) {
+		for i := uint64(0); i < 512; i++ {
+			tbl.TimedLookup(th, key16((base+i*7)%24000), LookupOptions{OptimisticLock: true, Prefetch: false})
+		}
+	}
+	bulk := func(base uint64) {
+		for done := uint64(0); done < 512; done += 32 {
+			keys := make([][]byte, 32)
+			for j := range keys {
+				keys[j] = key16((base + (done+uint64(j))*7) % 24000)
+			}
+			tbl.TimedLookupBulk(th, keys, LookupOptions{OptimisticLock: true})
+		}
+	}
+	warm(single)
+	start := th.Now
+	single(3)
+	singleCost := th.Now - start
+	warm(bulk)
+	start = th.Now
+	bulk(5)
+	bulkCost := th.Now - start
+	if bulkCost >= singleCost {
+		t.Fatalf("bulk (%d) not faster than single (%d)", bulkCost, singleCost)
+	}
+	speedup := float64(singleCost) / float64(bulkCost)
+	if speedup < 1.2 {
+		t.Fatalf("bulk speedup only %.2fx; pipeline ineffective", speedup)
+	}
+}

@@ -1,0 +1,546 @@
+// Package cuckoo implements the bucketized cuckoo hash table that virtual
+// switches use to store flow rules (paper §2.2, Fig. 2b), laid out in
+// simulated physical memory so that the software lookup path and the HALO
+// accelerators operate on the same bytes.
+//
+// The layout mirrors DPDK's rte_hash: a metadata block, an array of
+// cache-line-sized buckets each holding eight {signature, key-value index}
+// entries, and a key-value array. Insertion uses BFS cuckoo displacement;
+// readers use optimistic locking against a table change counter.
+package cuckoo
+
+import (
+	"errors"
+	"fmt"
+
+	"halo/internal/hashfn"
+	"halo/internal/mem"
+)
+
+// EntriesPerBucket is the bucket width; 8 entries of 8 bytes fill one 64 B
+// cache line, DPDK's default.
+const EntriesPerBucket = 8
+
+const entryBytes = 8
+
+// Metadata field offsets within the table's first cache line. The HALO
+// accelerator's metadata cache reads this line (paper §4.3), so the layout
+// is part of the hardware/software contract.
+const (
+	metaMagic       = 0  // uint32
+	metaKeyLen      = 4  // uint32
+	metaBucketCount = 8  // uint64
+	metaBucketBase  = 16 // uint64
+	metaKVBase      = 24 // uint64
+	metaKVSlotSize  = 32 // uint64
+	metaFlags       = 40 // uint32
+	metaVersion     = 44 // uint32: optimistic-lock change counter
+	metaCapacity    = 48 // uint64
+	// MetaBytes is the size of the metadata block (one line).
+	MetaBytes = mem.LineSize
+)
+
+// Magic identifies a HALO-compatible table in simulated memory.
+const Magic = 0x484c4f54 // "HLOT"
+
+// Flags stored in the metadata block.
+const (
+	// FlagSFH marks a single-function hash table: entries have no
+	// alternative bucket (the paper's baseline in Fig. 4).
+	FlagSFH uint32 = 1 << 0
+)
+
+// Common errors.
+var (
+	ErrTableFull   = errors.New("cuckoo: table full (displacement path exhausted)")
+	ErrKeyLen      = errors.New("cuckoo: key length does not match table")
+	ErrKeyExists   = errors.New("cuckoo: key already present")
+	ErrNotHaloible = errors.New("cuckoo: memory does not hold a valid table")
+)
+
+// Config parametrises table creation.
+type Config struct {
+	// Entries is the capacity in key-value slots; bucket count is derived
+	// as the next power of two of Entries/EntriesPerBucket (min 2).
+	Entries uint64
+	// KeyLen is the fixed key size in bytes (network headers: 4..64).
+	KeyLen int
+	// SFH selects the single-function-hash baseline layout.
+	SFH bool
+}
+
+// Table is a handle over a table resident in simulated memory. The handle
+// caches immutable metadata; mutable state (the change counter, bucket and
+// key-value contents) lives only in memory.
+type Table struct {
+	space mem.Space
+	base  mem.Addr
+
+	keyLen      int
+	bucketCount uint64
+	bucketBase  mem.Addr
+	kvBase      mem.Addr
+	kvSlotSize  uint64
+	capacity    uint64
+	flags       uint32
+
+	free []uint32 // free key-value slot indexes (host-side allocator state)
+	size uint64
+}
+
+// kvSlotSize returns the aligned key-value slot size for a key length:
+// key bytes rounded up to 8, plus an 8-byte value, rounded to 16.
+func slotSize(keyLen int) uint64 {
+	keyAligned := (uint64(keyLen) + 7) &^ 7
+	s := keyAligned + 8
+	return (s + 15) &^ 15
+}
+
+// Footprint returns the total simulated-memory bytes a table with the given
+// config occupies (metadata + buckets + key-value array).
+func Footprint(cfg Config) uint64 {
+	bc := bucketCountFor(cfg)
+	return MetaBytes + bc*mem.LineSize + cfg.Entries*slotSize(cfg.KeyLen)
+}
+
+func bucketCountFor(cfg Config) uint64 {
+	want := cfg.Entries / EntriesPerBucket
+	if cfg.SFH {
+		// SFH tables achieve only ~20% utilisation (paper §3.3): allocate
+		// 5x the buckets so the same flow count still installs.
+		want = cfg.Entries * 5 / EntriesPerBucket
+	}
+	bc := uint64(2)
+	for bc < want {
+		bc <<= 1
+	}
+	return bc
+}
+
+// Create lays a new empty table out in memory using the allocator and
+// returns its handle.
+func Create(space mem.Space, alloc *mem.Allocator, cfg Config) (*Table, error) {
+	if cfg.KeyLen <= 0 || cfg.KeyLen > 64 {
+		return nil, fmt.Errorf("cuckoo: key length %d out of range 1..64", cfg.KeyLen)
+	}
+	if cfg.Entries == 0 {
+		return nil, errors.New("cuckoo: zero capacity")
+	}
+	bc := bucketCountFor(cfg)
+	base := alloc.Alloc(MetaBytes, mem.LineSize)
+	bucketBase := alloc.Alloc(bc*mem.LineSize, mem.LineSize)
+	kvSlot := slotSize(cfg.KeyLen)
+	kvBase := alloc.Alloc(cfg.Entries*kvSlot, mem.LineSize)
+
+	var flags uint32
+	if cfg.SFH {
+		flags |= FlagSFH
+	}
+	mem.Write32(space, base+metaMagic, Magic)
+	mem.Write32(space, base+metaKeyLen, uint32(cfg.KeyLen))
+	mem.Write64(space, base+metaBucketCount, bc)
+	mem.Write64(space, base+metaBucketBase, uint64(bucketBase))
+	mem.Write64(space, base+metaKVBase, uint64(kvBase))
+	mem.Write64(space, base+metaKVSlotSize, kvSlot)
+	mem.Write32(space, base+metaFlags, flags)
+	mem.Write32(space, base+metaVersion, 0)
+	mem.Write64(space, base+metaCapacity, cfg.Entries)
+
+	// The bucket array needs no explicit zeroing: the allocator never
+	// reuses regions and fresh simulated memory reads as zero, which is
+	// exactly the "empty entry" encoding (signature 0).
+
+	t := &Table{
+		space:       space,
+		base:        base,
+		keyLen:      cfg.KeyLen,
+		bucketCount: bc,
+		bucketBase:  bucketBase,
+		kvBase:      kvBase,
+		kvSlotSize:  kvSlot,
+		capacity:    cfg.Entries,
+		flags:       flags,
+	}
+	t.free = make([]uint32, 0, cfg.Entries)
+	for i := int64(cfg.Entries) - 1; i >= 0; i-- {
+		t.free = append(t.free, uint32(i))
+	}
+	return t, nil
+}
+
+// Attach opens an existing table at base (e.g. from another handle's
+// address). Free-slot state is reconstructed by scanning the buckets.
+func Attach(space mem.Space, base mem.Addr) (*Table, error) {
+	if mem.Read32(space, base+metaMagic) != Magic {
+		return nil, ErrNotHaloible
+	}
+	t := &Table{
+		space:       space,
+		base:        base,
+		keyLen:      int(mem.Read32(space, base+metaKeyLen)),
+		bucketCount: mem.Read64(space, base+metaBucketCount),
+		bucketBase:  mem.Addr(mem.Read64(space, base+metaBucketBase)),
+		kvBase:      mem.Addr(mem.Read64(space, base+metaKVBase)),
+		kvSlotSize:  mem.Read64(space, base+metaKVSlotSize),
+		capacity:    mem.Read64(space, base+metaCapacity),
+		flags:       mem.Read32(space, base+metaFlags),
+	}
+	used := make(map[uint32]bool)
+	for b := uint64(0); b < t.bucketCount; b++ {
+		for e := 0; e < EntriesPerBucket; e++ {
+			sig, idx := t.readEntry(b, e)
+			if sig != 0 {
+				used[idx] = true
+				t.size++
+			}
+		}
+	}
+	t.free = make([]uint32, 0, t.capacity-t.size)
+	for i := int64(t.capacity) - 1; i >= 0; i-- {
+		if !used[uint32(i)] {
+			t.free = append(t.free, uint32(i))
+		}
+	}
+	return t, nil
+}
+
+// Base returns the table's metadata address — the value software loads into
+// RAX before issuing LOOKUP instructions.
+func (t *Table) Base() mem.Addr { return t.base }
+
+// KeyLen returns the table's fixed key length.
+func (t *Table) KeyLen() int { return t.keyLen }
+
+// BucketCount returns the number of buckets.
+func (t *Table) BucketCount() uint64 { return t.bucketCount }
+
+// Capacity returns the number of key-value slots.
+func (t *Table) Capacity() uint64 { return t.capacity }
+
+// Size returns the number of live entries.
+func (t *Table) Size() uint64 { return t.size }
+
+// LoadFactor returns Size/Capacity.
+func (t *Table) LoadFactor() float64 { return float64(t.size) / float64(t.capacity) }
+
+// IsSFH reports whether the table uses the single-function-hash layout.
+func (t *Table) IsSFH() bool { return t.flags&FlagSFH != 0 }
+
+// Version returns the optimistic-locking change counter.
+func (t *Table) Version() uint32 { return mem.Read32(t.space, t.base+metaVersion) }
+
+// BucketAddr returns the address of bucket b's cache line.
+func (t *Table) BucketAddr(b uint64) mem.Addr {
+	return t.bucketBase + mem.Addr(b*mem.LineSize)
+}
+
+// KVAddr returns the address of key-value slot idx.
+func (t *Table) KVAddr(idx uint32) mem.Addr {
+	return t.kvBase + mem.Addr(uint64(idx)*t.kvSlotSize)
+}
+
+// VersionAddr returns the address of the change counter (the line writers
+// bump and optimistic readers poll).
+func (t *Table) VersionAddr() mem.Addr { return t.base + metaVersion }
+
+func (t *Table) entryAddr(bucket uint64, entry int) mem.Addr {
+	return t.BucketAddr(bucket) + mem.Addr(entry*entryBytes)
+}
+
+func (t *Table) readEntry(bucket uint64, entry int) (sig uint16, kvIdx uint32) {
+	a := t.entryAddr(bucket, entry)
+	return mem.Read16(t.space, a), mem.Read32(t.space, a+4)
+}
+
+func (t *Table) writeEntry(bucket uint64, entry int, sig uint16, kvIdx uint32) {
+	a := t.entryAddr(bucket, entry)
+	mem.Write16(t.space, a, sig)
+	mem.Write32(t.space, a+4, kvIdx)
+}
+
+func (t *Table) readKey(idx uint32, buf []byte) {
+	t.space.ReadAt(t.KVAddr(idx), buf[:t.keyLen])
+}
+
+func (t *Table) readValue(idx uint32) uint64 {
+	keyAligned := (mem.Addr(t.keyLen) + 7) &^ 7
+	return mem.Read64(t.space, t.KVAddr(idx)+keyAligned)
+}
+
+func (t *Table) writeKV(idx uint32, key []byte, value uint64) {
+	t.space.WriteAt(t.KVAddr(idx), key)
+	keyAligned := (mem.Addr(t.keyLen) + 7) &^ 7
+	mem.Write64(t.space, t.KVAddr(idx)+keyAligned, value)
+}
+
+func (t *Table) keyEqual(idx uint32, key []byte) bool {
+	buf := make([]byte, t.keyLen)
+	t.readKey(idx, buf)
+	for i := range buf {
+		if buf[i] != key[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *Table) bumpVersion() {
+	mem.Write32(t.space, t.base+metaVersion, t.Version()+1)
+}
+
+// Hashes returns the primary hash, signature and the two candidate buckets
+// for a key. SFH tables return the primary bucket twice.
+func (t *Table) Hashes(key []byte) (h uint64, sig uint16, b1, b2 uint64) {
+	h = hashfn.Hash(hashfn.SeedPrimary, key)
+	sig = hashfn.Signature(h)
+	b1, b2 = hashfn.BucketPair(h, t.bucketCount)
+	if t.IsSFH() {
+		b2 = b1
+	}
+	return
+}
+
+// Lookup finds a key functionally (no timing) and returns its value.
+func (t *Table) Lookup(key []byte) (value uint64, ok bool) {
+	if len(key) != t.keyLen {
+		return 0, false
+	}
+	_, sig, b1, b2 := t.Hashes(key)
+	for _, b := range [2]uint64{b1, b2} {
+		for e := 0; e < EntriesPerBucket; e++ {
+			s, idx := t.readEntry(b, e)
+			if s == sig && t.keyEqual(idx, key) {
+				return t.readValue(idx), true
+			}
+		}
+		if t.IsSFH() {
+			break
+		}
+	}
+	return 0, false
+}
+
+// maxDisplacements bounds the BFS cuckoo path length before declaring the
+// table full.
+const maxDisplacements = 128
+
+// Insert adds a key-value pair. Inserting an existing key returns
+// ErrKeyExists (use Update to change a value).
+func (t *Table) Insert(key []byte, value uint64) error {
+	if len(key) != t.keyLen {
+		return ErrKeyLen
+	}
+	if _, exists := t.Lookup(key); exists {
+		return ErrKeyExists
+	}
+	if len(t.free) == 0 {
+		return ErrTableFull
+	}
+	_, sig, b1, b2 := t.Hashes(key)
+
+	place := func(b uint64) bool {
+		for e := 0; e < EntriesPerBucket; e++ {
+			if s, _ := t.readEntry(b, e); s == 0 {
+				idx := t.free[len(t.free)-1]
+				t.free = t.free[:len(t.free)-1]
+				t.writeKV(idx, key, value)
+				t.writeEntry(b, e, sig, idx)
+				t.size++
+				return true
+			}
+		}
+		return false
+	}
+	if place(b1) {
+		return nil
+	}
+	if !t.IsSFH() && place(b2) {
+		return nil
+	}
+	if t.IsSFH() {
+		return ErrTableFull
+	}
+
+	// BFS over displacement paths from both candidate buckets.
+	if path := t.findCuckooPath(b1, b2); path != nil {
+		t.applyCuckooPath(path)
+		if place(b1) || place(b2) {
+			return nil
+		}
+	}
+	return ErrTableFull
+}
+
+// pathNode is one step of a displacement path: the entry at (bucket, slot)
+// moves to its alternative bucket.
+type pathNode struct {
+	bucket uint64
+	slot   int
+	parent int
+}
+
+// findCuckooPath BFS-searches for a chain of moves freeing a slot in b1 or
+// b2. It returns the chain leaf-first-resolved (root..leaf order) or nil.
+func (t *Table) findCuckooPath(b1, b2 uint64) []pathNode {
+	type frontierItem struct {
+		bucket uint64
+		node   int
+	}
+	nodes := make([]pathNode, 0, maxDisplacements*EntriesPerBucket)
+	frontier := []frontierItem{{b1, -1}, {b2, -1}}
+	visited := map[uint64]bool{b1: true, b2: true}
+
+	for len(frontier) > 0 && len(nodes) < maxDisplacements*EntriesPerBucket {
+		item := frontier[0]
+		frontier = frontier[1:]
+		for e := 0; e < EntriesPerBucket; e++ {
+			sig, _ := t.readEntry(item.bucket, e)
+			if sig == 0 {
+				continue
+			}
+			alt := hashfn.AltBucket(item.bucket, sig, t.bucketCount)
+			nodes = append(nodes, pathNode{bucket: item.bucket, slot: e, parent: item.node})
+			nodeIdx := len(nodes) - 1
+			// Does the alternative bucket have a free slot?
+			for ae := 0; ae < EntriesPerBucket; ae++ {
+				if s, _ := t.readEntry(alt, ae); s == 0 {
+					// Build path root→leaf.
+					var path []pathNode
+					for i := nodeIdx; i >= 0; i = nodes[i].parent {
+						path = append([]pathNode{nodes[i]}, path...)
+					}
+					return path
+				}
+			}
+			if !visited[alt] {
+				visited[alt] = true
+				frontier = append(frontier, frontierItem{alt, nodeIdx})
+			}
+		}
+	}
+	return nil
+}
+
+// applyCuckooPath executes the moves leaf-first so no entry is ever
+// unreachable; each move bumps the change counter (a concurrent optimistic
+// reader would retry, paper Fig. 7a).
+func (t *Table) applyCuckooPath(path []pathNode) {
+	for i := len(path) - 1; i >= 0; i-- {
+		n := path[i]
+		sig, idx := t.readEntry(n.bucket, n.slot)
+		alt := hashfn.AltBucket(n.bucket, sig, t.bucketCount)
+		for ae := 0; ae < EntriesPerBucket; ae++ {
+			if s, _ := t.readEntry(alt, ae); s == 0 {
+				t.bumpVersion()
+				t.writeEntry(alt, ae, sig, idx)
+				t.writeEntry(n.bucket, n.slot, 0, 0)
+				t.bumpVersion()
+				break
+			}
+		}
+	}
+}
+
+// Update changes the value of an existing key.
+func (t *Table) Update(key []byte, value uint64) bool {
+	if len(key) != t.keyLen {
+		return false
+	}
+	_, sig, b1, b2 := t.Hashes(key)
+	for _, b := range [2]uint64{b1, b2} {
+		for e := 0; e < EntriesPerBucket; e++ {
+			s, idx := t.readEntry(b, e)
+			if s == sig && t.keyEqual(idx, key) {
+				t.writeKV(idx, key, value)
+				return true
+			}
+		}
+		if t.IsSFH() {
+			break
+		}
+	}
+	return false
+}
+
+// Delete removes a key, returning whether it was present.
+func (t *Table) Delete(key []byte) bool {
+	if len(key) != t.keyLen {
+		return false
+	}
+	_, sig, b1, b2 := t.Hashes(key)
+	for _, b := range [2]uint64{b1, b2} {
+		for e := 0; e < EntriesPerBucket; e++ {
+			s, idx := t.readEntry(b, e)
+			if s == sig && t.keyEqual(idx, key) {
+				t.bumpVersion()
+				t.writeEntry(b, e, 0, 0)
+				t.bumpVersion()
+				t.free = append(t.free, idx)
+				t.size--
+				return true
+			}
+		}
+		if t.IsSFH() {
+			break
+		}
+	}
+	return false
+}
+
+// KVPair is one live entry exported by Entries.
+type KVPair struct {
+	Key   []byte
+	Value uint64
+}
+
+// Entries returns the live key-value pairs stored in one bucket, for
+// table-walking consumers (e.g. loading a rule set into a TCAM model).
+func (t *Table) Entries(bucket uint64) []KVPair {
+	var out []KVPair
+	for e := 0; e < EntriesPerBucket; e++ {
+		sig, idx := t.readEntry(bucket, e)
+		if sig == 0 {
+			continue
+		}
+		key := make([]byte, t.keyLen)
+		t.readKey(idx, key)
+		out = append(out, KVPair{Key: key, Value: t.readValue(idx)})
+	}
+	return out
+}
+
+// BucketOccupancy returns a histogram of live entries per bucket
+// (index 0..EntriesPerBucket), used for the paper's §3.3 utilisation
+// analysis.
+func (t *Table) BucketOccupancy() [EntriesPerBucket + 1]uint64 {
+	var hist [EntriesPerBucket + 1]uint64
+	for b := uint64(0); b < t.bucketCount; b++ {
+		n := 0
+		for e := 0; e < EntriesPerBucket; e++ {
+			if s, _ := t.readEntry(b, e); s != 0 {
+				n++
+			}
+		}
+		hist[n]++
+	}
+	return hist
+}
+
+// Iterate calls fn for every live key-value pair, in bucket order. It
+// returns early if fn returns false. Mutating the table during iteration is
+// unsupported (matching rte_hash's iterator contract).
+func (t *Table) Iterate(fn func(key []byte, value uint64) bool) {
+	for b := uint64(0); b < t.bucketCount; b++ {
+		for e := 0; e < EntriesPerBucket; e++ {
+			sig, idx := t.readEntry(b, e)
+			if sig == 0 {
+				continue
+			}
+			key := make([]byte, t.keyLen)
+			t.readKey(idx, key)
+			if !fn(key, t.readValue(idx)) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package cuckoo
+
+import (
+	"testing"
+
+	"halo/internal/cache"
+	"halo/internal/cpu"
+	"halo/internal/mem"
+	"halo/internal/noc"
+)
+
+func timedFixture(t testing.TB, cfg Config) (*Table, *cpu.Thread) {
+	t.Helper()
+	space := mem.NewMemory()
+	alloc := mem.NewAllocator(0x1000, 1<<32)
+	tbl, err := Create(space, alloc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := cache.New(cache.DefaultConfig(), noc.NewRing(noc.DefaultRingConfig()),
+		mem.NewDRAM(mem.DefaultDRAMConfig()))
+	return tbl, cpu.NewThread(h, 0)
+}
+
+func TestTimedLookupMatchesFunctional(t *testing.T) {
+	tbl, th := timedFixture(t, Config{Entries: 2048, KeyLen: 16})
+	for i := uint64(0); i < 1500; i++ {
+		if err := tbl.Insert(key16(i), i*7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 1500; i++ {
+		fv, fok := tbl.Lookup(key16(i))
+		tv, tok := tbl.TimedLookup(th, key16(i), DefaultLookupOptions())
+		if fv != tv || fok != tok {
+			t.Fatalf("timed lookup diverged from functional on key %d", i)
+		}
+	}
+	if _, ok := tbl.TimedLookup(th, key16(99999), DefaultLookupOptions()); ok {
+		t.Fatal("timed lookup found an absent key")
+	}
+}
+
+func TestTimedLookupInstructionProfile(t *testing.T) {
+	// Paper Table 1: ~210 instructions per lookup; 48.1% memory (36.2%
+	// load + 11.8% store), 21.0% arithmetic, 30.9% other. Allow generous
+	// bands — the shape matters, not the third digit.
+	tbl, th := timedFixture(t, Config{Entries: 4096, KeyLen: 16})
+	for i := uint64(0); i < 3000; i++ {
+		if err := tbl.Insert(key16(i), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const n = 1000
+	for i := uint64(0); i < n; i++ {
+		tbl.TimedLookup(th, key16(i%3000), DefaultLookupOptions())
+	}
+	c := th.Counts
+	perLookup := float64(c.Total()) / n
+	if perLookup < 120 || perLookup > 300 {
+		t.Fatalf("instructions per lookup = %.0f, want ~210", perLookup)
+	}
+	memFrac := float64(c.Loads+c.Stores) / float64(c.Total())
+	if memFrac < 0.35 || memFrac > 0.60 {
+		t.Fatalf("memory fraction = %.2f, want ~0.48", memFrac)
+	}
+	arithFrac := float64(c.Arith) / float64(c.Total())
+	if arithFrac < 0.12 || arithFrac > 0.32 {
+		t.Fatalf("arithmetic fraction = %.2f, want ~0.21", arithFrac)
+	}
+}
+
+func TestTimedLookupFasterWhenResident(t *testing.T) {
+	tbl, th := timedFixture(t, Config{Entries: 512, KeyLen: 16})
+	for i := uint64(0); i < 400; i++ {
+		if err := tbl.Insert(key16(i), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Cold pass (everything misses to memory).
+	start := th.Now
+	for i := uint64(0); i < 400; i++ {
+		tbl.TimedLookup(th, key16(i), DefaultLookupOptions())
+	}
+	cold := th.Now - start
+	// Hot pass: small table now lives in L1/L2.
+	start = th.Now
+	for i := uint64(0); i < 400; i++ {
+		tbl.TimedLookup(th, key16(i), DefaultLookupOptions())
+	}
+	hot := th.Now - start
+	if hot*2 >= cold {
+		t.Fatalf("hot pass (%d) not much faster than cold (%d)", hot, cold)
+	}
+}
+
+func TestOptimisticLockCostsTime(t *testing.T) {
+	tbl, thA := timedFixture(t, Config{Entries: 2048, KeyLen: 16})
+	for i := uint64(0); i < 1500; i++ {
+		if err := tbl.Insert(key16(i), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm with locking enabled. Time stays monotonic throughout: the
+	// hierarchy's ports remember busy-until cycles, so measurement windows
+	// are deltas of Now, never resets.
+	for i := uint64(0); i < 1500; i++ {
+		tbl.TimedLookup(thA, key16(i), DefaultLookupOptions())
+	}
+	start := thA.Now
+	for i := uint64(0); i < 1500; i++ {
+		tbl.TimedLookup(thA, key16(i), DefaultLookupOptions())
+	}
+	withLock := thA.Now - start
+
+	start = thA.Now
+	for i := uint64(0); i < 1500; i++ {
+		tbl.TimedLookup(thA, key16(i), LookupOptions{OptimisticLock: false, Prefetch: true})
+	}
+	withoutLock := thA.Now - start
+	if withLock <= withoutLock {
+		t.Fatal("optimistic locking added no cost")
+	}
+	overhead := float64(withLock-withoutLock) / float64(withLock)
+	// Paper §3.4: ~13.1%. Accept a broad band.
+	if overhead < 0.02 || overhead > 0.35 {
+		t.Fatalf("locking overhead = %.1f%%, want ~13%%", overhead*100)
+	}
+}
+
+func TestPrefetchImprovesLLCResidentLookups(t *testing.T) {
+	tbl, th := timedFixture(t, Config{Entries: 1 << 15, KeyLen: 16})
+	for i := uint64(0); i < 30000; i++ {
+		if err := tbl.Insert(key16(i), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm the table into the LLC (too big for L2).
+	for i := uint64(0); i < 30000; i++ {
+		tbl.TimedLookup(th, key16(i), DefaultLookupOptions())
+	}
+	start := th.Now
+	for i := uint64(0); i < 20000; i++ {
+		tbl.TimedLookup(th, key16(i), LookupOptions{OptimisticLock: true, Prefetch: false})
+	}
+	withoutPf := th.Now - start
+	start = th.Now
+	for i := uint64(0); i < 20000; i++ {
+		tbl.TimedLookup(th, key16(i), LookupOptions{OptimisticLock: true, Prefetch: true})
+	}
+	withPf := th.Now - start
+	if withPf >= withoutPf {
+		t.Fatalf("prefetching did not help: %d vs %d", withPf, withoutPf)
+	}
+}
+
+func TestTimedInsertMatchesFunctionalState(t *testing.T) {
+	space := mem.NewMemory()
+	alloc := mem.NewAllocator(0x1000, 1<<32)
+	timed, err := Create(space, alloc, Config{Entries: 1024, KeyLen: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc2 := mem.NewAllocator(0x1000, 1<<32)
+	plain, err := Create(mem.NewMemory(), alloc2, Config{Entries: 1024, KeyLen: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := cache.New(cache.DefaultConfig(), noc.NewRing(noc.DefaultRingConfig()),
+		mem.NewDRAM(mem.DefaultDRAMConfig()))
+	th := cpu.NewThread(h, 0)
+	for i := uint64(0); i < 900; i++ {
+		e1 := timed.TimedInsert(th, key16(i), i)
+		e2 := plain.Insert(key16(i), i)
+		if (e1 == nil) != (e2 == nil) {
+			t.Fatalf("timed/functional insert diverged at %d: %v vs %v", i, e1, e2)
+		}
+	}
+	if timed.Size() != plain.Size() {
+		t.Fatalf("sizes diverged: %d vs %d", timed.Size(), plain.Size())
+	}
+	for i := uint64(0); i < 900; i++ {
+		v1, ok1 := timed.Lookup(key16(i))
+		v2, ok2 := plain.Lookup(key16(i))
+		if v1 != v2 || ok1 != ok2 {
+			t.Fatalf("state diverged on key %d", i)
+		}
+	}
+	if th.Counts.Stores == 0 {
+		t.Fatal("timed insert charged no stores")
+	}
+}
+
+func TestTimedLookupSFH(t *testing.T) {
+	tbl, th := timedFixture(t, Config{Entries: 1024, KeyLen: 16, SFH: true})
+	for i := uint64(0); i < 700; i++ {
+		_ = tbl.Insert(key16(i), i)
+	}
+	hits := 0
+	for i := uint64(0); i < 700; i++ {
+		fv, fok := tbl.Lookup(key16(i))
+		tv, tok := tbl.TimedLookup(th, key16(i), DefaultLookupOptions())
+		if fv != tv || fok != tok {
+			t.Fatalf("SFH timed lookup diverged on key %d", i)
+		}
+		if tok {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Fatal("no SFH hits at all")
+	}
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+
+	"halo/internal/halo"
+	"halo/internal/metrics"
+	"halo/internal/noc"
+)
+
+// AblationResult holds the design-choice sweeps DESIGN.md calls out: they
+// quantify how much each HALO mechanism contributes.
+type AblationResult struct {
+	MetaCacheSpeedup float64 // metadata cache on vs off
+	LockCostPct      float64 // hardware lock on vs off
+	DepthCycles      map[int]float64
+	DispatchCycles   map[string]float64
+	Table            *metrics.Table
+}
+
+// RunAblations sweeps the accelerator design choices.
+func RunAblations(cfg Config) *AblationResult {
+	lookups := pickSize(cfg, 1500, 6000)
+	res := &AblationResult{
+		DepthCycles:    map[int]float64{},
+		DispatchCycles: map[string]float64{},
+	}
+	res.Table = metrics.NewTable("Ablations: HALO design choices", "knob", "setting", "cyc/lookup", "note")
+
+	// Metadata cache on/off: without it every query re-reads the metadata
+	// line from the LLC.
+	on := runAblationPoint(lookups, func(u *halo.UnitConfig) {})
+	off := runAblationPoint(lookups, func(u *halo.UnitConfig) { u.Accel.MetaCacheTables = 1; u.Accel.MetaCacheOff = true })
+	res.MetaCacheSpeedup = off / on
+	res.Table.AddRow("metadata-cache", "on", on, "")
+	res.Table.AddRow("metadata-cache", "off", off, fmt.Sprintf("%.2fx slower", res.MetaCacheSpeedup))
+
+	// Hardware lock on/off: locking costs nothing on the read path.
+	noLock := runAblationPoint(lookups, func(u *halo.UnitConfig) { u.Accel.LockEnabled = false })
+	res.LockCostPct = (on - noLock) / on
+	res.Table.AddRow("hardware-lock", "off", noLock, metrics.Percent(res.LockCostPct)+" of locked time")
+
+	// Scoreboard depth: deeper scoreboards absorb bursts.
+	for _, depth := range []int{1, 4, 10, 16} {
+		c := runAblationBurst(lookups, depth)
+		res.DepthCycles[depth] = c
+		res.Table.AddRow("scoreboard-depth", fmt.Sprintf("%d", depth), c, "burst workload")
+	}
+
+	// Dispatch policy. The by-table policy's payoff is metadata locality:
+	// with more live tables than one metadata cache holds, hashing by
+	// table keeps each table's metadata resident on one accelerator, while
+	// round-robin thrashes every cache. 24 tables > the 10-table capacity.
+	policies := map[string]noc.DispatchPolicy{
+		"by-table":    noc.DispatchByTable,
+		"by-key-line": noc.DispatchByKeyLine,
+		"round-robin": noc.DispatchRoundRobin,
+	}
+	for name, pol := range policies {
+		res.DispatchCycles[name] = runAblationMultiTable(lookups, pol)
+	}
+	for _, name := range []string{"by-table", "by-key-line", "round-robin"} {
+		res.Table.AddRow("dispatch", name, res.DispatchCycles[name], "24 live tables")
+	}
+	return res
+}
+
+// runAblationMultiTable measures blocking lookups round-robining over 24
+// tables under the given dispatch policy.
+func runAblationMultiTable(lookups int, pol noc.DispatchPolicy) float64 {
+	pcfg := halo.DefaultPlatformConfig()
+	pcfg.Unit.Dispatch = pol
+	p := halo.NewPlatform(pcfg)
+	const nTables = 24
+	fixtures := make([]*lookupFixture, nTables)
+	for i := range fixtures {
+		fixtures[i] = fixtureOn(p, 1<<10, 0.75)
+	}
+	th := fixtures[0].thread
+	for i := 0; i < lookups/2; i++ {
+		f := fixtures[i%nTables]
+		p.Unit.LookupBAt(th, f.table.Base(), f.stageKeyDMA(uint64(i)))
+	}
+	start := th.Now
+	for i := 0; i < lookups; i++ {
+		f := fixtures[i%nTables]
+		p.Unit.LookupBAt(th, f.table.Base(), f.stageKeyDMA(uint64(i*13)))
+	}
+	return float64(th.Now-start) / float64(lookups)
+}
+
+func runAblationPoint(lookups int, mutate func(*halo.UnitConfig)) float64 {
+	pcfg := halo.DefaultPlatformConfig()
+	mutate(&pcfg.Unit)
+	p := halo.NewPlatform(pcfg)
+	f := fixtureOn(p, 1<<14, 0.75)
+	for i := 0; i < lookups/2; i++ {
+		p.Unit.LookupBAt(f.thread, f.table.Base(), f.stageKeyDMA(uint64(i)))
+	}
+	start := f.thread.Now
+	for i := 0; i < lookups; i++ {
+		p.Unit.LookupBAt(f.thread, f.table.Base(), f.stageKeyDMA(uint64(i*13)))
+	}
+	return float64(f.thread.Now-start) / float64(lookups)
+}
+
+// runAblationBurst measures a bursty all-cores workload against one table,
+// where the scoreboard depth governs queueing.
+func runAblationBurst(lookups int, depth int) float64 {
+	pcfg := halo.DefaultPlatformConfig()
+	pcfg.Unit.Accel.ScoreboardDepth = depth
+	p := halo.NewPlatform(pcfg)
+	f := fixtureOn(p, 1<<14, 0.75)
+	var lastDone float64
+	a := p.Unit.Accelerator(0)
+	keyAddr := f.stageKeyDMA(1)
+	for i := 0; i < lookups; i++ {
+		r := a.Process(0, halo.Query{Core: i % 16, TableAddr: f.table.Base(), KeyAddr: keyAddr})
+		if float64(r.Done) > lastDone {
+			lastDone = float64(r.Done)
+		}
+	}
+	return lastDone / float64(lookups)
+}

@@ -1,0 +1,121 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation (§3 and §6). Each runner builds fresh simulated
+// platforms (mirroring the paper's separate gem5 runs per configuration),
+// drives the workload, and returns both a rendered metrics.Table and the
+// structured numbers, so the same code backs the halobench CLI, the Go
+// benchmarks, and the regression tests.
+package experiments
+
+import (
+	"encoding/binary"
+
+	"halo/internal/cpu"
+	"halo/internal/cuckoo"
+	"halo/internal/halo"
+	"halo/internal/mem"
+)
+
+// Config controls experiment scale.
+type Config struct {
+	// Quick shrinks sweeps and iteration counts for use under `go test`;
+	// the full configuration reproduces the paper's parameter ranges.
+	Quick bool
+	// Seed drives all workload randomness.
+	Seed uint64
+}
+
+// DefaultConfig runs experiments at paper scale.
+func DefaultConfig() Config { return Config{Seed: 0x48414c4f} }
+
+// QuickConfig runs shrunk experiments for tests and benchmarks.
+func QuickConfig() Config { return Config{Quick: true, Seed: 0x48414c4f} }
+
+// ClockGHz is the simulated core clock (paper Table 2).
+const ClockGHz = 2.1
+
+// testKey builds the canonical 16-byte synthetic key used by the raw
+// hash-table experiments.
+func testKey(i uint64) []byte {
+	k := make([]byte, 16)
+	binary.LittleEndian.PutUint64(k, i)
+	binary.LittleEndian.PutUint64(k[8:], i^0xabcdef)
+	return k
+}
+
+// lookupFixture is a populated table on a fresh platform with a recycled
+// DDIO packet-buffer pool holding lookup keys, the methodology every
+// raw-lookup experiment shares (§5.2: tables warmed before measurement).
+type lookupFixture struct {
+	p       *halo.Platform
+	table   *cuckoo.Table
+	thread  *cpu.Thread
+	keyPool []mem.Addr // one line per pooled key
+	fill    uint64
+}
+
+// keyPoolLines bounds the packet-buffer pool: real NFV buffer pools are
+// small and recycled, so lookup keys arrive in lines that stay LLC-resident.
+const keyPoolLines = 4096
+
+func newLookupFixture(entries uint64, occupancy float64) *lookupFixture {
+	return fixtureOn(halo.NewPlatform(halo.DefaultPlatformConfig()), entries, occupancy)
+}
+
+// fixtureOn builds the fixture against an existing (possibly customised)
+// platform.
+func fixtureOn(p *halo.Platform, entries uint64, occupancy float64) *lookupFixture {
+	table, err := p.NewTable(cuckoo.Config{Entries: entries, KeyLen: 16})
+	if err != nil {
+		panic(err)
+	}
+	fill := uint64(float64(entries) * occupancy)
+	if fill == 0 {
+		fill = 1
+	}
+	inserted := uint64(0)
+	for i := uint64(0); i < fill; i++ {
+		if err := table.Insert(testKey(i), i*2+1); err != nil {
+			break
+		}
+		inserted++
+	}
+	f := &lookupFixture{p: p, table: table, thread: cpu.NewThread(p.Hier, 0), fill: inserted}
+	pool := p.Alloc.AllocLines(keyPoolLines)
+	f.keyPool = make([]mem.Addr, keyPoolLines)
+	for i := range f.keyPool {
+		f.keyPool[i] = pool + mem.Addr(i)*mem.LineSize
+	}
+	p.WarmTable(table)
+	return f
+}
+
+// stageKeyDMA delivers key i into the recycled pool as a NIC would (DDIO:
+// functional write + LLC-resident clean line) and returns its address.
+func (f *lookupFixture) stageKeyDMA(n uint64) mem.Addr {
+	addr := f.keyPool[n%keyPoolLines]
+	f.p.Space.WriteAt(addr, testKey(n%f.fill))
+	f.p.Hier.DMAWrite(addr)
+	return addr
+}
+
+// pickSize returns quick or full depending on cfg.
+func pickSize(cfg Config, quick, full int) int {
+	if cfg.Quick {
+		return quick
+	}
+	return full
+}
+
+// newPlatformForTable builds a platform with an arena sized for one table
+// of the given capacity (SFH tables over-allocate 5x).
+func newPlatformForTable(entries uint64, sfh bool) *halo.Platform {
+	cfg := halo.DefaultPlatformConfig()
+	need := cuckoo.Footprint(cuckoo.Config{Entries: entries, KeyLen: 16, SFH: sfh})
+	if need*2+(1<<26) > cfg.ArenaBytes {
+		cfg.ArenaBytes = need*2 + (1 << 26)
+	}
+	return halo.NewPlatform(cfg)
+}
+
+// newThreadOn binds a fresh thread to core 0 of a platform.
+func newThreadOn(p *halo.Platform) *cpu.Thread { return cpu.NewThread(p.Hier, 0) }

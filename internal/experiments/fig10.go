@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"halo/internal/cache"
+	"halo/internal/cuckoo"
+	"halo/internal/metrics"
+)
+
+// Fig10Row is one (solution, placement) latency breakdown, in cycles per
+// lookup.
+type Fig10Row struct {
+	Solution  string
+	Placement string // "llc" or "dram"
+	Compute   float64
+	DataAcc   float64
+	Locking   float64
+	Total     float64
+}
+
+// Fig10Result reproduces Fig. 10: the per-lookup latency breakdown
+// (compute / data access / locking) with the accessed entries resident in
+// the LLC versus DRAM, normalized in the table to the software-LLC total.
+type Fig10Result struct {
+	Rows  []Fig10Row
+	Table *metrics.Table
+}
+
+// RunFig10 reproduces Fig. 10.
+func RunFig10(cfg Config) *Fig10Result {
+	lookups := pickSize(cfg, 1500, 6000)
+	res := &Fig10Result{
+		Table: metrics.NewTable("Figure 10: lookup latency breakdown (normalized to software/LLC total)",
+			"solution", "placement", "compute", "data-access", "locking", "total", "cyc/lookup"),
+	}
+	res.Table.SetCaption("paper: HALO cuts compute 48.1%%; CHA data access 4.1x faster (LLC), 1.6x (DRAM)")
+
+	placements := []struct {
+		name    string
+		entries uint64
+	}{
+		{"llc", 1 << 14},  // comfortably LLC-resident
+		{"dram", 1 << 21}, // far beyond the 32 MB LLC
+	}
+
+	for _, pl := range placements {
+		res.Rows = append(res.Rows, runFig10Software(pl.name, pl.entries, lookups))
+		res.Rows = append(res.Rows, runFig10Halo(pl.name, pl.entries, lookups))
+	}
+
+	base := res.Rows[0].Total // software/LLC
+	for _, r := range res.Rows {
+		res.Table.AddRow(r.Solution, r.Placement,
+			metrics.Percent(r.Compute/base), metrics.Percent(r.DataAcc/base),
+			metrics.Percent(r.Locking/base), metrics.Percent(r.Total/base), r.Total)
+	}
+	return res
+}
+
+// Row fetches a breakdown row.
+func (r *Fig10Result) Row(solution, placement string) (Fig10Row, bool) {
+	for _, row := range r.Rows {
+		if row.Solution == solution && row.Placement == placement {
+			return row, true
+		}
+	}
+	return Fig10Row{}, false
+}
+
+func fig10SoftwarePass(f *lookupFixture, lookups int, lock bool) (total, data float64) {
+	opts := cuckoo.LookupOptions{OptimisticLock: lock, Prefetch: false}
+	for i := 0; i < lookups/2; i++ { // warm
+		f.table.TimedLookup(f.thread, testKey(uint64(i)%f.fill), opts)
+	}
+	f.thread.ResetCounts()
+	start := f.thread.Now
+	for i := 0; i < lookups; i++ {
+		f.table.TimedLookup(f.thread, testKey(uint64(i*13)%f.fill), opts)
+	}
+	elapsed := float64(f.thread.Now-start) / float64(lookups)
+	var stall uint64
+	for w, c := range f.thread.Stalls.CyclesByWhere {
+		if cache.HitWhere(w) >= cache.InLLC {
+			stall += c
+		}
+	}
+	return elapsed, float64(stall) / float64(lookups)
+}
+
+func runFig10Software(placement string, entries uint64, lookups int) Fig10Row {
+	// Locking cost is the delta between runs with and without the
+	// optimistic-lock protocol (fresh fixtures: separate simulator runs).
+	noLockTotal, noLockData := fig10SoftwarePass(newLookupFixture(entries, 0.75), lookups, false)
+	lockTotal, lockData := fig10SoftwarePass(newLookupFixture(entries, 0.75), lookups, true)
+	locking := lockTotal - noLockTotal
+	if locking < 0 {
+		locking = 0
+	}
+	return Fig10Row{
+		Solution:  "software",
+		Placement: placement,
+		Compute:   noLockTotal - noLockData,
+		DataAcc:   lockData,
+		Locking:   locking,
+		Total:     lockTotal,
+	}
+}
+
+func runFig10Halo(placement string, entries uint64, lookups int) Fig10Row {
+	f := newLookupFixture(entries, 0.75)
+	for i := 0; i < lookups/2; i++ { // warm
+		f.p.Unit.LookupBAt(f.thread, f.table.Base(), f.stageKeyDMA(uint64(i)))
+	}
+	f.p.Hier.ResetStats()
+	start := f.thread.Now
+	for i := 0; i < lookups; i++ {
+		f.p.Unit.LookupBAt(f.thread, f.table.Base(), f.stageKeyDMA(uint64(i*13)))
+	}
+	total := float64(f.thread.Now-start) / float64(lookups)
+	data := float64(f.p.Hier.Stats().AccelAccessCycles) / float64(lookups)
+	return Fig10Row{
+		Solution:  "halo",
+		Placement: placement,
+		Compute:   total - data, // dispatch, hash, compare, result return
+		DataAcc:   data,
+		Locking:   0, // the hardware lock is free of instruction cost
+		Total:     total,
+	}
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+
+	"halo/internal/halo"
+	"halo/internal/metrics"
+	"halo/internal/nf"
+	"halo/internal/packet"
+	"halo/internal/sim"
+	"halo/internal/trafficgen"
+)
+
+// Fig13Point is one (NF, table size) speedup measurement.
+type Fig13Point struct {
+	NF      string
+	Entries uint64
+	SWCpp   float64
+	HaloCpp float64
+	Speedup float64
+}
+
+// Fig13Result reproduces Fig. 13: the throughput improvement of hash-table
+// network functions (NAT, prads, packet filter) with HALO lookups.
+type Fig13Result struct {
+	Points []Fig13Point
+	Table  *metrics.Table
+}
+
+// RunFig13 reproduces Fig. 13.
+func RunFig13(cfg Config) *Fig13Result {
+	packets := pickSize(cfg, 1500, 8000)
+	sizes := []uint64{1_000, 10_000, 100_000}
+	if cfg.Quick {
+		sizes = []uint64{1_000, 100_000}
+	}
+	res := &Fig13Result{
+		Table: metrics.NewTable("Figure 13: hash-table NF throughput with HALO",
+			"nf", "entries", "software cyc/pkt", "halo cyc/pkt", "speedup"),
+	}
+	res.Table.SetCaption("paper: 2.3-2.7x across NAT, prads and the packet filter")
+
+	for _, name := range []string{"nat", "prads", "packet-filter"} {
+		for _, size := range sizes {
+			sw := runFig13Point(name, nf.EngineSoftware, size, packets, cfg.Seed)
+			hw := runFig13Point(name, nf.EngineHalo, size, packets, cfg.Seed)
+			pt := Fig13Point{NF: name, Entries: size, SWCpp: sw, HaloCpp: hw, Speedup: sw / hw}
+			res.Points = append(res.Points, pt)
+			res.Table.AddRow(name, size, sw, hw, fmt.Sprintf("%.2fx", pt.Speedup))
+		}
+	}
+	return res
+}
+
+// Point fetches a measurement.
+func (r *Fig13Result) Point(name string, entries uint64) (Fig13Point, bool) {
+	for _, pt := range r.Points {
+		if pt.NF == name && pt.Entries == entries {
+			return pt, true
+		}
+	}
+	return Fig13Point{}, false
+}
+
+func runFig13Point(name string, engine nf.Engine, entries uint64, packets int, seed uint64) float64 {
+	p := halo.NewPlatform(halo.DefaultPlatformConfig())
+	// Capacity above the preloaded population so misses stay rare.
+	capEntries := entries * 4 / 3
+
+	flows := trafficgen.RandomTuples(int(entries), seed)
+	var theNF nf.NF
+	switch name {
+	case "nat":
+		n, err := nf.NewNAT(p, engine, capEntries)
+		if err != nil {
+			panic(err)
+		}
+		if err := n.Preload(flows); err != nil {
+			panic(err)
+		}
+		p.WarmTable(n.Table())
+		theNF = n
+	case "prads":
+		n, err := nf.NewPrads(p, engine, capEntries)
+		if err != nil {
+			panic(err)
+		}
+		hosts := make([]uint32, len(flows))
+		for i, f := range flows {
+			hosts[i] = f.SrcIP
+		}
+		if err := n.Preload(hosts); err != nil {
+			panic(err)
+		}
+		p.WarmTable(n.Table())
+		theNF = n
+	case "packet-filter":
+		n, err := nf.NewFilter(p, engine, capEntries)
+		if err != nil {
+			panic(err)
+		}
+		for i, f := range flows {
+			if err := n.AddRule(f, i%3 == 0); err != nil {
+				panic(err)
+			}
+		}
+		p.WarmTable(n.Table())
+		theNF = n
+	default:
+		panic("unknown NF " + name)
+	}
+
+	th := newThreadOn(p)
+	rng := sim.NewRand(seed ^ 0xf13)
+	next := func() packet.Packet {
+		f := flows[rng.Intn(len(flows))]
+		return packet.Packet{
+			SrcIP: f.SrcIP, DstIP: f.DstIP, SrcPort: f.SrcPort, DstPort: f.DstPort,
+			Proto: f.Proto, PayloadBytes: 22,
+		}
+	}
+	for i := 0; i < packets/2; i++ { // warm
+		pkt := next()
+		theNF.ProcessPacket(th, &pkt)
+	}
+	start := th.Now
+	for i := 0; i < packets; i++ {
+		pkt := next()
+		theNF.ProcessPacket(th, &pkt)
+	}
+	return float64(th.Now-start) / float64(packets)
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"halo/internal/classify"
+	"halo/internal/cpu"
+	"halo/internal/halo"
+	"halo/internal/metrics"
+	"halo/internal/trafficgen"
+	"halo/internal/vswitch"
+)
+
+// Fig3Row is one traffic configuration's packet-processing breakdown.
+type Fig3Row struct {
+	Scenario            string
+	CyclesPerPacket     float64
+	StageShare          [6]float64 // indexed by vswitch.Stage
+	ClassificationShare float64
+}
+
+// Fig3Result is the reproduced Fig. 3: the per-stage cycle breakdown of
+// software packet processing across the five traffic configurations.
+type Fig3Result struct {
+	Rows  []Fig3Row
+	Table *metrics.Table
+}
+
+type workloadRules struct{ w *trafficgen.Workload }
+
+func (wr workloadRules) Install(ts *classify.TupleSpace) error { return wr.w.InstallRules(ts) }
+
+// RunFig3 reproduces Fig. 3 (software packet-processing breakdown).
+func RunFig3(cfg Config) *Fig3Result {
+	packets := pickSize(cfg, 3000, 20000)
+	warmup := pickSize(cfg, 1000, 10000) // §5.2: warm up before measuring
+
+	scenarios := trafficgen.PaperScenarios()
+	if cfg.Quick {
+		for i := range scenarios {
+			if scenarios[i].Flows > 200_000 {
+				scenarios[i].Flows = 200_000
+			}
+		}
+	}
+
+	res := &Fig3Result{
+		Table: metrics.NewTable("Figure 3: packet-processing breakdown (software OVS datapath)",
+			"scenario", "cyc/pkt", "pkt-io", "preproc", "emc", "megaflow", "other", "classification"),
+	}
+	// The OpenFlow layer is disabled here, as in the paper's analysis
+	// ("seldom accessed in practice", §3.1): rules install directly as
+	// megaflows.
+	res.Table.SetCaption("paper: 340-993 cyc/pkt, classification 30.9%%-77.8%%")
+
+	for _, scn := range scenarios {
+		p := halo.NewPlatform(halo.DefaultPlatformConfig())
+		sw, err := vswitch.New(p, vswitch.DefaultConfig())
+		if err != nil {
+			panic(err)
+		}
+		w := trafficgen.Generate(scn, cfg.Seed)
+		if err := sw.InstallRules([]vswitch.RuleInstaller{workloadRules{w}}); err != nil {
+			panic(err)
+		}
+		sw.Warm()
+		th := cpu.NewThread(p.Hier, 0)
+		for i := 0; i < warmup; i++ {
+			pkt, _ := w.NextPacket()
+			sw.ProcessPacket(th, &pkt)
+		}
+		sw.ResetStats()
+		for i := 0; i < packets; i++ {
+			pkt, _ := w.NextPacket()
+			sw.ProcessPacket(th, &pkt)
+		}
+
+		b := sw.Breakdown()
+		total := float64(b.Total())
+		row := Fig3Row{
+			Scenario:            scn.Name,
+			CyclesPerPacket:     sw.CyclesPerPacket(),
+			ClassificationShare: b.ClassificationShare(),
+		}
+		for s := 0; s < len(row.StageShare); s++ {
+			row.StageShare[s] = float64(b[s]) / total
+		}
+		res.Rows = append(res.Rows, row)
+		res.Table.AddRow(scn.Name, row.CyclesPerPacket,
+			metrics.Percent(row.StageShare[vswitch.StagePacketIO]),
+			metrics.Percent(row.StageShare[vswitch.StagePreProc]),
+			metrics.Percent(row.StageShare[vswitch.StageEMC]),
+			metrics.Percent(row.StageShare[vswitch.StageMegaFlow]),
+			metrics.Percent(row.StageShare[vswitch.StageOther]),
+			metrics.Percent(row.ClassificationShare))
+	}
+	return res
+}

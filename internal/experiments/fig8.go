@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"math"
+
+	"halo/internal/halo"
+	"halo/internal/metrics"
+	"halo/internal/sim"
+)
+
+// Fig8Point is one (register size, flow count) accuracy measurement.
+type Fig8Point struct {
+	RegisterBits  uint
+	Flows         int
+	MeanEstimate  float64
+	MeanRelErr    float64
+	SaturatedPct  float64
+	TrialsPerCell int
+}
+
+// Fig8Result reproduces Fig. 8b: linear-counting flow-register estimation
+// accuracy across register sizes.
+type Fig8Result struct {
+	Points []Fig8Point
+	Table  *metrics.Table
+}
+
+// RunFig8 reproduces Fig. 8b.
+func RunFig8(cfg Config) *Fig8Result {
+	trials := pickSize(cfg, 60, 400)
+	res := &Fig8Result{
+		Table: metrics.NewTable("Figure 8b: flow-register estimation accuracy (linear counting)",
+			"bits", "flows", "mean-estimate", "rel-err", "saturated"),
+	}
+	res.Table.SetCaption("paper: an m-bit register accurately estimates ~2m flows")
+
+	rng := sim.NewRand(cfg.Seed)
+	for _, bits := range []uint{8, 16, 32, 64} {
+		for _, mult := range []float64{0.25, 0.5, 1, 2, 4} {
+			flows := int(math.Max(1, float64(bits)*mult))
+			var sumEst, sumErr float64
+			saturated := 0
+			for trial := 0; trial < trials; trial++ {
+				reg := halo.NewFlowRegister(bits)
+				for f := 0; f < flows; f++ {
+					h := rng.Uint64()
+					for rep := 0; rep < 4; rep++ { // flows repeat within a window
+						reg.Observe(h)
+					}
+				}
+				if reg.Saturated() {
+					saturated++
+				}
+				est := reg.Estimate()
+				sumEst += est
+				sumErr += math.Abs(est-float64(flows)) / float64(flows)
+			}
+			pt := Fig8Point{
+				RegisterBits:  bits,
+				Flows:         flows,
+				MeanEstimate:  sumEst / float64(trials),
+				MeanRelErr:    sumErr / float64(trials),
+				SaturatedPct:  float64(saturated) / float64(trials),
+				TrialsPerCell: trials,
+			}
+			res.Points = append(res.Points, pt)
+			res.Table.AddRow(bits, flows, pt.MeanEstimate,
+				metrics.Percent(pt.MeanRelErr), metrics.Percent(pt.SaturatedPct))
+		}
+	}
+	return res
+}

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+
+	"halo/internal/cuckoo"
+	"halo/internal/halo"
+	"halo/internal/metrics"
+	"halo/internal/tcam"
+)
+
+// Fig9Mode identifies one of the five compared solutions (paper §5.1).
+type Fig9Mode string
+
+// The compared solutions.
+const (
+	ModeSoftware Fig9Mode = "software"
+	ModeHaloB    Fig9Mode = "halo-blocking"
+	ModeHaloNB   Fig9Mode = "halo-nonblocking"
+	ModeTCAM     Fig9Mode = "tcam"
+	ModeSRAMTCAM Fig9Mode = "sram-tcam"
+)
+
+// Fig9Modes lists the solutions in presentation order.
+var Fig9Modes = []Fig9Mode{ModeSoftware, ModeHaloB, ModeHaloNB, ModeTCAM, ModeSRAMTCAM}
+
+// Fig9Point is one (mode, size, occupancy) measurement.
+type Fig9Point struct {
+	Mode            Fig9Mode
+	Entries         uint64
+	Occupancy       float64
+	CyclesPerLookup float64
+	// Normalized is throughput relative to software at the same point.
+	Normalized float64
+}
+
+// Fig9Result reproduces Fig. 9: single hash-table lookup throughput across
+// table sizes and occupancies for all five solutions.
+type Fig9Result struct {
+	Points []Fig9Point
+	Table  *metrics.Table
+}
+
+// fig9Sizes returns the table-size sweep. The paper sweeps 2^3..2^24; the
+// full config here stops at 2^21 (the largest table that exercises the
+// LLC→DRAM crossover without hours of simulation) and quick mode earlier.
+func fig9Sizes(cfg Config) []uint64 {
+	if cfg.Quick {
+		return []uint64{1 << 3, 1 << 6, 1 << 10, 1 << 14, 1 << 17}
+	}
+	return []uint64{1 << 3, 1 << 6, 1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20, 1 << 21}
+}
+
+func fig9Occupancies(cfg Config) []float64 {
+	if cfg.Quick {
+		return []float64{0.75}
+	}
+	return []float64{0.25, 0.50, 0.75, 0.90}
+}
+
+// RunFig9 reproduces Fig. 9.
+func RunFig9(cfg Config) *Fig9Result {
+	lookups := pickSize(cfg, 1500, 5000)
+	res := &Fig9Result{
+		Table: metrics.NewTable("Figure 9: single hash-table lookup throughput (normalized to software)",
+			"entries", "occ", "software", "halo-B", "halo-NB", "tcam", "sram-tcam"),
+	}
+	res.Table.SetCaption("paper: HALO up to 3.3x in the LLC regime; software wins for tiny tables; TCAM fastest")
+
+	for _, size := range fig9Sizes(cfg) {
+		for _, occ := range fig9Occupancies(cfg) {
+			cycles := map[Fig9Mode]float64{}
+			for _, mode := range Fig9Modes {
+				cycles[mode] = runFig9Point(mode, size, occ, lookups)
+			}
+			row := []any{size, fmt.Sprintf("%.0f%%", occ*100)}
+			for _, mode := range Fig9Modes {
+				norm := cycles[ModeSoftware] / cycles[mode]
+				res.Points = append(res.Points, Fig9Point{
+					Mode: mode, Entries: size, Occupancy: occ,
+					CyclesPerLookup: cycles[mode], Normalized: norm,
+				})
+				row = append(row, fmt.Sprintf("%.2fx (%.0fcyc)", norm, cycles[mode]))
+			}
+			res.Table.AddRow(row...)
+		}
+	}
+	return res
+}
+
+// Point fetches a specific measurement from the result.
+func (r *Fig9Result) Point(mode Fig9Mode, entries uint64, occ float64) (Fig9Point, bool) {
+	for _, pt := range r.Points {
+		if pt.Mode == mode && pt.Entries == entries && pt.Occupancy == occ {
+			return pt, true
+		}
+	}
+	return Fig9Point{}, false
+}
+
+func runFig9Point(mode Fig9Mode, entries uint64, occ float64, lookups int) float64 {
+	switch mode {
+	case ModeTCAM, ModeSRAMTCAM:
+		return runFig9TCAM(mode, entries, occ, lookups)
+	}
+	f := newLookupFixture(entries, occ)
+	th := f.thread
+	warm := lookups / 2
+
+	switch mode {
+	case ModeSoftware:
+		// Single-lookup rte_hash path: no cross-lookup prefetch pipeline.
+		opts := cuckoo.LookupOptions{OptimisticLock: true, Prefetch: false}
+		for i := 0; i < warm; i++ {
+			f.table.TimedLookup(th, testKey(uint64(i)%f.fill), opts)
+		}
+		start := th.Now
+		for i := 0; i < lookups; i++ {
+			f.table.TimedLookup(th, testKey(uint64(i*13)%f.fill), opts)
+		}
+		return float64(th.Now-start) / float64(lookups)
+
+	case ModeHaloB:
+		for i := 0; i < warm; i++ {
+			f.p.Unit.LookupBAt(th, f.table.Base(), f.stageKeyDMA(uint64(i)))
+		}
+		start := th.Now
+		for i := 0; i < lookups; i++ {
+			f.p.Unit.LookupBAt(th, f.table.Base(), f.stageKeyDMA(uint64(i*13)))
+		}
+		return float64(th.Now-start) / float64(lookups)
+
+	case ModeHaloNB:
+		run := func(n int, base uint64) {
+			const batch = 8
+			for done := 0; done < n; done += batch {
+				qs := make([]halo.NBQuery, 0, batch)
+				for j := 0; j < batch && done+j < n; j++ {
+					qs = append(qs, halo.NBQuery{
+						TableAddr: f.table.Base(),
+						KeyAddr:   f.stageKeyDMA(base + uint64(done+j)*13),
+					})
+				}
+				f.p.Unit.LookupManyNB(th, qs)
+			}
+		}
+		run(warm, 7)
+		start := th.Now
+		run(lookups, 0)
+		return float64(th.Now-start) / float64(lookups)
+	}
+	panic("unknown mode")
+}
+
+func runFig9TCAM(mode Fig9Mode, entries uint64, occ float64, lookups int) float64 {
+	kind := tcam.ClassicTCAM
+	if mode == ModeSRAMTCAM {
+		kind = tcam.SRAMTCAM
+	}
+	fill := uint64(float64(entries) * occ)
+	if fill == 0 {
+		fill = 1
+	}
+	dev := tcam.New(tcam.DefaultConfig(kind, int(fill), 16))
+	for i := uint64(0); i < fill; i++ {
+		if err := dev.InsertExact(testKey(i), i); err != nil {
+			panic(err)
+		}
+	}
+	// The device answers in fixed time; charge the thread on a plain
+	// platform for issue costs.
+	f := newLookupFixture(8, 1)
+	th := f.thread
+	start := th.Now
+	for i := 0; i < lookups; i++ {
+		dev.LookupTimed(th, testKey(uint64(i*13)%fill))
+	}
+	return float64(th.Now-start) / float64(lookups)
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"halo/internal/cache"
+	"halo/internal/cuckoo"
+	"halo/internal/halo"
+	"halo/internal/mem"
+	"halo/internal/metrics"
+	"halo/internal/sim"
+)
+
+// LockOverheadResult reproduces the §3.4 concurrency analysis: the share of
+// software lookup time spent in the optimistic-locking protocol, and the
+// cost of touching a line held in a remote core's private cache versus the
+// LLC.
+type LockOverheadResult struct {
+	LockSharePct     float64
+	LLCHitCycles     float64
+	RemoteHitCycles  float64
+	RemoteOverLLC    float64
+	HaloLockStallPct float64
+	Table            *metrics.Table
+}
+
+// RunLockOverhead reproduces the §3.4 measurements.
+func RunLockOverhead(cfg Config) *LockOverheadResult {
+	lookups := pickSize(cfg, 2000, 10000)
+
+	// Part 1: optimistic-lock share of software lookup time, with writers
+	// interleaved so the version line actually bounces between cores.
+	withLock := runLockPass(lookups, true)
+	withoutLock := runLockPass(lookups, false)
+	lockShare := (withLock - withoutLock) / withLock
+	if lockShare < 0 {
+		lockShare = 0
+	}
+
+	// Part 2: remote-private-cache access vs LLC access (paper: remote is
+	// about 2x an LLC hit and can exceed 100 cycles).
+	p := halo.NewPlatform(halo.DefaultPlatformConfig())
+	llcAddrs := p.Alloc.AllocLines(64)
+	var llcTotal, remoteTotal float64
+	for i := 0; i < 64; i++ {
+		addr := llcAddrs + mem.Addr(i)*mem.LineSize
+		p.Hier.WarmLLC(addr)
+		r := p.Hier.CoreAccess(sim.Cycle(i)*10000, 0, addr, false)
+		llcTotal += float64(r.Latency())
+	}
+	remAddrs := p.Alloc.AllocLines(64)
+	for i := 0; i < 64; i++ {
+		addr := remAddrs + mem.Addr(i)*mem.LineSize
+		// Core 1 dirties the line; core 0 then reads it remotely.
+		w := p.Hier.CoreAccess(1_000_000+sim.Cycle(i)*10000, 1, addr, true)
+		r := p.Hier.CoreAccess(w.Done, 0, addr, false)
+		if r.Where != cache.InRemoteCache {
+			panic("remote access experiment not hitting a remote cache")
+		}
+		remoteTotal += float64(r.Latency())
+	}
+
+	res := &LockOverheadResult{
+		LockSharePct:    lockShare,
+		LLCHitCycles:    llcTotal / 64,
+		RemoteHitCycles: remoteTotal / 64,
+	}
+	res.RemoteOverLLC = res.RemoteHitCycles / res.LLCHitCycles
+
+	// Part 3: HALO's hardware lock under the same read/write mix — lock
+	// stalls happen in the cache, with no instruction overhead.
+	res.HaloLockStallPct = runHaloLockPass(lookups)
+
+	res.Table = metrics.NewTable("§3.4: concurrency overhead of flow classification",
+		"metric", "value")
+	res.Table.SetCaption("paper: locking ~13.1%% of lookup time; remote-cache access ~2x an LLC hit")
+	res.Table.AddRow("software optimistic-lock share", metrics.Percent(res.LockSharePct))
+	res.Table.AddRow("LLC hit latency (cycles)", res.LLCHitCycles)
+	res.Table.AddRow("remote private-cache latency (cycles)", res.RemoteHitCycles)
+	res.Table.AddRow("remote / LLC ratio", res.RemoteOverLLC)
+	res.Table.AddRow("halo hardware-lock stall share", metrics.Percent(res.HaloLockStallPct))
+	return res
+}
+
+// runLockPass measures software cycles/lookup with a writer thread on
+// another core updating the table between reader bursts.
+func runLockPass(lookups int, lock bool) float64 {
+	f := newLookupFixture(1<<14, 0.60)
+	opts := cuckoo.LookupOptions{OptimisticLock: lock, Prefetch: false}
+	writer := newThreadOn(f.p)
+	writer.Core = 1
+	writeSeq := f.fill
+
+	for i := 0; i < lookups/2; i++ { // warm
+		f.table.TimedLookup(f.thread, testKey(uint64(i)%f.fill), opts)
+	}
+	start := f.thread.Now
+	for i := 0; i < lookups; i++ {
+		f.table.TimedLookup(f.thread, testKey(uint64(i*13)%f.fill), opts)
+		if i%16 == 0 {
+			// A concurrent writer inserts a flow (bursty rule updates).
+			writer.WaitUntil(f.thread.Now)
+			_ = f.table.TimedInsert(writer, testKey(writeSeq), writeSeq)
+			writeSeq++
+		}
+	}
+	return float64(f.thread.Now-start) / float64(lookups)
+}
+
+// runHaloLockPass measures the share of HALO lookup time lost to hardware
+// lock stalls under the same write mix.
+func runHaloLockPass(lookups int) float64 {
+	f := newLookupFixture(1<<14, 0.60)
+	writer := newThreadOn(f.p)
+	writer.Core = 1
+	writeSeq := f.fill
+
+	f.p.Hier.ResetStats()
+	start := f.thread.Now
+	for i := 0; i < lookups; i++ {
+		f.p.Unit.LookupBAt(f.thread, f.table.Base(), f.stageKeyDMA(uint64(i*13)))
+		if i%16 == 0 {
+			writer.WaitUntil(f.thread.Now)
+			_ = f.table.TimedInsert(writer, testKey(writeSeq), writeSeq)
+			writeSeq++
+		}
+	}
+	elapsed := float64(f.thread.Now - start)
+	if elapsed == 0 {
+		return 0
+	}
+	return float64(f.p.Hier.Stats().LockStallCycles) / elapsed
+}

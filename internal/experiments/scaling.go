@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+
+	"halo/internal/cpu"
+	"halo/internal/cuckoo"
+	"halo/internal/halo"
+	"halo/internal/mem"
+	"halo/internal/metrics"
+)
+
+// ScalingPoint is one (mode, core count) aggregate-throughput measurement.
+type ScalingPoint struct {
+	Mode        Fig9Mode
+	Cores       int
+	LookupsPerK float64 // aggregate lookups per 1000 cycles
+	Efficiency  float64 // throughput / (cores × single-core throughput)
+}
+
+// ScalingResult is an extension beyond the paper's figures: aggregate
+// lookup throughput against one shared flow table as PMD threads are added,
+// with a concurrent updater thread churning rules. It quantifies the §3.4
+// claim that software locking and core-to-core communication limit
+// scalability while HALO's hardware lock does not.
+type ScalingResult struct {
+	Points []ScalingPoint
+	Table  *metrics.Table
+}
+
+// RunScaling measures multicore scaling for the software and HALO paths.
+func RunScaling(cfg Config) *ScalingResult {
+	rounds := pickSize(cfg, 300, 1500)
+	coreCounts := []int{1, 2, 4, 8, 15}
+	if cfg.Quick {
+		coreCounts = []int{1, 4, 15}
+	}
+	res := &ScalingResult{
+		Table: metrics.NewTable("Scaling (extension): shared-table lookup throughput vs cores",
+			"mode", "cores", "lookups/kcycle", "efficiency"),
+	}
+	res.Table.SetCaption("one updater thread churns the table; core 15 is reserved for it")
+
+	for _, mode := range []Fig9Mode{ModeSoftware, ModeHaloB, ModeHaloNB} {
+		var single float64
+		for _, n := range coreCounts {
+			tput := runScalingPoint(mode, n, rounds)
+			if single == 0 {
+				single = tput
+			}
+			pt := ScalingPoint{
+				Mode: mode, Cores: n,
+				LookupsPerK: tput * 1000,
+				Efficiency:  tput / (float64(n) * single),
+			}
+			res.Points = append(res.Points, pt)
+			res.Table.AddRow(string(mode), n, pt.LookupsPerK, fmt.Sprintf("%.2f", pt.Efficiency))
+		}
+	}
+	return res
+}
+
+// Point fetches a measurement.
+func (r *ScalingResult) Point(mode Fig9Mode, cores int) (ScalingPoint, bool) {
+	for _, pt := range r.Points {
+		if pt.Mode == mode && pt.Cores == cores {
+			return pt, true
+		}
+	}
+	return ScalingPoint{}, false
+}
+
+// runScalingPoint runs n lookup threads plus one updater in lockstep rounds
+// and returns aggregate lookups per cycle.
+func runScalingPoint(mode Fig9Mode, n, rounds int) float64 {
+	f := newLookupFixture(1<<15, 0.60)
+	p := f.p
+	threads := make([]*cpu.Thread, n)
+	for i := range threads {
+		threads[i] = cpu.NewThread(p.Hier, i)
+	}
+	updater := cpu.NewThread(p.Hier, 15)
+	writeSeq := f.fill
+
+	// Per-thread key buffers for the HALO path (packet-buffer style).
+	keyBufs := make([]mem.Addr, n)
+	for i := range keyBufs {
+		keyBufs[i] = p.Alloc.AllocLines(8)
+	}
+	stage := func(ti int, slot int, k uint64) mem.Addr {
+		addr := keyBufs[ti] + mem.Addr(slot)*mem.LineSize
+		p.Space.WriteAt(addr, testKey(k%f.fill))
+		p.Hier.DMAWrite(addr)
+		return addr
+	}
+
+	const batch = 8
+	opts := cuckoo.LookupOptions{OptimisticLock: true, Prefetch: false}
+	lookupsPerRound := n * batch
+
+	sync := func() {
+		max := updater.Now
+		for _, th := range threads {
+			if th.Now > max {
+				max = th.Now
+			}
+		}
+		updater.WaitUntil(max)
+		for _, th := range threads {
+			th.WaitUntil(max)
+		}
+	}
+
+	// Warm rounds, then measured rounds. Threads run in lockstep: a round's
+	// duration is the slowest thread's, which is what wall-clock parallel
+	// execution would show.
+	run := func(nr int, base uint64) {
+		for r := 0; r < nr; r++ {
+			for ti, th := range threads {
+				k := base + uint64(r*lookupsPerRound+ti*batch)
+				switch mode {
+				case ModeSoftware:
+					for j := 0; j < batch; j++ {
+						f.table.TimedLookup(th, testKey((k+uint64(j))*13%f.fill), opts)
+					}
+				case ModeHaloB:
+					for j := 0; j < batch; j++ {
+						p.Unit.LookupBAt(th, f.table.Base(), stage(ti, 0, (k+uint64(j))*13))
+					}
+				default:
+					qs := make([]halo.NBQuery, batch)
+					for j := 0; j < batch; j++ {
+						qs[j] = halo.NBQuery{
+							TableAddr: f.table.Base(),
+							KeyAddr:   stage(ti, j, (k+uint64(j))*13),
+						}
+					}
+					p.Unit.LookupManyNB(th, qs)
+				}
+			}
+			// The updater inserts one rule per round (rule churn).
+			_ = f.table.TimedInsert(updater, testKey(writeSeq), writeSeq)
+			writeSeq++
+			sync()
+		}
+	}
+	run(rounds/4, 7)
+	start := threads[0].Now
+	run(rounds, 0)
+	elapsed := float64(threads[0].Now - start)
+	return float64(rounds*lookupsPerRound) / elapsed
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"halo/internal/cuckoo"
+	"halo/internal/metrics"
+)
+
+// Table1Result reproduces Table 1: the retired-instruction profile of one
+// software hash-table lookup.
+type Table1Result struct {
+	InstructionsPerLookup float64
+	LoadShare             float64
+	StoreShare            float64
+	MemoryShare           float64
+	ArithShare            float64
+	OtherShare            float64
+	Table                 *metrics.Table
+}
+
+// RunTable1 reproduces Table 1.
+func RunTable1(cfg Config) *Table1Result {
+	lookups := pickSize(cfg, 2000, 20000)
+	f := newLookupFixture(1<<14, 0.75)
+	for i := 0; i < lookups; i++ { // warm
+		f.table.TimedLookup(f.thread, testKey(uint64(i)%f.fill), cuckoo.DefaultLookupOptions())
+	}
+	f.thread.ResetCounts()
+	for i := 0; i < lookups; i++ {
+		f.table.TimedLookup(f.thread, testKey(uint64(i*13)%f.fill), cuckoo.DefaultLookupOptions())
+	}
+	c := f.thread.Counts
+	n := float64(lookups)
+	total := float64(c.Total())
+	res := &Table1Result{
+		InstructionsPerLookup: total / n,
+		LoadShare:             float64(c.Loads) / total,
+		StoreShare:            float64(c.Stores) / total,
+		MemoryShare:           float64(c.Loads+c.Stores) / total,
+		ArithShare:            float64(c.Arith) / total,
+		OtherShare:            float64(c.Other) / total,
+	}
+	res.Table = metrics.NewTable("Table 1: instructions per software lookup",
+		"solution", "#instr/lookup", "memory", "(load)", "(store)", "arith", "other")
+	res.Table.SetCaption("paper: 210 instr; 48.1%% memory (36.2%% load, 11.8%% store), 21.0%% arith, 30.9%% other")
+	res.Table.AddRow("OVS/cuckoo hash", res.InstructionsPerLookup,
+		metrics.Percent(res.MemoryShare), metrics.Percent(res.LoadShare),
+		metrics.Percent(res.StoreShare), metrics.Percent(res.ArithShare),
+		metrics.Percent(res.OtherShare))
+	return res
+}

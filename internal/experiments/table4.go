@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"halo/internal/metrics"
+	"halo/internal/power"
+)
+
+// Table4Result reproduces Table 4 (power and area) plus the energy
+// efficiency headline.
+type Table4Result struct {
+	Rows            []power.Table4Row
+	EfficiencyVs1MB float64
+	HaloAreaPercent float64
+	Table           *metrics.Table
+	EfficiencyTable *metrics.Table
+}
+
+// RunTable4 reproduces Table 4.
+func RunTable4(_ Config) *Table4Result {
+	res := &Table4Result{
+		Rows:            power.Table4(),
+		EfficiencyVs1MB: power.EfficiencyVsTCAM(1 << 20),
+		HaloAreaPercent: power.HaloChipAreaPercent(),
+	}
+	res.Table = metrics.NewTable("Table 4: power and area of hardware flow-classification approaches",
+		"solution", "area/tiles", "static mW", "dynamic nJ/query")
+	res.Table.SetCaption("anchored on the paper's 22nm McPAT/CACTI outputs")
+	for _, r := range res.Rows {
+		res.Table.AddRow(r.Solution, r.AreaTiles, r.StaticMW, r.DynamicNJPerQuery)
+	}
+
+	res.EfficiencyTable = metrics.NewTable("Energy efficiency (dynamic energy per query vs HALO)",
+		"tcam-capacity", "tcam nJ/query", "sram-tcam nJ/query", "halo nJ/query", "halo advantage")
+	for _, capBytes := range []uint64{1 << 10, 10 << 10, 100 << 10, 1 << 20} {
+		tc := power.TCAMEstimate(capBytes)
+		sr := power.SRAMTCAMEstimate(capBytes)
+		ha := power.HaloAcceleratorEstimate()
+		res.EfficiencyTable.AddRow(sizeName(capBytes), tc.DynamicNJPerQuery,
+			sr.DynamicNJPerQuery, ha.DynamicNJPerQuery,
+			metrics.Speedup(tc.DynamicNJPerQuery, ha.DynamicNJPerQuery))
+	}
+	return res
+}
+
+func sizeName(b uint64) string {
+	if b >= 1<<20 {
+		return "1MB"
+	}
+	switch b {
+	case 1 << 10:
+		return "1KB"
+	case 10 << 10:
+		return "10KB"
+	case 100 << 10:
+		return "100KB"
+	}
+	return "?"
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"halo/internal/cuckoo"
+	"halo/internal/metrics"
+	"halo/internal/sim"
+	"halo/internal/tcam"
+)
+
+// UpdatePoint is one (solution, table size) update-cost measurement.
+type UpdatePoint struct {
+	Solution       string
+	Entries        int
+	CyclesPerOp    float64
+	UpdatesPerMsec float64
+}
+
+// UpdatesResult quantifies the paper's §1 motivation for rejecting TCAMs:
+// their updates are "expensive and inflexible" because priority order is
+// physical — an insert shifts every lower-priority row — while the cuckoo
+// hash updates in near-constant time. It is an extension: the paper states
+// the claim with citations rather than a figure.
+type UpdatesResult struct {
+	Points []UpdatePoint
+	Table  *metrics.Table
+}
+
+// RunUpdates measures rule-update cost (alternating insert/delete at random
+// priority positions) for the software cuckoo table and a TCAM.
+func RunUpdates(cfg Config) *UpdatesResult {
+	ops := pickSize(cfg, 400, 2000)
+	sizes := []int{1_000, 10_000, 100_000}
+	if cfg.Quick {
+		sizes = []int{1_000, 10_000}
+	}
+	res := &UpdatesResult{
+		Table: metrics.NewTable("Updates (extension): rule-update cost, cuckoo vs TCAM",
+			"solution", "entries", "cycles/update", "updates/ms @2.1GHz"),
+	}
+	res.Table.SetCaption("paper §1: TCAM updates are expensive (priority shifting); cuckoo is near-constant")
+
+	for _, size := range sizes {
+		c := runCuckooUpdates(size, ops)
+		res.Points = append(res.Points, UpdatePoint{
+			Solution: "cuckoo", Entries: size, CyclesPerOp: c,
+			UpdatesPerMsec: ClockGHz * 1e6 / c,
+		})
+		res.Table.AddRow("cuckoo", size, c, ClockGHz*1e6/c)
+
+		tc := runTCAMUpdates(size, ops, cfg.Seed)
+		res.Points = append(res.Points, UpdatePoint{
+			Solution: "tcam", Entries: size, CyclesPerOp: tc,
+			UpdatesPerMsec: ClockGHz * 1e6 / tc,
+		})
+		res.Table.AddRow("tcam", size, tc, ClockGHz*1e6/tc)
+	}
+	return res
+}
+
+// Point fetches a measurement.
+func (r *UpdatesResult) Point(solution string, entries int) (UpdatePoint, bool) {
+	for _, pt := range r.Points {
+		if pt.Solution == solution && pt.Entries == entries {
+			return pt, true
+		}
+	}
+	return UpdatePoint{}, false
+}
+
+func runCuckooUpdates(size, ops int) float64 {
+	f := newLookupFixture(nextPow2(uint64(size)), 0.7)
+	th := f.thread
+	seq := f.fill
+	start := th.Now
+	for i := 0; i < ops/2; i++ {
+		_ = f.table.TimedInsert(th, testKey(seq), seq)
+		f.table.TimedDelete(th, testKey(uint64(i*13)%f.fill))
+		seq++
+	}
+	return float64(th.Now-start) / float64(ops)
+}
+
+func runTCAMUpdates(size, ops int, seed uint64) float64 {
+	dev := tcam.New(tcam.DefaultConfig(tcam.ClassicTCAM, size+ops, 16))
+	care := make([]byte, 16)
+	for i := range care {
+		care[i] = 0xFF
+	}
+	for i := 0; i < size; i++ {
+		if err := dev.InsertExact(testKey(uint64(i)), uint64(i)); err != nil {
+			panic(err)
+		}
+	}
+	f := newLookupFixture(8, 1) // a thread on a plain platform
+	th := f.thread
+	rng := sim.NewRand(seed ^ 0x0bda7e5)
+	seq := uint64(size)
+	start := th.Now
+	for i := 0; i < ops/2; i++ {
+		// Rule updates land at random priority positions.
+		pos := rng.Intn(dev.Len() + 1)
+		if err := dev.InsertTimed(th, pos, testKey(seq), care, seq); err != nil {
+			panic(err)
+		}
+		victim := testKey(uint64(rng.Intn(size)))
+		dev.DeleteTimed(th, victim, care)
+		seq++
+	}
+	return float64(th.Now-start) / float64(ops)
+}
+
+func nextPow2(v uint64) uint64 {
+	p := uint64(8)
+	for p < v {
+		p <<= 1
+	}
+	return p
+}
+
+var _ = cuckoo.ErrTableFull // the update loop relies on capacity headroom

@@ -1,0 +1,90 @@
+// Package halo implements the paper's contribution: distributed near-cache
+// accelerators for hash-table lookup, one per LLC slice / CHA, together with
+// the query distributor glue, the hardware-assisted lock protocol, the
+// linear-counting flow register, and the hybrid software/accelerator
+// execution controller.
+package halo
+
+import (
+	"math"
+
+	"halo/internal/hashfn"
+)
+
+// FlowRegister estimates the number of active flows in a time window with
+// linear counting over a small bit array (paper §4.6, Whang et al.). Each
+// lookup query sets bit (H mod S); the estimate is m·ln(m/u) where u is the
+// number of unset bits.
+type FlowRegister struct {
+	bits []uint64
+	m    uint
+}
+
+// NewFlowRegister builds a register with m bits (rounded up to a multiple of
+// 64; the paper's hardware uses 32). m must be positive.
+func NewFlowRegister(m uint) *FlowRegister {
+	if m == 0 {
+		panic("halo: flow register needs at least one bit")
+	}
+	return &FlowRegister{bits: make([]uint64, (m+63)/64), m: m}
+}
+
+// Bits returns the register size in bits.
+func (f *FlowRegister) Bits() uint { return f.m }
+
+// Observe records one lookup's primary hash.
+func (f *FlowRegister) Observe(primaryHash uint64) {
+	bit := uint(primaryHash % uint64(f.m))
+	f.bits[bit/64] |= 1 << (bit % 64)
+}
+
+// ObserveKey hashes a raw key with the flow-register seed and records it.
+func (f *FlowRegister) ObserveKey(key []byte) {
+	f.Observe(hashfn.Hash(hashfn.SeedFlowReg, key))
+}
+
+// unset counts zero bits.
+func (f *FlowRegister) unset() uint {
+	set := uint(0)
+	for _, w := range f.bits {
+		for ; w != 0; w &= w - 1 {
+			set++
+		}
+	}
+	return f.m - set
+}
+
+// Saturated reports whether every bit is set, in which case Estimate can
+// only report a lower bound.
+func (f *FlowRegister) Saturated() bool { return f.unset() == 0 }
+
+// Estimate returns the linear-counting cardinality estimate for the current
+// window. A saturated register returns m·ln(m) + 1, the largest value the
+// estimator can express (the true count is at least that large in
+// expectation).
+func (f *FlowRegister) Estimate() float64 {
+	u := f.unset()
+	if u == 0 {
+		return float64(f.m)*math.Log(float64(f.m)) + 1
+	}
+	return float64(f.m) * math.Log(float64(f.m)/float64(u))
+}
+
+// Reset clears the window (the periodic scan of paper §4.6 reads and
+// clears).
+func (f *FlowRegister) Reset() {
+	for i := range f.bits {
+		f.bits[i] = 0
+	}
+}
+
+// Merge ORs another register of the same size into this one, combining the
+// per-accelerator registers into a chip-wide estimate.
+func (f *FlowRegister) Merge(o *FlowRegister) {
+	if o.m != f.m {
+		panic("halo: merging flow registers of different sizes")
+	}
+	for i := range f.bits {
+		f.bits[i] |= o.bits[i]
+	}
+}

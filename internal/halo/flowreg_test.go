@@ -1,0 +1,121 @@
+package halo
+
+import (
+	"math"
+	"testing"
+
+	"halo/internal/sim"
+)
+
+func TestFlowRegisterEmptyEstimatesZero(t *testing.T) {
+	f := NewFlowRegister(32)
+	if est := f.Estimate(); est != 0 {
+		t.Fatalf("empty register estimate = %v, want 0", est)
+	}
+}
+
+func TestFlowRegisterSingleFlow(t *testing.T) {
+	f := NewFlowRegister(32)
+	for i := 0; i < 100; i++ {
+		f.Observe(0xdeadbeef) // same flow repeatedly
+	}
+	est := f.Estimate()
+	if est < 0.5 || est > 2 {
+		t.Fatalf("single-flow estimate = %v, want ~1", est)
+	}
+}
+
+func TestFlowRegisterAccuracyAcrossSizes(t *testing.T) {
+	// Paper Fig. 8b: a register of m bits accurately estimates up to ~2m
+	// flows. Check relative error stays small while flows <= 2m.
+	for _, m := range []uint{8, 16, 32, 64} {
+		for _, flows := range []int{int(m) / 2, int(m), int(m) * 2} {
+			var sumErr float64
+			const trials = 50
+			for trial := 0; trial < trials; trial++ {
+				f := NewFlowRegister(m)
+				r := sim.NewRand(uint64(trial)*7919 + uint64(m))
+				for i := 0; i < flows; i++ {
+					flowHash := r.Uint64()
+					// Each flow observed several times.
+					for j := 0; j < 5; j++ {
+						f.Observe(flowHash)
+					}
+				}
+				sumErr += math.Abs(f.Estimate()-float64(flows)) / float64(flows)
+			}
+			meanErr := sumErr / trials
+			if meanErr > 0.35 {
+				t.Errorf("m=%d flows=%d: mean relative error %.2f", m, flows, meanErr)
+			}
+		}
+	}
+}
+
+func TestFlowRegisterSaturation(t *testing.T) {
+	f := NewFlowRegister(8)
+	r := sim.NewRand(1)
+	for i := 0; i < 10000; i++ {
+		f.Observe(r.Uint64())
+	}
+	if !f.Saturated() {
+		t.Fatal("register not saturated after 10k random flows")
+	}
+	if est := f.Estimate(); est < float64(8)*math.Log(8) {
+		t.Fatalf("saturated estimate %v below the expressible maximum", est)
+	}
+}
+
+func TestFlowRegisterReset(t *testing.T) {
+	f := NewFlowRegister(32)
+	f.Observe(123)
+	f.Reset()
+	if f.Estimate() != 0 {
+		t.Fatal("reset did not clear the register")
+	}
+}
+
+func TestFlowRegisterMerge(t *testing.T) {
+	a := NewFlowRegister(32)
+	b := NewFlowRegister(32)
+	r := sim.NewRand(2)
+	hashes := make([]uint64, 20)
+	for i := range hashes {
+		hashes[i] = r.Uint64()
+	}
+	for i, h := range hashes {
+		if i%2 == 0 {
+			a.Observe(h)
+		} else {
+			b.Observe(h)
+		}
+	}
+	union := NewFlowRegister(32)
+	union.Merge(a)
+	union.Merge(b)
+	est := union.Estimate()
+	if est < 10 || est > 40 {
+		t.Fatalf("merged estimate = %v, want ~20", est)
+	}
+}
+
+func TestFlowRegisterMergeSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size-mismatched merge did not panic")
+		}
+	}()
+	NewFlowRegister(32).Merge(NewFlowRegister(64))
+}
+
+func TestObserveKeyConsistent(t *testing.T) {
+	a := NewFlowRegister(32)
+	b := NewFlowRegister(32)
+	key := []byte("flow-key-1")
+	a.ObserveKey(key)
+	a.ObserveKey(key)
+	b.ObserveKey(key)
+	if a.Estimate() != b.Estimate() {
+		t.Fatal("repeated observations of one key changed the estimate")
+	}
+}

@@ -1,0 +1,140 @@
+package halo
+
+import (
+	"halo/internal/cpu"
+	"halo/internal/cuckoo"
+	"halo/internal/mem"
+	"halo/internal/sim"
+)
+
+// Mode is the hybrid controller's current execution choice (paper §4.6).
+type Mode int
+
+// Execution modes.
+const (
+	// ModeSoftware runs lookups on the core: fastest when the active flow
+	// set fits in the L1 cache.
+	ModeSoftware Mode = iota
+	// ModeAccel offloads lookups to the HALO accelerators.
+	ModeAccel
+)
+
+func (m Mode) String() string {
+	if m == ModeSoftware {
+		return "software"
+	}
+	return "halo"
+}
+
+// HybridConfig tunes the controller.
+type HybridConfig struct {
+	// SoftwareThreshold is the active-flow estimate below which lookups
+	// run in software (paper: 64 flows — the L1-resident regime).
+	SoftwareThreshold float64
+	// WindowCycles is the flow-register scan period.
+	WindowCycles sim.Cycle
+	// SoftwareOpts configures the software path when selected.
+	SoftwareOpts cuckoo.LookupOptions
+}
+
+// DefaultHybridConfig matches the paper's evaluation (§6: 64 flows).
+func DefaultHybridConfig() HybridConfig {
+	return HybridConfig{
+		SoftwareThreshold: 64,
+		WindowCycles:      100_000,
+		SoftwareOpts:      cuckoo.DefaultLookupOptions(),
+	}
+}
+
+// Hybrid switches between software and accelerator lookups based on the
+// linear-counting flow registers. In accelerator mode the hardware registers
+// feed the estimate; in software mode the runtime maintains a mirrored
+// 32-bit register (cheap: one hash and an OR per lookup, paper §4.6).
+type Hybrid struct {
+	cfg  HybridConfig
+	unit *Unit
+	mode Mode
+
+	softReg     *FlowRegister
+	windowStart sim.Cycle
+
+	switches  uint64
+	swLookups uint64
+	hwLookups uint64
+}
+
+// NewHybrid builds a controller over a HALO unit, starting in accelerator
+// mode.
+func NewHybrid(cfg HybridConfig, unit *Unit) *Hybrid {
+	return &Hybrid{
+		cfg:     cfg,
+		unit:    unit,
+		mode:    ModeAccel,
+		softReg: NewFlowRegister(unit.cfg.FlowRegBits),
+	}
+}
+
+// Mode returns the current execution mode.
+func (h *Hybrid) Mode() Mode { return h.mode }
+
+// Switches returns how many mode transitions have occurred.
+func (h *Hybrid) Switches() uint64 { return h.switches }
+
+// Lookups returns the per-mode lookup counts.
+func (h *Hybrid) Lookups() (software, accel uint64) { return h.swLookups, h.hwLookups }
+
+// maybeScan closes the measurement window and re-evaluates the mode.
+func (h *Hybrid) maybeScan(now sim.Cycle) {
+	if now-h.windowStart < h.cfg.WindowCycles {
+		return
+	}
+	h.windowStart = now
+	var est float64
+	if h.mode == ModeAccel {
+		est = h.unit.ActiveFlowEstimate()
+		h.unit.ResetFlowWindow()
+	} else {
+		est = h.softReg.Estimate()
+		h.softReg.Reset()
+	}
+	want := ModeAccel
+	if est < h.cfg.SoftwareThreshold {
+		want = ModeSoftware
+	}
+	if want != h.mode {
+		h.mode = want
+		h.switches++
+	}
+}
+
+// Lookup performs one flow lookup through whichever engine the controller
+// currently selects, charging the thread either way.
+func (h *Hybrid) Lookup(th *cpu.Thread, table *cuckoo.Table, key []byte) (uint64, bool) {
+	h.maybeScan(th.Now)
+	if h.mode == ModeSoftware {
+		return h.lookupSoftware(th, table, key)
+	}
+	h.hwLookups++
+	return h.unit.LookupB(th, table.Base(), key)
+}
+
+// LookupAt performs one flow lookup where the key already resides in
+// simulated memory at keyAddr (a packet buffer); key carries the same bytes
+// for the software path. Datapaths use this form so the accelerator mode
+// avoids key staging.
+func (h *Hybrid) LookupAt(th *cpu.Thread, table *cuckoo.Table, key []byte, keyAddr mem.Addr) (uint64, bool) {
+	h.maybeScan(th.Now)
+	if h.mode == ModeSoftware {
+		return h.lookupSoftware(th, table, key)
+	}
+	h.hwLookups++
+	return h.unit.LookupBAt(th, table.Base(), keyAddr)
+}
+
+func (h *Hybrid) lookupSoftware(th *cpu.Thread, table *cuckoo.Table, key []byte) (uint64, bool) {
+	h.swLookups++
+	// Maintain the software-side flow register: hash + mask + OR.
+	h.softReg.ObserveKey(key)
+	th.ALU(3)
+	return table.TimedLookup(th, key, h.cfg.SoftwareOpts)
+}

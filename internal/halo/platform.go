@@ -1,0 +1,71 @@
+package halo
+
+import (
+	"halo/internal/cache"
+	"halo/internal/cuckoo"
+	"halo/internal/mem"
+	"halo/internal/noc"
+)
+
+// Platform bundles one simulated machine: functional memory, DRAM timing,
+// ring interconnect, cache hierarchy, and the HALO unit. Experiments build a
+// Platform, create tables in its memory, and drive threads against it.
+type Platform struct {
+	Space *mem.Memory
+	Alloc *mem.Allocator
+	DRAM  *mem.DRAM
+	Ring  *noc.Ring
+	Hier  *cache.Hierarchy
+	Unit  *Unit
+}
+
+// PlatformConfig collects the per-component configurations.
+type PlatformConfig struct {
+	Cache cache.Config
+	Ring  noc.RingConfig
+	DRAM  mem.DRAMConfig
+	Unit  UnitConfig
+	// ArenaBytes sizes the simulated-memory allocation arena.
+	ArenaBytes uint64
+}
+
+// DefaultPlatformConfig is the paper's Table 2 machine with HALO installed.
+func DefaultPlatformConfig() PlatformConfig {
+	return PlatformConfig{
+		Cache:      cache.DefaultConfig(),
+		Ring:       noc.DefaultRingConfig(),
+		DRAM:       mem.DefaultDRAMConfig(),
+		Unit:       DefaultUnitConfig(),
+		ArenaBytes: 8 << 30,
+	}
+}
+
+// NewPlatform builds and wires a simulated machine.
+func NewPlatform(cfg PlatformConfig) *Platform {
+	space := mem.NewMemory()
+	alloc := mem.NewAllocator(mem.LineSize, cfg.ArenaBytes) // skip address 0
+	dram := mem.NewDRAM(cfg.DRAM)
+	ring := noc.NewRing(cfg.Ring)
+	hier := cache.New(cfg.Cache, ring, dram)
+	unit := NewUnit(cfg.Unit, hier, ring, space, alloc)
+	return &Platform{Space: space, Alloc: alloc, DRAM: dram, Ring: ring, Hier: hier, Unit: unit}
+}
+
+// NewTable creates a cuckoo table in the platform's memory.
+func (p *Platform) NewTable(cfg cuckoo.Config) (*cuckoo.Table, error) {
+	return cuckoo.Create(p.Space, p.Alloc, cfg)
+}
+
+// WarmTable walks a table's metadata, buckets and key-value array into the
+// LLC without charging time, implementing the paper's warm-up protocol
+// (§5.2: 10K lookups before measuring).
+func (p *Platform) WarmTable(t *cuckoo.Table) {
+	p.Hier.WarmLLC(t.Base())
+	for b := uint64(0); b < t.BucketCount(); b++ {
+		p.Hier.WarmLLC(t.BucketAddr(b))
+	}
+	start, end := t.KVAddr(0), t.KVAddr(uint32(t.Capacity()-1))
+	for a := mem.LineAddr(start); a <= end; a += mem.LineSize {
+		p.Hier.WarmLLC(a)
+	}
+}

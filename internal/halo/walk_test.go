@@ -1,0 +1,132 @@
+package halo
+
+import (
+	"testing"
+
+	"halo/internal/cpu"
+	"halo/internal/mem"
+)
+
+// buildTinyTree lays out a two-level tree: split on key byte 0 at 128;
+// left leaf → (100, found), right leaf → miss.
+func buildTinyTree(p *Platform) mem.Addr {
+	root := p.Alloc.AllocLines(1)
+	left := p.Alloc.AllocLines(1)
+	right := p.Alloc.AllocLines(1)
+	WriteInternalNode(p.Space, root, 0, 1, 128, left, right)
+	WriteLeafNode(p.Space, left, 100, true)
+	WriteLeafNode(p.Space, right, 0, false)
+	return root
+}
+
+func TestWalkBTinyTree(t *testing.T) {
+	p := testPlatform(t)
+	root := buildTinyTree(p)
+	th := cpu.NewThread(p.Hier, 0)
+	keyBuf := p.Alloc.AllocLines(1)
+
+	p.Space.WriteAt(keyBuf, []byte{5, 0, 0, 0})
+	r := p.Unit.WalkB(th, root, keyBuf, 4)
+	if !r.Found || r.Value != 100 || r.Depth != 1 {
+		t.Fatalf("left walk = %+v", r)
+	}
+	p.Space.WriteAt(keyBuf, []byte{200, 0, 0, 0})
+	r = p.Unit.WalkB(th, root, keyBuf, 4)
+	if r.Found || r.Fault {
+		t.Fatalf("right walk = %+v", r)
+	}
+	if th.Now == 0 {
+		t.Fatal("walk charged no time")
+	}
+}
+
+func TestWalkDepthGuard(t *testing.T) {
+	p := testPlatform(t)
+	// A self-looping internal node must fault on the depth bound.
+	node := p.Alloc.AllocLines(1)
+	WriteInternalNode(p.Space, node, 0, 1, 128, node, node)
+	th := cpu.NewThread(p.Hier, 0)
+	keyBuf := p.Alloc.AllocLines(1)
+	r := p.Unit.WalkB(th, node, keyBuf, 4)
+	if !r.Fault {
+		t.Fatal("cyclic tree did not fault")
+	}
+}
+
+func TestWalkNilChildFaults(t *testing.T) {
+	p := testPlatform(t)
+	node := p.Alloc.AllocLines(1)
+	WriteInternalNode(p.Space, node, 0, 1, 128, 0, 0)
+	th := cpu.NewThread(p.Hier, 0)
+	keyBuf := p.Alloc.AllocLines(1)
+	if r := p.Unit.WalkB(th, node, keyBuf, 4); !r.Fault {
+		t.Fatal("nil child did not fault")
+	}
+}
+
+func TestFieldValueClamping(t *testing.T) {
+	key := []byte{0x01, 0x02}
+	if fieldValue(key, 0, 2) != 0x0102 {
+		t.Fatal("two-byte field wrong")
+	}
+	// Reads past the key clamp to zero bytes.
+	if fieldValue(key, 1, 4) != 0x02000000 {
+		t.Fatalf("clamped field = %#x", fieldValue(key, 1, 4))
+	}
+}
+
+func TestAccessorsAndStrings(t *testing.T) {
+	p := testPlatform(t)
+	a := p.Unit.Accelerator(3)
+	if a.Slice() != 3 {
+		t.Fatalf("Slice() = %d", a.Slice())
+	}
+	if a.FlowRegister().Bits() != 32 {
+		t.Fatalf("flow register bits = %d", a.FlowRegister().Bits())
+	}
+	if a.MetadataCache().Len() != 0 {
+		t.Fatal("fresh metadata cache not empty")
+	}
+	if a.MetadataCache().HitRate() != 0 {
+		t.Fatal("fresh metadata cache has a hit rate")
+	}
+	if s := p.Unit.String(); s == "" {
+		t.Fatal("empty unit string")
+	}
+	if ModeSoftware.String() != "software" || ModeAccel.String() != "halo" {
+		t.Fatal("mode strings wrong")
+	}
+}
+
+func TestHybridLookupAt(t *testing.T) {
+	p := testPlatform(t)
+	tbl := populatedTable(t, p, 512, 300)
+	hy := NewHybrid(DefaultHybridConfig(), p.Unit)
+	th := cpu.NewThread(p.Hier, 0)
+	keyBuf := p.Alloc.AllocLines(1)
+	for i := uint64(0); i < 300; i++ {
+		key := key16(i)
+		p.Space.WriteAt(keyBuf, key)
+		p.Hier.DMAWrite(keyBuf)
+		v, ok := hy.LookupAt(th, tbl, key, keyBuf)
+		if !ok || v != i*2+1 {
+			t.Fatalf("hybrid LookupAt(%d) = (%d,%v)", i, v, ok)
+		}
+	}
+	// Drive it into software mode with a tiny flow set and check LookupAt
+	// still answers through the software path.
+	cfg := DefaultHybridConfig()
+	cfg.WindowCycles = 5_000
+	hy2 := NewHybrid(cfg, p.Unit)
+	for i := 0; i < 30000 && hy2.Mode() != ModeSoftware; i++ {
+		key := key16(uint64(i % 3))
+		p.Space.WriteAt(keyBuf, key)
+		hy2.LookupAt(th, tbl, key, keyBuf)
+	}
+	if hy2.Mode() != ModeSoftware {
+		t.Fatal("hybrid never switched to software")
+	}
+	if v, ok := hy2.LookupAt(th, tbl, key16(1), keyBuf); !ok || v != 3 {
+		t.Fatal("software-mode LookupAt wrong")
+	}
+}

@@ -1,0 +1,143 @@
+package hashfn
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHashDeterministic(t *testing.T) {
+	key := []byte("10.0.0.1:443->10.0.0.2:8080/tcp")
+	if Hash(SeedPrimary, key) != Hash(SeedPrimary, key) {
+		t.Fatal("Hash is not deterministic")
+	}
+	if Hash(SeedPrimary, key) == Hash(SeedSecondary, key) {
+		t.Fatal("different seeds produced the same hash")
+	}
+}
+
+func TestHashLengthSensitivity(t *testing.T) {
+	// A prefix must hash differently from its zero-extension: flow keys of
+	// different header sizes must not collide trivially.
+	a := []byte{1, 2, 3}
+	b := []byte{1, 2, 3, 0}
+	if Hash(SeedPrimary, a) == Hash(SeedPrimary, b) {
+		t.Fatal("zero-extended key collided with its prefix")
+	}
+}
+
+func TestHashEmptyKey(t *testing.T) {
+	// Must not panic and must be seed-dependent.
+	if Hash(SeedPrimary, nil) == Hash(SeedSecondary, nil) {
+		t.Fatal("empty key hash is seed-independent")
+	}
+}
+
+func TestHash64MatchesHashOfWord(t *testing.T) {
+	check := func(w uint64) bool {
+		var buf [8]byte
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(w >> (8 * i))
+		}
+		return Hash64(SeedPrimary, w) == Hash(SeedPrimary, buf[:])
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashAvalanche(t *testing.T) {
+	// Flipping one input bit should flip roughly half the output bits.
+	base := Hash64(SeedPrimary, 0x0123456789abcdef)
+	totalFlips := 0
+	for bit := 0; bit < 64; bit++ {
+		h := Hash64(SeedPrimary, 0x0123456789abcdef^(1<<bit))
+		diff := base ^ h
+		flips := 0
+		for diff != 0 {
+			flips += int(diff & 1)
+			diff >>= 1
+		}
+		totalFlips += flips
+	}
+	avg := float64(totalFlips) / 64
+	if avg < 24 || avg > 40 {
+		t.Fatalf("average bit flips per input-bit flip = %.1f, want ~32", avg)
+	}
+}
+
+func TestSignatureNeverZero(t *testing.T) {
+	check := func(h uint64) bool { return Signature(h) != 0 }
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+	// The reserved case maps to 1.
+	if Signature(0x0000ffffffffffff) != 1 {
+		t.Fatal("zero high bits should map signature to 1")
+	}
+}
+
+func TestAltBucketInvolution(t *testing.T) {
+	check := func(bucket uint64, sig uint16, sizeLog uint8) bool {
+		n := uint64(1) << (1 + sizeLog%20) // 2 .. 2^20 buckets
+		b := bucket % n
+		if sig == 0 {
+			sig = 1
+		}
+		alt := AltBucket(b, sig, n)
+		if alt == b || alt >= n {
+			return false
+		}
+		return AltBucket(alt, sig, n) == b
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketPairConsistentWithAltBucket(t *testing.T) {
+	const n = 1 << 12
+	for i := uint64(0); i < 1000; i++ {
+		h := Hash64(SeedPrimary, i)
+		b1, b2 := BucketPair(h, n)
+		if b1 >= n || b2 >= n {
+			t.Fatalf("bucket out of range: %d %d", b1, b2)
+		}
+		if AltBucket(b1, Signature(h), n) != b2 {
+			t.Fatal("BucketPair disagrees with AltBucket")
+		}
+		if AltBucket(b2, Signature(h), n) != b1 {
+			t.Fatal("alt of alt is not the primary bucket")
+		}
+	}
+}
+
+func TestBucketDistributionUniform(t *testing.T) {
+	const n = 256
+	counts := make([]int, n)
+	const draws = 256 * 1000
+	for i := 0; i < draws; i++ {
+		b1, _ := BucketPair(Hash64(SeedPrimary, uint64(i)), n)
+		counts[b1]++
+	}
+	// Chi-squared-ish sanity: each bucket expects 1000 hits; allow ±20%.
+	for b, c := range counts {
+		if c < 800 || c > 1200 {
+			t.Fatalf("bucket %d got %d hits, want ~1000", b, c)
+		}
+	}
+}
+
+func TestHashCollisionRateLow(t *testing.T) {
+	seen := make(map[uint64]bool, 1<<16)
+	collisions := 0
+	for i := 0; i < 1<<16; i++ {
+		h := Hash64(SeedPrimary, uint64(i))
+		if seen[h] {
+			collisions++
+		}
+		seen[h] = true
+	}
+	if collisions != 0 {
+		t.Fatalf("%d collisions in 64K sequential keys", collisions)
+	}
+}

@@ -1,0 +1,158 @@
+// Package isa defines the three x86-64 instruction-set extensions HALO adds
+// (paper §4.5): LOOKUP_B, LOOKUP_NB and SNAPSHOT_READ. It provides an
+// assembler-level representation with a binary encoding and decoder, and the
+// micro-op expansion the simulated core uses to execute each instruction.
+//
+// Following the paper, the hash-table address travels in the implicit
+// RAX/EAX operand — consecutive lookups usually target the same table, so
+// the register is set once and reused — which keeps the instructions within
+// the two-operand x86 template.
+package isa
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Opcode identifies one of the HALO instructions.
+type Opcode uint8
+
+// The extension opcodes. Encodings use the two-byte 0x0F 0x3A escape space
+// followed by these values; real allocations would come from Intel, the
+// specific bytes are only fixed so Encode/Decode round-trip.
+const (
+	OpLookupB      Opcode = 0xB0 // LOOKUP_B  mem.key_addr, reg.result
+	OpLookupNB     Opcode = 0xB1 // LOOKUP_NB mem.key_addr, mem.result
+	OpSnapshotRead Opcode = 0xB2 // SNAPSHOT_READ mem.result_addr, reg.result
+)
+
+func (o Opcode) String() string {
+	switch o {
+	case OpLookupB:
+		return "LOOKUP_B"
+	case OpLookupNB:
+		return "LOOKUP_NB"
+	case OpSnapshotRead:
+		return "SNAPSHOT_READ"
+	}
+	return fmt.Sprintf("Opcode(%#x)", uint8(o))
+}
+
+// Reg is a general-purpose register number (RAX=0 ... R15=15).
+type Reg uint8
+
+// RAX holds the implicit hash-table address operand.
+const RAX Reg = 0
+
+// Instruction is one decoded HALO instruction.
+//
+//   - LOOKUP_B:      KeyAddr (memory), DstReg (register result)
+//   - LOOKUP_NB:     KeyAddr (memory), ResultAddr (memory result)
+//   - SNAPSHOT_READ: ResultAddr (memory source), DstReg (register result)
+//
+// Memory operands are carried as absolute 64-bit addresses; the simulated
+// cores run flat-addressed, so no ModRM addressing forms are needed.
+type Instruction struct {
+	Op         Opcode
+	KeyAddr    uint64
+	ResultAddr uint64
+	DstReg     Reg
+}
+
+const (
+	escape1 = 0x0F
+	escape2 = 0x3A
+	// EncodedLen is the fixed instruction length: 2 escape bytes, opcode,
+	// register byte, and two 8-byte operands.
+	EncodedLen = 2 + 1 + 1 + 8 + 8
+)
+
+// Encode emits the binary form of the instruction.
+func (in Instruction) Encode() []byte {
+	buf := make([]byte, EncodedLen)
+	buf[0] = escape1
+	buf[1] = escape2
+	buf[2] = uint8(in.Op)
+	buf[3] = uint8(in.DstReg)
+	binary.LittleEndian.PutUint64(buf[4:], in.KeyAddr)
+	binary.LittleEndian.PutUint64(buf[12:], in.ResultAddr)
+	return buf
+}
+
+// Decoding errors.
+var (
+	ErrShortInstruction = errors.New("isa: truncated instruction")
+	ErrBadEscape        = errors.New("isa: not a HALO instruction (bad escape bytes)")
+	ErrBadOpcode        = errors.New("isa: unknown HALO opcode")
+	ErrBadRegister      = errors.New("isa: register number out of range")
+)
+
+// Decode parses one instruction from the front of buf and returns it with
+// the number of bytes consumed.
+func Decode(buf []byte) (Instruction, int, error) {
+	if len(buf) < EncodedLen {
+		return Instruction{}, 0, ErrShortInstruction
+	}
+	if buf[0] != escape1 || buf[1] != escape2 {
+		return Instruction{}, 0, ErrBadEscape
+	}
+	op := Opcode(buf[2])
+	switch op {
+	case OpLookupB, OpLookupNB, OpSnapshotRead:
+	default:
+		return Instruction{}, 0, ErrBadOpcode
+	}
+	if buf[3] > 15 {
+		return Instruction{}, 0, ErrBadRegister
+	}
+	return Instruction{
+		Op:         op,
+		DstReg:     Reg(buf[3]),
+		KeyAddr:    binary.LittleEndian.Uint64(buf[4:]),
+		ResultAddr: binary.LittleEndian.Uint64(buf[12:]),
+	}, EncodedLen, nil
+}
+
+// String renders assembler-style syntax.
+func (in Instruction) String() string {
+	switch in.Op {
+	case OpLookupB:
+		return fmt.Sprintf("LOOKUP_B [%#x], r%d", in.KeyAddr, in.DstReg)
+	case OpLookupNB:
+		return fmt.Sprintf("LOOKUP_NB [%#x], [%#x]", in.KeyAddr, in.ResultAddr)
+	case OpSnapshotRead:
+		return fmt.Sprintf("SNAPSHOT_READ [%#x], r%d", in.ResultAddr, in.DstReg)
+	}
+	return fmt.Sprintf("%v", in.Op)
+}
+
+// MicroOp is a step in an instruction's expansion, consumed by the core
+// model.
+type MicroOp uint8
+
+// Micro-op kinds.
+const (
+	UopIssueQuery   MicroOp = iota // hand (key, RAX table, dst) to the query distributor
+	UopAwaitResult                 // block the pipeline until the result returns (LOOKUP_B)
+	UopWriteback                   // deposit the result into the destination register
+	UopSnapshotLoad                // ownership-preserving load (SNAPSHOT_READ)
+)
+
+// Expand returns the instruction's micro-op sequence. Blocking lookups await
+// the accelerator; non-blocking ones retire at issue, like stores.
+func (in Instruction) Expand() []MicroOp {
+	switch in.Op {
+	case OpLookupB:
+		return []MicroOp{UopIssueQuery, UopAwaitResult, UopWriteback}
+	case OpLookupNB:
+		return []MicroOp{UopIssueQuery}
+	case OpSnapshotRead:
+		return []MicroOp{UopSnapshotLoad, UopWriteback}
+	}
+	return nil
+}
+
+// Blocking reports whether the instruction stalls the pipeline until its
+// result arrives.
+func (in Instruction) Blocking() bool { return in.Op != OpLookupNB }

@@ -1,0 +1,128 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	check := func(opSel uint8, key, res uint64, reg uint8) bool {
+		ops := []Opcode{OpLookupB, OpLookupNB, OpSnapshotRead}
+		in := Instruction{
+			Op:         ops[int(opSel)%len(ops)],
+			KeyAddr:    key,
+			ResultAddr: res,
+			DstReg:     Reg(reg % 16),
+		}
+		got, n, err := Decode(in.Encode())
+		return err == nil && n == EncodedLen && got == in
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode([]byte{0x0F}); err != ErrShortInstruction {
+		t.Fatalf("short decode err = %v", err)
+	}
+	buf := Instruction{Op: OpLookupB}.Encode()
+	buf[0] = 0x90
+	if _, _, err := Decode(buf); err != ErrBadEscape {
+		t.Fatalf("bad escape err = %v", err)
+	}
+	buf = Instruction{Op: OpLookupB}.Encode()
+	buf[2] = 0x00
+	if _, _, err := Decode(buf); err != ErrBadOpcode {
+		t.Fatalf("bad opcode err = %v", err)
+	}
+	buf = Instruction{Op: OpLookupB}.Encode()
+	buf[3] = 99
+	if _, _, err := Decode(buf); err != ErrBadRegister {
+		t.Fatalf("bad register err = %v", err)
+	}
+}
+
+func TestExpandShapes(t *testing.T) {
+	b := Instruction{Op: OpLookupB}.Expand()
+	if len(b) != 3 || b[1] != UopAwaitResult {
+		t.Fatalf("LOOKUP_B expansion = %v", b)
+	}
+	nb := Instruction{Op: OpLookupNB}.Expand()
+	if len(nb) != 1 || nb[0] != UopIssueQuery {
+		t.Fatalf("LOOKUP_NB expansion = %v; must retire at issue", nb)
+	}
+	sr := Instruction{Op: OpSnapshotRead}.Expand()
+	if len(sr) != 2 || sr[0] != UopSnapshotLoad {
+		t.Fatalf("SNAPSHOT_READ expansion = %v", sr)
+	}
+}
+
+func TestBlockingSemantics(t *testing.T) {
+	if !(Instruction{Op: OpLookupB}).Blocking() {
+		t.Fatal("LOOKUP_B must block")
+	}
+	if (Instruction{Op: OpLookupNB}).Blocking() {
+		t.Fatal("LOOKUP_NB must not block")
+	}
+	if !(Instruction{Op: OpSnapshotRead}).Blocking() {
+		t.Fatal("SNAPSHOT_READ is a load; it blocks")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	in := Instruction{Op: OpLookupNB, KeyAddr: 0x1000, ResultAddr: 0x2000}
+	if got := in.String(); got != "LOOKUP_NB [0x1000], [0x2000]" {
+		t.Fatalf("String() = %q", got)
+	}
+	if OpLookupB.String() != "LOOKUP_B" {
+		t.Fatalf("opcode string = %q", OpLookupB.String())
+	}
+}
+
+func TestDecodeStream(t *testing.T) {
+	// Several instructions back to back decode cleanly.
+	var stream []byte
+	want := []Instruction{
+		{Op: OpLookupNB, KeyAddr: 1, ResultAddr: 2},
+		{Op: OpLookupNB, KeyAddr: 3, ResultAddr: 4},
+		{Op: OpSnapshotRead, ResultAddr: 4, DstReg: 5},
+	}
+	for _, in := range want {
+		stream = append(stream, in.Encode()...)
+	}
+	for i, w := range want {
+		in, n, err := Decode(stream)
+		if err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		if in != w {
+			t.Fatalf("decode %d = %+v, want %+v", i, in, w)
+		}
+		stream = stream[n:]
+	}
+	if len(stream) != 0 {
+		t.Fatal("stream not fully consumed")
+	}
+}
+
+func TestAllStringForms(t *testing.T) {
+	b := Instruction{Op: OpLookupB, KeyAddr: 0x10, DstReg: 3}
+	if got := b.String(); got != "LOOKUP_B [0x10], r3" {
+		t.Errorf("String() = %q", got)
+	}
+	sr := Instruction{Op: OpSnapshotRead, ResultAddr: 0x20, DstReg: 4}
+	if got := sr.String(); got != "SNAPSHOT_READ [0x20], r4" {
+		t.Errorf("String() = %q", got)
+	}
+	bad := Instruction{Op: Opcode(0x99)}
+	if Opcode(0x99).String() == "" || bad.String() == "" {
+		t.Error("unknown opcode renders empty")
+	}
+	if OpLookupNB.String() != "LOOKUP_NB" || OpSnapshotRead.String() != "SNAPSHOT_READ" {
+		t.Error("opcode names wrong")
+	}
+	if bad.Expand() != nil {
+		t.Error("unknown opcode expands")
+	}
+}

@@ -1,0 +1,172 @@
+// Package mem models the simulated physical memory: a functional,
+// byte-addressable backing store plus a DRAM timing model.
+//
+// The store is *functional first*: the cuckoo hash tables used in experiments
+// really live in this memory as bytes, and both the software lookup path and
+// the HALO accelerators read the same bytes. Timing (caches, DRAM banks) is
+// layered on top and can never change an answer, only a cycle count.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Addr is a simulated physical address.
+type Addr uint64
+
+// LineSize is the cache-line size in bytes, matching the 64 B lines the paper
+// assumes (one hash bucket per line).
+const LineSize = 64
+
+// LineAddr returns the address of the cache line containing a.
+func LineAddr(a Addr) Addr { return a &^ (LineSize - 1) }
+
+// Space is a functional byte store. Implementations must support unaligned
+// access anywhere in the address space.
+type Space interface {
+	ReadAt(addr Addr, buf []byte)
+	WriteAt(addr Addr, buf []byte)
+}
+
+const pageBits = 16 // 64 KiB pages
+const pageSize = 1 << pageBits
+
+// Memory is a sparse, page-granular physical memory. The zero value is
+// usable and empty; unwritten bytes read as zero.
+type Memory struct {
+	pages map[Addr]*[pageSize]byte
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[Addr]*[pageSize]byte)}
+}
+
+func (m *Memory) page(addr Addr, create bool) *[pageSize]byte {
+	base := addr >> pageBits
+	p := m.pages[base]
+	if p == nil && create {
+		p = new([pageSize]byte)
+		m.pages[base] = p
+	}
+	return p
+}
+
+// ReadAt fills buf with the bytes at addr. Unwritten memory reads as zero.
+func (m *Memory) ReadAt(addr Addr, buf []byte) {
+	for len(buf) > 0 {
+		off := int(addr & (pageSize - 1))
+		n := pageSize - off
+		if n > len(buf) {
+			n = len(buf)
+		}
+		if p := m.page(addr, false); p != nil {
+			copy(buf[:n], p[off:off+n])
+		} else {
+			for i := 0; i < n; i++ {
+				buf[i] = 0
+			}
+		}
+		buf = buf[n:]
+		addr += Addr(n)
+	}
+}
+
+// WriteAt stores buf at addr.
+func (m *Memory) WriteAt(addr Addr, buf []byte) {
+	for len(buf) > 0 {
+		off := int(addr & (pageSize - 1))
+		n := pageSize - off
+		if n > len(buf) {
+			n = len(buf)
+		}
+		copy(m.page(addr, true)[off:off+n], buf[:n])
+		buf = buf[n:]
+		addr += Addr(n)
+	}
+}
+
+// FootprintBytes reports how many bytes of backing store have been allocated
+// (page granular).
+func (m *Memory) FootprintBytes() uint64 {
+	return uint64(len(m.pages)) * pageSize
+}
+
+// Read64 loads a little-endian uint64 from s at addr.
+func Read64(s Space, addr Addr) uint64 {
+	var buf [8]byte
+	s.ReadAt(addr, buf[:])
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+// Write64 stores a little-endian uint64 to s at addr.
+func Write64(s Space, addr Addr, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	s.WriteAt(addr, buf[:])
+}
+
+// Read32 loads a little-endian uint32 from s at addr.
+func Read32(s Space, addr Addr) uint32 {
+	var buf [4]byte
+	s.ReadAt(addr, buf[:])
+	return binary.LittleEndian.Uint32(buf[:])
+}
+
+// Write32 stores a little-endian uint32 to s at addr.
+func Write32(s Space, addr Addr, v uint32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	s.WriteAt(addr, buf[:])
+}
+
+// Read16 loads a little-endian uint16 from s at addr.
+func Read16(s Space, addr Addr) uint16 {
+	var buf [2]byte
+	s.ReadAt(addr, buf[:])
+	return binary.LittleEndian.Uint16(buf[:])
+}
+
+// Write16 stores a little-endian uint16 to s at addr.
+func Write16(s Space, addr Addr, v uint16) {
+	var buf [2]byte
+	binary.LittleEndian.PutUint16(buf[:], v)
+	s.WriteAt(addr, buf[:])
+}
+
+// Allocator hands out non-overlapping address ranges from a memory region,
+// used to lay out hash tables and key-value arrays in simulated memory.
+type Allocator struct {
+	next  Addr
+	limit Addr
+}
+
+// NewAllocator returns an allocator over [base, base+size).
+func NewAllocator(base Addr, size uint64) *Allocator {
+	return &Allocator{next: base, limit: base + Addr(size)}
+}
+
+// Alloc reserves size bytes aligned to align (a power of two) and returns the
+// base address. It panics when the region is exhausted: experiment setups
+// size their arenas statically, so exhaustion is a configuration bug.
+func (a *Allocator) Alloc(size uint64, align uint64) Addr {
+	if align == 0 || align&(align-1) != 0 {
+		panic(fmt.Sprintf("mem: bad alignment %d", align))
+	}
+	base := (a.next + Addr(align-1)) &^ Addr(align-1)
+	if base+Addr(size) > a.limit || base+Addr(size) < base {
+		panic(fmt.Sprintf("mem: arena exhausted allocating %d bytes", size))
+	}
+	a.next = base + Addr(size)
+	return base
+}
+
+// AllocLines reserves n cache lines, line-aligned.
+func (a *Allocator) AllocLines(n uint64) Addr {
+	return a.Alloc(n*LineSize, LineSize)
+}
+
+// Used reports the number of bytes handed out so far, including alignment
+// padding.
+func (a *Allocator) Used(base Addr) uint64 { return uint64(a.next - base) }

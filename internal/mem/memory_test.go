@@ -1,0 +1,169 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"halo/internal/sim"
+)
+
+func TestMemoryReadWriteRoundTrip(t *testing.T) {
+	m := NewMemory()
+	data := []byte("hello, simulated memory")
+	m.WriteAt(0x1000, data)
+	got := make([]byte, len(data))
+	m.ReadAt(0x1000, got)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip mismatch: %q", got)
+	}
+}
+
+func TestMemoryUnwrittenReadsZero(t *testing.T) {
+	m := NewMemory()
+	buf := []byte{1, 2, 3, 4}
+	m.ReadAt(0xdeadbeef, buf)
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatalf("unwritten memory read non-zero: %v", buf)
+		}
+	}
+}
+
+func TestMemoryCrossPageAccess(t *testing.T) {
+	m := NewMemory()
+	// Write spanning a 64 KiB page boundary.
+	addr := Addr(pageSize - 3)
+	data := []byte{9, 8, 7, 6, 5, 4}
+	m.WriteAt(addr, data)
+	got := make([]byte, len(data))
+	m.ReadAt(addr, got)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("cross-page round trip mismatch: %v", got)
+	}
+}
+
+func TestMemoryPropertyRoundTrip(t *testing.T) {
+	m := NewMemory()
+	check := func(addrRaw uint32, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		addr := Addr(addrRaw)
+		m.WriteAt(addr, data)
+		got := make([]byte, len(data))
+		m.ReadAt(addr, got)
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScalarHelpers(t *testing.T) {
+	m := NewMemory()
+	Write64(m, 8, 0x0123456789abcdef)
+	if got := Read64(m, 8); got != 0x0123456789abcdef {
+		t.Fatalf("Read64 = %#x", got)
+	}
+	Write32(m, 100, 0xcafebabe)
+	if got := Read32(m, 100); got != 0xcafebabe {
+		t.Fatalf("Read32 = %#x", got)
+	}
+	Write16(m, 200, 0xbeef)
+	if got := Read16(m, 200); got != 0xbeef {
+		t.Fatalf("Read16 = %#x", got)
+	}
+	// Little-endian layout check: low byte first.
+	var b [1]byte
+	m.ReadAt(8, b[:])
+	if b[0] != 0xef {
+		t.Fatalf("Write64 is not little-endian: first byte %#x", b[0])
+	}
+}
+
+func TestLineAddr(t *testing.T) {
+	if LineAddr(0) != 0 || LineAddr(63) != 0 || LineAddr(64) != 64 || LineAddr(130) != 128 {
+		t.Fatal("LineAddr misaligned")
+	}
+}
+
+func TestAllocatorAlignmentAndDisjointness(t *testing.T) {
+	a := NewAllocator(0x100, 1<<20)
+	p1 := a.Alloc(10, 64)
+	p2 := a.Alloc(100, 64)
+	p3 := a.AllocLines(2)
+	if p1%64 != 0 || p2%64 != 0 || p3%64 != 0 {
+		t.Fatalf("allocations not aligned: %#x %#x %#x", p1, p2, p3)
+	}
+	if p1+10 > p2 || p2+100 > p3 {
+		t.Fatalf("allocations overlap: %#x %#x %#x", p1, p2, p3)
+	}
+}
+
+func TestAllocatorExhaustionPanics(t *testing.T) {
+	a := NewAllocator(0, 128)
+	a.Alloc(100, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("exhausted allocator did not panic")
+		}
+	}()
+	a.Alloc(100, 1)
+}
+
+func TestDRAMRowBufferLocality(t *testing.T) {
+	d := NewDRAM(DefaultDRAMConfig())
+	// First access to a row: miss.
+	t1 := d.Access(0, 0, false)
+	// Same row (same bank route needs same line modulo channels*banks; use
+	// the exact same address): hit, cheaper.
+	t2 := d.Access(t1.Done, 0, false)
+	if t2.Latency() >= t1.Latency() {
+		t.Fatalf("row hit latency %d not cheaper than miss %d", t2.Latency(), t1.Latency())
+	}
+	s := d.Stats()
+	if s.RowHits != 1 || s.RowMisses != 1 || s.Reads != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDRAMBankContention(t *testing.T) {
+	d := NewDRAM(DefaultDRAMConfig())
+	// Two simultaneous accesses to the same bank serialise.
+	a := d.Access(0, 0, false)
+	b := d.Access(0, 0, false)
+	if b.Done <= a.Done {
+		t.Fatalf("same-bank accesses did not serialise: %d vs %d", b.Done, a.Done)
+	}
+	// Accesses to different channels overlap almost fully.
+	d2 := NewDRAM(DefaultDRAMConfig())
+	c1 := d2.Access(0, 0, false)
+	c2 := d2.Access(0, LineSize, false) // next line maps to the other channel
+	if c2.Done > c1.Done+DefaultDRAMConfig().BusCycles {
+		t.Fatalf("different-channel accesses serialised: %d vs %d", c2.Done, c1.Done)
+	}
+}
+
+func TestDRAMWriteCounting(t *testing.T) {
+	d := NewDRAM(DefaultDRAMConfig())
+	d.Access(0, 0, true)
+	if s := d.Stats(); s.Writes != 1 || s.Reads != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDRAMCompletionMonotonicWithIssue(t *testing.T) {
+	d := NewDRAM(DefaultDRAMConfig())
+	var prev sim.Ticket
+	for i := 0; i < 100; i++ {
+		tk := d.Access(sim.Cycle(i*10), Addr(i*LineSize), false)
+		if tk.Done < tk.Issued {
+			t.Fatal("ticket completes before issue")
+		}
+		if i > 0 && tk.Done+1000 < prev.Done {
+			t.Fatal("wildly non-monotonic completion")
+		}
+		prev = tk
+	}
+}

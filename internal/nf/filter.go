@@ -1,0 +1,82 @@
+package nf
+
+import (
+	"fmt"
+
+	"halo/internal/cpu"
+	"halo/internal/cuckoo"
+	"halo/internal/halo"
+	"halo/internal/packet"
+)
+
+// Filter is a hash-table IP packet filter (paper Table 3): a table of exact
+// flow rules decides drop or accept; unlisted flows pass with the default
+// verdict. Rules key on the raw header window so the HALO engine reads keys
+// straight from the DDIO packet buffers.
+type Filter struct {
+	Stats
+	engine  Engine
+	p       *halo.Platform
+	table   *cuckoo.Table
+	ring    *pktRing
+	Default Verdict
+
+	dropped uint64
+}
+
+// Filter rule values.
+const (
+	filterDrop uint64 = iota + 1
+	filterAccept
+)
+
+// NewFilter builds a filter with room for `entries` rules.
+func NewFilter(p *halo.Platform, engine Engine, entries uint64) (*Filter, error) {
+	tbl, err := cuckoo.Create(p.Space, p.Alloc, cuckoo.Config{Entries: entries, KeyLen: packet.HeaderKeyLen})
+	if err != nil {
+		return nil, fmt.Errorf("nf: creating filter table: %w", err)
+	}
+	return &Filter{engine: engine, p: p, table: tbl, ring: newPktRing(p), Default: VerdictAccept}, nil
+}
+
+// Name implements NF.
+func (f *Filter) Name() string { return "packet-filter" }
+
+// Table exposes the rule table.
+func (f *Filter) Table() *cuckoo.Table { return f.table }
+
+// Dropped reports dropped-packet count.
+func (f *Filter) Dropped() uint64 { return f.dropped }
+
+// AddRule installs a drop or accept rule for a flow.
+func (f *Filter) AddRule(flow packet.FiveTuple, drop bool) error {
+	v := filterAccept
+	if drop {
+		v = filterDrop
+	}
+	return f.table.Insert(flow.HeaderKey(), v)
+}
+
+// ProcessPacket implements NF.
+func (f *Filter) ProcessPacket(th *cpu.Thread, pkt *packet.Packet) Verdict {
+	bufAddr := f.ring.deliver(pkt)
+	rxCost(th, bufAddr)
+	th.ALU(8)
+
+	var v uint64
+	var ok bool
+	switch f.engine {
+	case EngineHalo:
+		v, ok = f.p.Unit.LookupBAt(th, f.table.Base(), headerKeyAddr(bufAddr))
+	default:
+		v, ok = f.table.TimedLookup(th, pkt.Key().HeaderKey(), cuckoo.DefaultLookupOptions())
+	}
+	th.Other(4)
+	verdict := f.Default
+	if ok && v == filterDrop {
+		verdict = VerdictDrop
+		f.dropped++
+	}
+	f.Stats.record(verdict)
+	return verdict
+}

@@ -1,0 +1,323 @@
+package nf
+
+import (
+	"strings"
+	"testing"
+
+	"halo/internal/cpu"
+	"halo/internal/halo"
+	"halo/internal/packet"
+	"halo/internal/trafficgen"
+)
+
+func platform(t testing.TB) (*halo.Platform, *cpu.Thread) {
+	t.Helper()
+	p := halo.NewPlatform(halo.DefaultPlatformConfig())
+	return p, cpu.NewThread(p.Hier, 0)
+}
+
+func mkPacket(f packet.FiveTuple, payload int) packet.Packet {
+	return packet.Packet{
+		SrcIP: f.SrcIP, DstIP: f.DstIP, SrcPort: f.SrcPort, DstPort: f.DstPort,
+		Proto: f.Proto, PayloadBytes: payload,
+	}
+}
+
+func TestNATTranslatesConsistently(t *testing.T) {
+	p, th := platform(t)
+	nat, err := NewNAT(p, EngineSoftware, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := trafficgen.RandomTuples(100, 1)
+	// First packet of each flow allocates a binding; repeats reuse it.
+	firstWAN := make(map[int]uint32)
+	for round := 0; round < 3; round++ {
+		for i, f := range flows {
+			pkt := mkPacket(f, 0)
+			if v := nat.ProcessPacket(th, &pkt); v != VerdictRewritten {
+				t.Fatalf("flow %d round %d verdict %v", i, round, v)
+			}
+			if round == 0 {
+				firstWAN[i] = pkt.SrcIP<<16 | uint32(pkt.SrcPort)
+			} else if got := pkt.SrcIP<<16 | uint32(pkt.SrcPort); got != firstWAN[i] {
+				t.Fatalf("flow %d binding changed between rounds", i)
+			}
+		}
+	}
+	if nat.HitRate() < 0.6 {
+		t.Fatalf("NAT hit rate %.2f; repeats should hit", nat.HitRate())
+	}
+	// Distinct flows must get distinct bindings.
+	seen := map[uint32]bool{}
+	for _, w := range firstWAN {
+		if seen[w] {
+			t.Fatal("two flows share a NAT binding")
+		}
+		seen[w] = true
+	}
+}
+
+func TestNATHaloMatchesSoftware(t *testing.T) {
+	flows := trafficgen.RandomTuples(200, 2)
+	run := func(engine Engine) []uint32 {
+		p, th := platform(t)
+		nat, err := NewNAT(p, engine, 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nat.Preload(flows); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]uint32, len(flows))
+		for i, f := range flows {
+			pkt := mkPacket(f, 0)
+			nat.ProcessPacket(th, &pkt)
+			out[i] = pkt.SrcIP ^ uint32(pkt.SrcPort)
+		}
+		return out
+	}
+	sw, hw := run(EngineSoftware), run(EngineHalo)
+	for i := range sw {
+		if sw[i] != hw[i] {
+			t.Fatalf("NAT engines diverged on flow %d", i)
+		}
+	}
+}
+
+func TestFilterDropsListedFlows(t *testing.T) {
+	p, th := platform(t)
+	f, err := NewFilter(p, EngineSoftware, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := trafficgen.RandomTuples(50, 3)
+	for i, fl := range flows {
+		if err := f.AddRule(fl, i%2 == 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, fl := range flows {
+		pkt := mkPacket(fl, 0)
+		v := f.ProcessPacket(th, &pkt)
+		want := VerdictAccept
+		if i%2 == 0 {
+			want = VerdictDrop
+		}
+		if v != want {
+			t.Fatalf("flow %d verdict %v, want %v", i, v, want)
+		}
+	}
+	// Unlisted flow takes the default.
+	pkt := mkPacket(packet.FiveTuple{SrcIP: 9}, 0)
+	if v := f.ProcessPacket(th, &pkt); v != VerdictAccept {
+		t.Fatalf("default verdict %v", v)
+	}
+	if f.Dropped() != 25 {
+		t.Fatalf("dropped = %d, want 25", f.Dropped())
+	}
+}
+
+func TestPradsTracksAssets(t *testing.T) {
+	p, th := platform(t)
+	pr, err := NewPrads(p, EngineSoftware, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three packets from host A, one from host B.
+	a := packet.FiveTuple{SrcIP: 0x0a000001, DstIP: 2, DstPort: 80, Proto: packet.ProtoTCP}
+	b := packet.FiveTuple{SrcIP: 0x0a000002, DstIP: 2, DstPort: 22, Proto: packet.ProtoTCP}
+	for i := 0; i < 3; i++ {
+		pkt := mkPacket(a, 0)
+		pr.ProcessPacket(th, &pkt)
+	}
+	pkt := mkPacket(b, 0)
+	pr.ProcessPacket(th, &pkt)
+	if pr.Assets() != 2 {
+		t.Fatalf("assets = %d, want 2", pr.Assets())
+	}
+	if n, ok := pr.AssetPackets(a.SrcIP); !ok || n != 3 {
+		t.Fatalf("host A packets = (%d,%v), want 3", n, ok)
+	}
+	if n, ok := pr.AssetPackets(b.SrcIP); !ok || n != 1 {
+		t.Fatalf("host B packets = (%d,%v), want 1", n, ok)
+	}
+	if _, ok := pr.AssetPackets(0xdead); ok {
+		t.Fatal("unknown host reported")
+	}
+}
+
+func TestACLVerdictsMatchRules(t *testing.T) {
+	p, th := platform(t)
+	a, err := NewACL(p, DefaultRules(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SSH from the 10.x net is denied by rule 0.
+	ssh := packet.Packet{SrcIP: 0x0a010203, DstIP: 5, SrcPort: 1000, DstPort: 22, Proto: packet.ProtoTCP}
+	if v := a.ProcessPacket(th, &ssh); v != VerdictDrop {
+		t.Fatalf("ssh verdict %v", v)
+	}
+	// DNS is permitted by rule 4.
+	dns := packet.Packet{SrcIP: 0x01020304, DstIP: 5, SrcPort: 1000, DstPort: 53, Proto: packet.ProtoUDP}
+	if v := a.ProcessPacket(th, &dns); v != VerdictAccept {
+		t.Fatalf("dns verdict %v", v)
+	}
+	// Unmatched UDP falls through to the default-permit route.
+	other := packet.Packet{SrcIP: 0xf0000001, DstIP: 5, SrcPort: 9, DstPort: 9999, Proto: packet.ProtoUDP}
+	if v := a.ProcessPacket(th, &other); v != VerdictAccept {
+		t.Fatalf("default verdict %v", v)
+	}
+	if a.Permitted() != 2 || a.Denied() != 1 {
+		t.Fatalf("permitted=%d denied=%d", a.Permitted(), a.Denied())
+	}
+}
+
+func TestSnortLiteDetectsPatterns(t *testing.T) {
+	p, th := platform(t)
+	s, err := NewSnortLite(p, []string{"cmd.exe", "evil"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Scan(th, []byte("xxxx cmd.exe yyyy")) {
+		t.Fatal("embedded pattern missed")
+	}
+	if !s.Scan(th, []byte("cevileda")) {
+		t.Fatal("pattern at offset missed")
+	}
+	if s.Scan(th, []byte("cmd.exX benign")) {
+		t.Fatal("false positive")
+	}
+	// Overlapping patterns.
+	s2, err := NewSnortLite(p, []string{"abab", "babc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Scan(th, []byte("xababc")) {
+		t.Fatal("overlapping match missed (failure links broken)")
+	}
+}
+
+func TestSnortLiteWorkingSetScale(t *testing.T) {
+	p, _ := platform(t)
+	s, err := NewSnortLite(p, DefaultPatterns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.States() < 300 {
+		t.Fatalf("automaton has %d states; rule set too small for a working-set study", s.States())
+	}
+	if s.WorkingSetBytes() < 256<<10 {
+		t.Fatalf("working set %d bytes; want L2-scale", s.WorkingSetBytes())
+	}
+}
+
+func TestSnortLiteProcessPacketAlerts(t *testing.T) {
+	p, th := platform(t)
+	s, err := NewSnortLite(p, DefaultPatterns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := trafficgen.RandomTuples(500, 7)
+	alerts := 0
+	for _, f := range flows {
+		pkt := mkPacket(f, 128)
+		if s.ProcessPacket(th, &pkt) == VerdictAlert {
+			alerts++
+		}
+	}
+	if alerts == 0 {
+		t.Fatal("no alerts over 500 random packets; payload synthesis never embeds signatures")
+	}
+	if alerts > 100 {
+		t.Fatalf("%d/500 alerts; signature embedding rate implausible", alerts)
+	}
+}
+
+func TestMTCPLiteHandshakeAndData(t *testing.T) {
+	p, th := platform(t)
+	m, err := NewMTCPLite(p, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := packet.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 80, Proto: packet.ProtoTCP}
+	// SYN → SYN-RECEIVED.
+	pkt := mkPacket(conn, 0)
+	m.ProcessPacket(th, &pkt)
+	if st, _ := m.ConnState(conn); st != tcpSynReceived {
+		t.Fatalf("state after SYN = %d", st)
+	}
+	// ACK → ESTABLISHED.
+	pkt = mkPacket(conn, 0)
+	m.ProcessPacket(th, &pkt)
+	if st, _ := m.ConnState(conn); st != tcpEstablished {
+		t.Fatalf("state after ACK = %d", st)
+	}
+	if m.Established() != 1 {
+		t.Fatalf("established = %d", m.Established())
+	}
+	// Data segments count.
+	for i := 0; i < 5; i++ {
+		pkt = mkPacket(conn, 100)
+		m.ProcessPacket(th, &pkt)
+	}
+	if m.Segments() != 5 {
+		t.Fatalf("segments = %d", m.Segments())
+	}
+	// Non-TCP drops.
+	udp := mkPacket(packet.FiveTuple{Proto: packet.ProtoUDP}, 0)
+	if v := m.ProcessPacket(th, &udp); v != VerdictDrop {
+		t.Fatalf("udp verdict %v", v)
+	}
+}
+
+func TestHaloNFsFasterThanSoftware(t *testing.T) {
+	// Fig. 13's effect: hash-table NFs speed up with HALO once their
+	// tables outgrow private caches.
+	flows := trafficgen.RandomTuples(60000, 9)
+	run := func(engine Engine) float64 {
+		p, th := platform(t)
+		nat, err := NewNAT(p, engine, 1<<17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nat.Preload(flows); err != nil {
+			t.Fatal(err)
+		}
+		p.WarmTable(nat.Table())
+		start := th.Now
+		for i := 0; i < 5000; i++ {
+			pkt := mkPacket(flows[(i*37)%len(flows)], 0)
+			nat.ProcessPacket(th, &pkt)
+		}
+		return float64(th.Now - start)
+	}
+	sw, hw := run(EngineSoftware), run(EngineHalo)
+	if hw >= sw {
+		t.Fatalf("HALO NAT (%v) not faster than software (%v)", hw, sw)
+	}
+	speedup := sw / hw
+	if speedup < 1.3 || speedup > 5 {
+		t.Fatalf("NAT speedup %.2f; paper Fig.13 band is ~2.3-2.7x", speedup)
+	}
+}
+
+func TestAllNFNamesDistinct(t *testing.T) {
+	p, _ := platform(t)
+	nat, _ := NewNAT(p, EngineSoftware, 64)
+	fil, _ := NewFilter(p, EngineSoftware, 64)
+	pr, _ := NewPrads(p, EngineSoftware, 64)
+	acl, _ := NewACL(p, DefaultRules(), 16)
+	sl, _ := NewSnortLite(p, []string{"x"})
+	mt, _ := NewMTCPLite(p, 64)
+	names := map[string]bool{}
+	for _, n := range []NF{nat, fil, pr, acl, sl, mt} {
+		if n.Name() == "" || names[n.Name()] {
+			t.Fatalf("bad or duplicate NF name %q", n.Name())
+		}
+		names[n.Name()] = true
+		if strings.ToLower(n.Name()) != n.Name() {
+			t.Fatalf("NF name %q not lowercase", n.Name())
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package sim
+
+// CalendarResource models a unit that can service one operation at a time,
+// like Resource, but keeps a window of busy intervals instead of a single
+// tail timestamp. Claims arriving with out-of-order timestamps — the normal
+// case when several threads' timelines interleave — are fitted into the
+// earliest idle gap at or after their arrival, so a latecomer is delayed
+// only by genuine utilisation, never by the mere existence of later claims.
+//
+// The interval window is bounded: intervals older than the newest claim by
+// more than `horizon` merge into a floor timestamp, keeping Claim O(window).
+type CalendarResource struct {
+	intervals []interval // sorted by start, non-overlapping
+	floor     Cycle      // claims may not start before this (merged history)
+	horizon   Cycle
+}
+
+type interval struct{ start, end Cycle }
+
+// NewCalendarResource builds a resource that remembers busy intervals within
+// `horizon` cycles of the newest claim (older history merges into a floor
+// that is only binding for claims arriving even further out of order).
+func NewCalendarResource(horizon Cycle) *CalendarResource {
+	if horizon == 0 {
+		horizon = 4096
+	}
+	return &CalendarResource{horizon: horizon}
+}
+
+// Claim reserves the resource for `occupancy` cycles starting no earlier
+// than `at`, and returns the start of the reservation.
+func (c *CalendarResource) Claim(at Cycle, occupancy Cycle) (start Cycle) {
+	if occupancy == 0 {
+		occupancy = 1
+	}
+	if at < c.floor {
+		at = c.floor
+	}
+	// Find the earliest gap of `occupancy` cycles at or after `at`.
+	start = at
+	idx := len(c.intervals)
+	for i, iv := range c.intervals {
+		if iv.end <= start {
+			continue
+		}
+		if iv.start >= start+occupancy {
+			// Fits entirely before this interval.
+			idx = i
+			break
+		}
+		// Overlaps: push past it.
+		start = iv.end
+		idx = i + 1
+	}
+	// Insert the new interval at idx, merging with neighbours when contiguous.
+	iv := interval{start, start + occupancy}
+	c.intervals = append(c.intervals, interval{})
+	copy(c.intervals[idx+1:], c.intervals[idx:])
+	c.intervals[idx] = iv
+	c.compact(start)
+	return start
+}
+
+// compact merges adjacent intervals and folds history older than the
+// horizon into the floor.
+func (c *CalendarResource) compact(newest Cycle) {
+	cutoff := Cycle(0)
+	if newest > c.horizon {
+		cutoff = newest - c.horizon
+	}
+	out := c.intervals[:0]
+	for _, iv := range c.intervals {
+		if iv.end <= cutoff {
+			if iv.end > c.floor {
+				c.floor = iv.end
+			}
+			continue
+		}
+		if n := len(out); n > 0 && iv.start <= out[n-1].end {
+			if iv.end > out[n-1].end {
+				out[n-1].end = iv.end
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	c.intervals = out
+}
+
+// BusyUntil reports the end of the latest reservation (0 when idle).
+func (c *CalendarResource) BusyUntil() Cycle {
+	if len(c.intervals) == 0 {
+		return c.floor
+	}
+	return c.intervals[len(c.intervals)-1].end
+}
+
+// Utilisation reports the busy fraction of the window [from, to), for tests
+// and saturation diagnostics.
+func (c *CalendarResource) Utilisation(from, to Cycle) float64 {
+	if to <= from {
+		return 0
+	}
+	var busy Cycle
+	for _, iv := range c.intervals {
+		s, e := iv.start, iv.end
+		if s < from {
+			s = from
+		}
+		if e > to {
+			e = to
+		}
+		if e > s {
+			busy += e - s
+		}
+	}
+	return float64(busy) / float64(to-from)
+}

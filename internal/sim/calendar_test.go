@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCalendarSerialisesOverlap(t *testing.T) {
+	c := NewCalendarResource(0)
+	if got := c.Claim(10, 5); got != 10 {
+		t.Fatalf("first claim at %d, want 10", got)
+	}
+	if got := c.Claim(12, 5); got != 15 {
+		t.Fatalf("overlapping claim at %d, want 15", got)
+	}
+	if got := c.Claim(100, 5); got != 100 {
+		t.Fatalf("idle claim at %d, want 100", got)
+	}
+}
+
+func TestCalendarBackfillsGaps(t *testing.T) {
+	c := NewCalendarResource(0)
+	c.Claim(100, 10) // busy [100,110)
+	// An out-of-order claim at t=5 fits long before the existing interval
+	// — the tail-latch Resource would have pushed it to 110.
+	if got := c.Claim(5, 10); got != 5 {
+		t.Fatalf("backfill claim at %d, want 5", got)
+	}
+	// A claim that fits exactly between the two intervals.
+	if got := c.Claim(20, 80); got != 20 {
+		t.Fatalf("gap claim at %d, want 20", got)
+	}
+	// Now [5,15) [20,100) [100,110) are busy: a claim at 10 for 6 cycles
+	// must wait until 110 (gap [15,20) too small).
+	if got := c.Claim(10, 6); got != 110 {
+		t.Fatalf("forced-past claim at %d, want 110", got)
+	}
+}
+
+func TestCalendarZeroOccupancy(t *testing.T) {
+	c := NewCalendarResource(0)
+	c.Claim(0, 0) // treated as 1
+	if got := c.Claim(0, 1); got != 1 {
+		t.Fatalf("claim after zero-occupancy at %d, want 1", got)
+	}
+}
+
+func TestCalendarHorizonFoldsHistory(t *testing.T) {
+	c := NewCalendarResource(100)
+	for i := Cycle(0); i < 50; i++ {
+		c.Claim(i*10, 5)
+	}
+	// History far behind the newest claim merged into the floor; claims in
+	// the distant past are clamped to it rather than backfilled.
+	got := c.Claim(0, 5)
+	if got == 0 {
+		t.Fatal("ancient claim backfilled beyond the horizon")
+	}
+	if len(c.intervals) > 64 {
+		t.Fatalf("interval window grew to %d entries", len(c.intervals))
+	}
+}
+
+func TestCalendarNoOverlapProperty(t *testing.T) {
+	check := func(seed uint64, nRaw uint8) bool {
+		rng := NewRand(seed)
+		c := NewCalendarResource(0)
+		n := int(nRaw%100) + 2
+		type claim struct{ start, end Cycle }
+		var claims []claim
+		for i := 0; i < n; i++ {
+			at := Cycle(rng.Intn(500))
+			occ := Cycle(rng.Intn(9) + 1)
+			s := c.Claim(at, occ)
+			if s < at {
+				return false
+			}
+			claims = append(claims, claim{s, s + occ})
+		}
+		// No two claims overlap.
+		for i := 0; i < len(claims); i++ {
+			for j := i + 1; j < len(claims); j++ {
+				a, b := claims[i], claims[j]
+				if a.start < b.end && b.start < a.end {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCalendarUtilisation(t *testing.T) {
+	c := NewCalendarResource(0)
+	c.Claim(0, 50)
+	c.Claim(100, 50)
+	if u := c.Utilisation(0, 200); u < 0.49 || u > 0.51 {
+		t.Fatalf("utilisation = %v, want 0.5", u)
+	}
+	if c.BusyUntil() != 150 {
+		t.Fatalf("BusyUntil = %d", c.BusyUntil())
+	}
+}

@@ -1,0 +1,149 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine is the timing substrate for the whole repository: caches, DRAM,
+// the on-chip interconnect, CPU cores and the HALO accelerators are all
+// modelled as components that schedule events on a shared clock measured in
+// CPU cycles. Events scheduled for the same cycle fire in FIFO order of
+// scheduling, which makes every simulation in this repository fully
+// deterministic: the same inputs always produce the same cycle counts.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Cycle is a point in simulated time, measured in CPU clock cycles.
+type Cycle uint64
+
+// Event is a callback scheduled to run at a particular cycle.
+type Event func(now Cycle)
+
+type scheduledEvent struct {
+	at    Cycle
+	seq   uint64 // tie-break: FIFO among events at the same cycle
+	fn    Event
+	index int // heap index
+}
+
+type eventQueue []*scheduledEvent
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*scheduledEvent)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; create
+// engines with NewEngine.
+type Engine struct {
+	now    Cycle
+	seq    uint64
+	queue  eventQueue
+	fired  uint64
+	limit  uint64 // safety valve: max events per Run (0 = unlimited)
+	halted bool
+}
+
+// NewEngine returns an empty engine positioned at cycle 0.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// EventsFired reports how many events have executed since engine creation.
+func (e *Engine) EventsFired() uint64 { return e.fired }
+
+// SetEventLimit installs a safety limit on the number of events a single Run
+// may fire; Run panics when the limit is exceeded. Zero disables the limit.
+func (e *Engine) SetEventLimit(n uint64) { e.limit = n }
+
+// Schedule runs fn after delay cycles (delay 0 means "later this cycle",
+// after all currently queued same-cycle events).
+func (e *Engine) Schedule(delay Cycle, fn Event) {
+	e.At(e.now+delay, fn)
+}
+
+// At runs fn at the absolute cycle `at`. Scheduling in the past panics: it is
+// always a component bug, never a recoverable condition.
+func (e *Engine) At(at Cycle, fn Event) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at cycle %d, now is %d", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: scheduling nil event")
+	}
+	e.seq++
+	heap.Push(&e.queue, &scheduledEvent{at: at, seq: e.seq, fn: fn})
+}
+
+// Halt stops the current Run after the in-flight event returns.
+func (e *Engine) Halt() { e.halted = true }
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Step fires the single next event, advancing the clock to its cycle.
+// It reports whether an event was available.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*scheduledEvent)
+	e.now = ev.at
+	e.fired++
+	ev.fn(e.now)
+	return true
+}
+
+// Run fires events until the queue drains or Halt is called, and returns the
+// final cycle.
+func (e *Engine) Run() Cycle {
+	e.halted = false
+	start := e.fired
+	for !e.halted && e.Step() {
+		if e.limit != 0 && e.fired-start > e.limit {
+			panic(fmt.Sprintf("sim: event limit %d exceeded (likely livelock)", e.limit))
+		}
+	}
+	return e.now
+}
+
+// RunUntil fires events with timestamps <= deadline, advancing the clock to
+// exactly deadline even if the queue drains earlier.
+func (e *Engine) RunUntil(deadline Cycle) Cycle {
+	e.halted = false
+	for !e.halted && len(e.queue) > 0 && e.queue[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}

@@ -1,0 +1,242 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []Cycle
+	for _, d := range []Cycle{30, 10, 20, 10, 0} {
+		d := d
+		e.Schedule(d, func(now Cycle) {
+			if now != d {
+				t.Errorf("event scheduled for +%d fired at %d", d, now)
+			}
+			order = append(order, now)
+		})
+	}
+	end := e.Run()
+	if end != 30 {
+		t.Fatalf("Run ended at %d, want 30", end)
+	}
+	want := []Cycle{0, 10, 10, 20, 30}
+	for i, c := range want {
+		if order[i] != c {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEngineSameCycleFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func(Cycle) { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-cycle events fired out of FIFO order: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var fire func(now Cycle)
+	fire = func(now Cycle) {
+		depth++
+		if depth < 100 {
+			e.Schedule(1, fire)
+		}
+	}
+	e.Schedule(0, fire)
+	end := e.Run()
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+	if end != 99 {
+		t.Fatalf("end = %d, want 99", end)
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func(Cycle) {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.At(3, func(Cycle) {})
+}
+
+func TestEngineNilEventPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling nil event did not panic")
+		}
+	}()
+	e.Schedule(0, nil)
+}
+
+func TestEngineHalt(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(Cycle(i), func(Cycle) {
+			count++
+			if count == 3 {
+				e.Halt()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("count after Halt = %d, want 3", count)
+	}
+	// Run again resumes the remaining events.
+	e.Run()
+	if count != 10 {
+		t.Fatalf("count after resume = %d, want 10", count)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(5, func(Cycle) { fired++ })
+	e.Schedule(15, func(Cycle) { fired++ })
+	now := e.RunUntil(10)
+	if now != 10 {
+		t.Fatalf("RunUntil returned %d, want 10", now)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestEngineEventLimit(t *testing.T) {
+	e := NewEngine()
+	e.SetEventLimit(10)
+	var loop func(Cycle)
+	loop = func(Cycle) { e.Schedule(1, loop) }
+	e.Schedule(0, loop)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("event limit exceeded but Run did not panic")
+		}
+	}()
+	e.Run()
+}
+
+func TestResourceSerialises(t *testing.T) {
+	var r Resource
+	if got := r.Claim(10, 5); got != 10 {
+		t.Fatalf("first claim starts at %d, want 10", got)
+	}
+	if got := r.Claim(12, 5); got != 15 {
+		t.Fatalf("overlapping claim starts at %d, want 15", got)
+	}
+	if got := r.Claim(100, 5); got != 100 {
+		t.Fatalf("idle claim starts at %d, want 100", got)
+	}
+	if r.FreeAt() != 105 {
+		t.Fatalf("FreeAt = %d, want 105", r.FreeAt())
+	}
+}
+
+func TestTicketAfterAndMaxDone(t *testing.T) {
+	tk := Ticket{Issued: 5, Done: 10}
+	if tk.Latency() != 5 {
+		t.Fatalf("latency = %d, want 5", tk.Latency())
+	}
+	if got := tk.After(20); got.Done != 20 {
+		t.Fatalf("After(20).Done = %d, want 20", got.Done)
+	}
+	if got := tk.After(3); got.Done != 10 {
+		t.Fatalf("After(3).Done = %d, want 10", got.Done)
+	}
+	max := MaxDone(0, Ticket{Done: 4}, Ticket{Done: 9}, Ticket{Done: 2})
+	if max != 9 {
+		t.Fatalf("MaxDone = %d, want 9", max)
+	}
+	if MaxDone(7) != 7 {
+		t.Fatalf("MaxDone with no tickets should return default")
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seeded generators diverged")
+		}
+	}
+	c := NewRand(43)
+	same := 0
+	b = NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if b.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/1000 identical draws", same)
+	}
+}
+
+func TestRandIntnBounds(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 10000; i++ {
+		n := 1 + i%97
+		v := r.Intn(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Intn(%d) = %d out of range", n, v)
+		}
+	}
+}
+
+func TestRandPermIsPermutation(t *testing.T) {
+	check := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := NewRand(seed).Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(99)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	mean := sum / n
+	if mean < 0.49 || mean > 0.51 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}

@@ -1,0 +1,244 @@
+// Package tcam models the ternary content-addressable memory baselines of
+// the paper's evaluation (§5.1): a classic TCAM that searches its whole rule
+// set in parallel in a few cycles, and the SRAM-based TCAM emulation of
+// Z-TCAM-style designs, which trades a slightly deeper pipeline for much
+// lower power.
+//
+// Functionally, both store ternary entries (value + care mask over a fixed
+// key width) with index-order priority: the lowest-indexed matching entry
+// wins, as in real packet-classification TCAMs.
+package tcam
+
+import (
+	"errors"
+	"fmt"
+
+	"halo/internal/cpu"
+	"halo/internal/sim"
+)
+
+// Kind distinguishes the two hardware baselines.
+type Kind int
+
+// TCAM variants.
+const (
+	ClassicTCAM Kind = iota
+	SRAMTCAM
+)
+
+func (k Kind) String() string {
+	if k == ClassicTCAM {
+		return "TCAM"
+	}
+	return "SRAM-TCAM"
+}
+
+// Config sizes a device.
+type Config struct {
+	Kind     Kind
+	Capacity int // entries
+	KeyBytes int
+	// LookupLatency is the fixed search latency in CPU cycles. Classic
+	// TCAMs answer in a few cycles; SRAM emulations pipeline a bit deeper.
+	LookupLatency sim.Cycle
+	// CommandCycles is the uncore round trip to deliver the key and fetch
+	// the result from a CPU-integrated device: even a one-cycle match
+	// array sits behind the on-chip fabric.
+	CommandCycles sim.Cycle
+}
+
+// DefaultConfig returns the paper's device parameters for a kind.
+func DefaultConfig(kind Kind, capacity, keyBytes int) Config {
+	lat := sim.Cycle(3)
+	if kind == SRAMTCAM {
+		lat = 6
+	}
+	return Config{Kind: kind, Capacity: capacity, KeyBytes: keyBytes, LookupLatency: lat, CommandCycles: 28}
+}
+
+// Entry is one ternary rule: key bits that matter are where Care bits are 1.
+type Entry struct {
+	Value []byte
+	Care  []byte
+	Data  uint64
+}
+
+// Device is one TCAM instance.
+type Device struct {
+	cfg     Config
+	entries []Entry
+	queries uint64
+	hits    uint64
+}
+
+// Errors.
+var (
+	ErrFull   = errors.New("tcam: capacity exhausted")
+	ErrKeyLen = errors.New("tcam: key length mismatch")
+)
+
+// New builds an empty device.
+func New(cfg Config) *Device {
+	if cfg.Capacity <= 0 || cfg.KeyBytes <= 0 {
+		panic(fmt.Sprintf("tcam: bad config %+v", cfg))
+	}
+	return &Device{cfg: cfg}
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Len returns the number of installed entries.
+func (d *Device) Len() int { return len(d.entries) }
+
+// Queries returns the number of searches performed (for energy accounting).
+func (d *Device) Queries() uint64 { return d.queries }
+
+// HitRate returns the fraction of searches that matched.
+func (d *Device) HitRate() float64 {
+	if d.queries == 0 {
+		return 0
+	}
+	return float64(d.hits) / float64(d.queries)
+}
+
+// CapacityBytes returns the device's raw storage size (2 bits per ternary
+// cell ≈ value + care bit planes).
+func (d *Device) CapacityBytes() uint64 {
+	return uint64(d.cfg.Capacity) * uint64(d.cfg.KeyBytes)
+}
+
+// Insert appends an entry at the lowest free priority. Value bytes outside
+// the care mask are canonicalised to zero.
+func (d *Device) Insert(value, care []byte, data uint64) error {
+	if len(value) != d.cfg.KeyBytes || len(care) != d.cfg.KeyBytes {
+		return ErrKeyLen
+	}
+	if len(d.entries) >= d.cfg.Capacity {
+		return ErrFull
+	}
+	e := Entry{Value: make([]byte, len(value)), Care: make([]byte, len(care)), Data: data}
+	for i := range value {
+		e.Care[i] = care[i]
+		e.Value[i] = value[i] & care[i]
+	}
+	d.entries = append(d.entries, e)
+	return nil
+}
+
+// InsertExact installs a fully specified (no wildcard) entry.
+func (d *Device) InsertExact(key []byte, data uint64) error {
+	care := make([]byte, len(key))
+	for i := range care {
+		care[i] = 0xFF
+	}
+	return d.Insert(key, care, data)
+}
+
+// Lookup searches all entries in parallel; the lowest-indexed match wins.
+func (d *Device) Lookup(key []byte) (data uint64, ok bool) {
+	d.queries++
+	if len(key) != d.cfg.KeyBytes {
+		return 0, false
+	}
+	for _, e := range d.entries {
+		if matches(e, key) {
+			d.hits++
+			return e.Data, true
+		}
+	}
+	return 0, false
+}
+
+func matches(e Entry, key []byte) bool {
+	for i := range key {
+		if key[i]&e.Care[i] != e.Value[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// LookupTimed performs a search charging the issuing thread: one command
+// instruction plus the device's fixed pipeline latency. TCAM throughput is
+// pipelined, so back-to-back searches from one thread are limited by issue
+// rate, not latency; the issue cost models the MMIO-mapped command.
+func (d *Device) LookupTimed(th *cpu.Thread, key []byte) (uint64, bool) {
+	th.Other(1)
+	th.ALU(1)
+	data, ok := d.Lookup(key)
+	th.WaitUntil(th.Now + d.cfg.CommandCycles + d.cfg.LookupLatency)
+	return data, ok
+}
+
+// Delete removes the first entry exactly matching (value, care) and returns
+// whether one was removed. TCAM deletion shifts priorities — the expensive
+// update behaviour the paper criticises (§1) — so it costs O(n) here too.
+func (d *Device) Delete(value, care []byte) bool {
+	for i, e := range d.entries {
+		same := true
+		for j := range value {
+			if e.Value[j] != value[j]&care[j] || e.Care[j] != care[j] {
+				same = false
+				break
+			}
+		}
+		if same {
+			d.entries = append(d.entries[:i], d.entries[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Update-cost model (paper §1: TCAM updates are "expensive and inflexible").
+// Inserting at a priority position shifts every lower-priority entry down
+// one slot to keep index order; deleting shifts them back up. Each shifted
+// entry costs a read-modify-write of its ternary row.
+const shiftCyclesPerEntry = 2
+
+// InsertTimed installs an entry at priority position pos (entries at pos and
+// below shift down), charging the issuing thread the shift cost.
+func (d *Device) InsertTimed(th *cpu.Thread, pos int, value, care []byte, data uint64) error {
+	if len(d.entries) >= d.cfg.Capacity {
+		return ErrFull
+	}
+	if pos < 0 || pos > len(d.entries) {
+		pos = len(d.entries)
+	}
+	shifted := len(d.entries) - pos
+	th.Other(4)
+	th.ALU(4)
+	th.WaitUntil(th.Now + d.cfg.CommandCycles + sim.Cycle(shifted)*shiftCyclesPerEntry)
+	if err := d.Insert(value, care, data); err != nil {
+		return err
+	}
+	// Move the new entry into its priority slot.
+	e := d.entries[len(d.entries)-1]
+	copy(d.entries[pos+1:], d.entries[pos:len(d.entries)-1])
+	d.entries[pos] = e
+	return nil
+}
+
+// DeleteTimed removes the entry matching (value, care), charging the thread
+// the shift-up cost for every entry below it.
+func (d *Device) DeleteTimed(th *cpu.Thread, value, care []byte) bool {
+	for i := range d.entries {
+		same := true
+		for j := range value {
+			if d.entries[i].Value[j] != value[j]&care[j] || d.entries[i].Care[j] != care[j] {
+				same = false
+				break
+			}
+		}
+		if same {
+			shifted := len(d.entries) - i - 1
+			th.Other(4)
+			th.ALU(4)
+			th.WaitUntil(th.Now + d.cfg.CommandCycles + sim.Cycle(shifted)*shiftCyclesPerEntry)
+			d.entries = append(d.entries[:i], d.entries[i+1:]...)
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,176 @@
+package tcam
+
+import (
+	"testing"
+
+	"halo/internal/cache"
+	"halo/internal/cpu"
+	"halo/internal/mem"
+	"halo/internal/noc"
+)
+
+func TestExactMatch(t *testing.T) {
+	d := New(DefaultConfig(ClassicTCAM, 16, 4))
+	if err := d.InsertExact([]byte{1, 2, 3, 4}, 99); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := d.Lookup([]byte{1, 2, 3, 4})
+	if !ok || v != 99 {
+		t.Fatalf("lookup = (%d,%v)", v, ok)
+	}
+	if _, ok := d.Lookup([]byte{1, 2, 3, 5}); ok {
+		t.Fatal("near-miss matched")
+	}
+}
+
+func TestWildcardMatch(t *testing.T) {
+	d := New(DefaultConfig(ClassicTCAM, 16, 4))
+	// Match 10.0.x.x
+	if err := d.Insert([]byte{10, 0, 0, 0}, []byte{0xFF, 0xFF, 0, 0}, 7); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := d.Lookup([]byte{10, 0, 123, 45}); !ok || v != 7 {
+		t.Fatalf("wildcard lookup = (%d,%v)", v, ok)
+	}
+	if _, ok := d.Lookup([]byte{10, 1, 0, 0}); ok {
+		t.Fatal("out-of-prefix key matched")
+	}
+}
+
+func TestPriorityIsIndexOrder(t *testing.T) {
+	d := New(DefaultConfig(ClassicTCAM, 16, 2))
+	d.Insert([]byte{1, 0}, []byte{0xFF, 0}, 1)    // 1.x → 1
+	d.Insert([]byte{1, 2}, []byte{0xFF, 0xFF}, 2) // 1.2 → 2 (shadowed)
+	if v, _ := d.Lookup([]byte{1, 2}); v != 1 {
+		t.Fatalf("priority = %d, want lowest index to win", v)
+	}
+}
+
+func TestValueOutsideCareCanonicalised(t *testing.T) {
+	d := New(DefaultConfig(ClassicTCAM, 4, 2))
+	// Garbage bits outside the care mask must not affect matching.
+	d.Insert([]byte{0xAB, 0xFF}, []byte{0xFF, 0x00}, 5)
+	if v, ok := d.Lookup([]byte{0xAB, 0x12}); !ok || v != 5 {
+		t.Fatalf("canonicalisation broken: (%d,%v)", v, ok)
+	}
+}
+
+func TestCapacityAndErrors(t *testing.T) {
+	d := New(DefaultConfig(ClassicTCAM, 2, 2))
+	if err := d.InsertExact([]byte{1}, 0); err != ErrKeyLen {
+		t.Fatalf("short key err = %v", err)
+	}
+	d.InsertExact([]byte{1, 1}, 1)
+	d.InsertExact([]byte{2, 2}, 2)
+	if err := d.InsertExact([]byte{3, 3}, 3); err != ErrFull {
+		t.Fatalf("full err = %v", err)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("len = %d", d.Len())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	d := New(DefaultConfig(ClassicTCAM, 4, 2))
+	care := []byte{0xFF, 0xFF}
+	d.Insert([]byte{1, 1}, care, 1)
+	d.Insert([]byte{2, 2}, care, 2)
+	if !d.Delete([]byte{1, 1}, care) {
+		t.Fatal("delete failed")
+	}
+	if _, ok := d.Lookup([]byte{1, 1}); ok {
+		t.Fatal("deleted entry matched")
+	}
+	if v, _ := d.Lookup([]byte{2, 2}); v != 2 {
+		t.Fatal("surviving entry lost")
+	}
+	if d.Delete([]byte{9, 9}, care) {
+		t.Fatal("delete of absent entry succeeded")
+	}
+}
+
+func TestTimedLookupLatencies(t *testing.T) {
+	h := cache.New(cache.DefaultConfig(), noc.NewRing(noc.DefaultRingConfig()),
+		mem.NewDRAM(mem.DefaultDRAMConfig()))
+	th := cpu.NewThread(h, 0)
+
+	classic := New(DefaultConfig(ClassicTCAM, 16, 4))
+	classic.InsertExact([]byte{1, 2, 3, 4}, 1)
+	start := th.Now
+	classic.LookupTimed(th, []byte{1, 2, 3, 4})
+	classicCost := th.Now - start
+
+	sram := New(DefaultConfig(SRAMTCAM, 16, 4))
+	sram.InsertExact([]byte{1, 2, 3, 4}, 1)
+	start = th.Now
+	sram.LookupTimed(th, []byte{1, 2, 3, 4})
+	sramCost := th.Now - start
+
+	if classicCost >= sramCost {
+		t.Fatalf("classic (%d) should be faster than SRAM-TCAM (%d)", classicCost, sramCost)
+	}
+	// A few search cycles plus the fixed uncore command round trip.
+	if classicCost > 40 {
+		t.Fatalf("TCAM lookup cost %d cycles; want ~30", classicCost)
+	}
+}
+
+func TestStats(t *testing.T) {
+	d := New(DefaultConfig(ClassicTCAM, 4, 2))
+	d.InsertExact([]byte{1, 1}, 1)
+	d.Lookup([]byte{1, 1})
+	d.Lookup([]byte{2, 2})
+	if d.Queries() != 2 || d.HitRate() != 0.5 {
+		t.Fatalf("queries=%d hitRate=%v", d.Queries(), d.HitRate())
+	}
+	if d.CapacityBytes() != 8 {
+		t.Fatalf("capacity bytes = %d", d.CapacityBytes())
+	}
+}
+
+func TestTimedUpdatesChargeShiftCost(t *testing.T) {
+	h := cache.New(cache.DefaultConfig(), noc.NewRing(noc.DefaultRingConfig()),
+		mem.NewDRAM(mem.DefaultDRAMConfig()))
+	th := cpu.NewThread(h, 0)
+	d := New(DefaultConfig(ClassicTCAM, 1000, 2))
+	care := []byte{0xFF, 0xFF}
+	for i := 0; i < 500; i++ {
+		d.InsertExact([]byte{byte(i), byte(i >> 8)}, uint64(i))
+	}
+	// Insert at the head: every existing entry shifts.
+	start := th.Now
+	if err := d.InsertTimed(th, 0, []byte{0xAA, 0xBB}, care, 9); err != nil {
+		t.Fatal(err)
+	}
+	headCost := th.Now - start
+	// Insert at the tail: no shifting.
+	start = th.Now
+	if err := d.InsertTimed(th, d.Len(), []byte{0xAA, 0xCC}, care, 10); err != nil {
+		t.Fatal(err)
+	}
+	tailCost := th.Now - start
+	if headCost < tailCost+500 {
+		t.Fatalf("head insert (%d) should dwarf tail insert (%d)", headCost, tailCost)
+	}
+	// Priority order holds: the head insert wins over the old entries.
+	if v, ok := d.Lookup([]byte{0xAA, 0xBB}); !ok || v != 9 {
+		t.Fatalf("head entry lookup = (%d,%v)", v, ok)
+	}
+	// Timed delete removes and charges.
+	start = th.Now
+	if !d.DeleteTimed(th, []byte{0xAA, 0xBB}, care) {
+		t.Fatal("timed delete failed")
+	}
+	if th.Now == start {
+		t.Fatal("timed delete charged nothing")
+	}
+	if d.DeleteTimed(th, []byte{0x01, 0x99}, care) {
+		t.Fatal("timed delete of absent entry succeeded")
+	}
+	// Full device rejects.
+	full := New(DefaultConfig(ClassicTCAM, 1, 2))
+	full.InsertExact([]byte{1, 1}, 1)
+	if err := full.InsertTimed(th, 0, []byte{2, 2}, care, 2); err != ErrFull {
+		t.Fatalf("full err = %v", err)
+	}
+}

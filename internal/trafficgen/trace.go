@@ -1,0 +1,161 @@
+package trafficgen
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"halo/internal/classify"
+	"halo/internal/packet"
+)
+
+// Trace file format: a magic header, a rule-set section (so a replayer can
+// install the classifier state the trace was generated against), then one
+// fixed-width record per packet. Everything is little-endian.
+const traceMagic = 0x48414c54 // "HALT" — HALo Trace
+
+// traceRecordBytes is the per-packet record size: the packed five-tuple
+// plus a 2-byte payload length.
+const traceRecordBytes = packet.KeyBytes + 2
+
+// WriteTrace serialises a workload's rule set and n packets of its stream.
+func (w *Workload) WriteTrace(out io.Writer, n int) error {
+	bw := bufio.NewWriter(out)
+	hdr := make([]byte, 16)
+	binary.LittleEndian.PutUint32(hdr[0:], traceMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(w.Rules)))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(n))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	for _, r := range w.Rules {
+		rec := make([]byte, 8+packet.KeyBytes+8)
+		rec[0] = r.Mask.SrcIPBits
+		rec[1] = r.Mask.DstIPBits
+		rec[2] = boolByte(r.Mask.SrcPortWild)
+		rec[3] = boolByte(r.Mask.DstPortWild)
+		rec[4] = boolByte(r.Mask.ProtoWild)
+		r.Pattern.Pack(rec[8 : 8+packet.KeyBytes])
+		binary.LittleEndian.PutUint64(rec[8+packet.KeyBytes:], encodeTraceMatch(r))
+		if _, err := bw.Write(rec); err != nil {
+			return err
+		}
+	}
+	rec := make([]byte, traceRecordBytes)
+	for i := 0; i < n; i++ {
+		pkt, _ := w.NextPacket()
+		pkt.Key().Pack(rec[:packet.KeyBytes])
+		binary.LittleEndian.PutUint16(rec[packet.KeyBytes:], uint16(pkt.PayloadBytes))
+		if _, err := bw.Write(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func encodeTraceMatch(r RuleSpec) uint64 {
+	return uint64(r.Match.Priority)<<48 | uint64(r.Match.RuleID)<<16 |
+		uint64(uint8(r.Match.Action.Kind))<<8 | uint64(uint8(r.Match.Action.Port))
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Trace is a parsed trace: the rule set plus a packet iterator.
+type Trace struct {
+	Rules   []RuleSpec
+	packets []tracePacket
+	next    int
+}
+
+type tracePacket struct {
+	key     packet.FiveTuple
+	payload uint16
+}
+
+// ReadTrace parses a trace written by WriteTrace.
+func ReadTrace(in io.Reader) (*Trace, error) {
+	br := bufio.NewReader(in)
+	hdr := make([]byte, 16)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("trafficgen: reading trace header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr) != traceMagic {
+		return nil, fmt.Errorf("trafficgen: not a trace file")
+	}
+	nRules := binary.LittleEndian.Uint32(hdr[4:])
+	nPkts := binary.LittleEndian.Uint64(hdr[8:])
+	if nRules > 1<<16 || nPkts > 1<<32 {
+		return nil, fmt.Errorf("trafficgen: implausible trace header (%d rules, %d packets)", nRules, nPkts)
+	}
+	t := &Trace{}
+	rec := make([]byte, 8+packet.KeyBytes+8)
+	for i := uint32(0); i < nRules; i++ {
+		if _, err := io.ReadFull(br, rec); err != nil {
+			return nil, fmt.Errorf("trafficgen: reading rule %d: %w", i, err)
+		}
+		m := binary.LittleEndian.Uint64(rec[8+packet.KeyBytes:])
+		t.Rules = append(t.Rules, RuleSpec{
+			Mask:    maskFromTrace(rec),
+			Pattern: packet.UnpackFiveTuple(rec[8 : 8+packet.KeyBytes]),
+			Match:   decodeTraceMatch(m),
+		})
+	}
+	prec := make([]byte, traceRecordBytes)
+	for i := uint64(0); i < nPkts; i++ {
+		if _, err := io.ReadFull(br, prec); err != nil {
+			return nil, fmt.Errorf("trafficgen: reading packet %d: %w", i, err)
+		}
+		t.packets = append(t.packets, tracePacket{
+			key:     packet.UnpackFiveTuple(prec[:packet.KeyBytes]),
+			payload: binary.LittleEndian.Uint16(prec[packet.KeyBytes:]),
+		})
+	}
+	return t, nil
+}
+
+func maskFromTrace(rec []byte) (m classify.Mask) {
+	m.SrcIPBits = rec[0]
+	m.DstIPBits = rec[1]
+	m.SrcPortWild = rec[2] != 0
+	m.DstPortWild = rec[3] != 0
+	m.ProtoWild = rec[4] != 0
+	return
+}
+
+func decodeTraceMatch(v uint64) classify.Match {
+	return classify.Match{
+		Priority: uint16(v >> 48),
+		RuleID:   uint32(v >> 16),
+		Action:   classify.Action{Kind: classify.ActionKind(uint8(v >> 8)), Port: int(uint8(v))},
+	}
+}
+
+// Len returns the number of packets in the trace.
+func (t *Trace) Len() int { return len(t.packets) }
+
+// NextPacket returns the next packet, wrapping at the end.
+func (t *Trace) NextPacket() packet.Packet {
+	p := t.packets[t.next%len(t.packets)]
+	t.next++
+	f := p.key
+	return packet.Packet{
+		SrcIP: f.SrcIP, DstIP: f.DstIP, SrcPort: f.SrcPort, DstPort: f.DstPort,
+		Proto: f.Proto, PayloadBytes: int(p.payload),
+	}
+}
+
+// InstallRules loads the trace's rule set into a tuple space.
+func (t *Trace) InstallRules(ts *classify.TupleSpace) error {
+	for _, r := range t.Rules {
+		if err := ts.InsertRule(r.Mask, r.Pattern, r.Match); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,215 @@
+// Package trafficgen generates the deterministic network workloads the
+// paper evaluates with: flow populations, wildcard rule sets, and packet
+// streams for the three data-center scenarios of §3.2 (overlay networks,
+// many-container routing, gateway/top-of-rack routing).
+package trafficgen
+
+import (
+	"fmt"
+	"math"
+
+	"halo/internal/classify"
+	"halo/internal/packet"
+	"halo/internal/sim"
+)
+
+// Popularity selects the flow-popularity distribution of a packet stream.
+type Popularity int
+
+const (
+	// Uniform traffic spreads packets evenly over flows.
+	Uniform Popularity = iota
+	// Zipf traffic concentrates on hot flows (s≈0.9), as measured in
+	// data-center traces.
+	Zipf
+)
+
+// Scenario describes one traffic configuration.
+type Scenario struct {
+	Name       string
+	Flows      int
+	Rules      int
+	Popularity Popularity
+}
+
+// PaperScenarios returns the five configurations of paper §3.2 / Fig. 3:
+// two "small number of flows" overlay points, two "many flows" container
+// points, and the "many flows and rules" gateway point.
+func PaperScenarios() []Scenario {
+	return []Scenario{
+		{Name: "overlay-10k", Flows: 10_000, Rules: 1, Popularity: Zipf},
+		{Name: "overlay-50k", Flows: 50_000, Rules: 1, Popularity: Zipf},
+		{Name: "container-100k", Flows: 100_000, Rules: 5, Popularity: Uniform},
+		{Name: "container-1m", Flows: 1_000_000, Rules: 10, Popularity: Uniform},
+		{Name: "gateway-1m", Flows: 1_000_000, Rules: 20, Popularity: Uniform},
+	}
+}
+
+// RuleSpec is one generated wildcard rule.
+type RuleSpec struct {
+	Mask    classify.Mask
+	Pattern packet.FiveTuple
+	Match   classify.Match
+}
+
+// Workload is a generated flow population, rule set and packet stream.
+type Workload struct {
+	Scenario Scenario
+	Flows    []packet.FiveTuple
+	FlowRule []int // index of the rule each flow matches
+	Rules    []RuleSpec
+
+	rng  *sim.Rand
+	cdf  []float64 // Zipf CDF over flows (nil for uniform)
+	perm []int     // popularity-rank → flow index
+}
+
+const baseSrcIP = 0x0a000000 // 10.0.0.0/8 source space
+const baseDstPort = 2000
+
+// Generate builds a deterministic workload for a scenario.
+func Generate(scn Scenario, seed uint64) *Workload {
+	if scn.Flows <= 0 || scn.Rules <= 0 || scn.Rules > 32 {
+		panic(fmt.Sprintf("trafficgen: bad scenario %+v", scn))
+	}
+	w := &Workload{Scenario: scn, rng: sim.NewRand(seed)}
+
+	// Rules: rule r owns destination port baseDstPort+r and a source
+	// prefix of r bits, giving every rule a distinct mask (and therefore
+	// its own tuple in the tuple space search).
+	w.Rules = make([]RuleSpec, scn.Rules)
+	for r := 0; r < scn.Rules; r++ {
+		mask := classify.Mask{
+			SrcIPBits:   uint8(r),
+			DstIPBits:   0,
+			SrcPortWild: true,
+			DstPortWild: false,
+			ProtoWild:   false,
+		}
+		pattern := packet.FiveTuple{
+			SrcIP:   baseSrcIP,
+			DstPort: uint16(baseDstPort + r),
+			Proto:   packet.ProtoUDP,
+		}
+		w.Rules[r] = RuleSpec{
+			Mask:    mask,
+			Pattern: mask.Apply(pattern),
+			Match: classify.Match{
+				RuleID:   uint32(r + 1),
+				Priority: uint16(scn.Rules - r),
+				Action:   classify.Action{Kind: classify.ActionOutput, Port: r % 16},
+			},
+		}
+	}
+
+	// Flows: each flow is assigned a rule round-robin and constructed to
+	// match exactly that rule (unique destination port per rule; source IP
+	// inside the rule's prefix).
+	w.Flows = make([]packet.FiveTuple, scn.Flows)
+	w.FlowRule = make([]int, scn.Flows)
+	seen := make(map[packet.FiveTuple]bool, scn.Flows)
+	for i := 0; i < scn.Flows; i++ {
+		r := i % scn.Rules
+		for {
+			// Free bits: below the rule's r-bit prefix and inside the
+			// 10.0.0.0/8 host space.
+			f := packet.FiveTuple{
+				SrcIP:   baseSrcIP | (w.rng.Uint32() & (uint32(0x00FFFFFF) >> uint(r))),
+				DstIP:   0xc0a80000 | w.rng.Uint32()&0xFFFF,
+				SrcPort: uint16(1024 + w.rng.Intn(60000)),
+				DstPort: uint16(baseDstPort + r),
+				Proto:   packet.ProtoUDP,
+			}
+			if !seen[f] {
+				seen[f] = true
+				w.Flows[i] = f
+				w.FlowRule[i] = r
+				break
+			}
+		}
+	}
+
+	if scn.Popularity == Zipf {
+		w.buildZipf(0.9)
+	}
+	return w
+}
+
+// buildZipf precomputes the popularity CDF (rank r has weight 1/r^s) and a
+// random rank→flow permutation so hot flows are spread across rules.
+func (w *Workload) buildZipf(s float64) {
+	n := len(w.Flows)
+	w.cdf = make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		w.cdf[i] = sum
+	}
+	for i := range w.cdf {
+		w.cdf[i] /= sum
+	}
+	w.perm = w.rng.Perm(n)
+}
+
+// NextFlow draws the next packet's flow index from the popularity
+// distribution.
+func (w *Workload) NextFlow() int {
+	if w.cdf == nil {
+		return w.rng.Intn(len(w.Flows))
+	}
+	x := w.rng.Float64()
+	lo, hi := 0, len(w.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if w.cdf[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return w.perm[lo]
+}
+
+// NextPacket materialises the next packet of the stream.
+func (w *Workload) NextPacket() (packet.Packet, int) {
+	fi := w.NextFlow()
+	f := w.Flows[fi]
+	return packet.Packet{
+		SrcIP: f.SrcIP, DstIP: f.DstIP,
+		SrcPort: f.SrcPort, DstPort: f.DstPort,
+		Proto:        f.Proto,
+		PayloadBytes: 22, // 64 B frames, the paper's traffic generator setting
+	}, fi
+}
+
+// InstallRules loads the workload's rule set into a tuple space.
+func (w *Workload) InstallRules(ts *classify.TupleSpace) error {
+	for _, r := range w.Rules {
+		if err := ts.InsertRule(r.Mask, r.Pattern, r.Match); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RandomTuples generates n distinct random five-tuples, for experiments
+// that need raw keys rather than rule-structured flows.
+func RandomTuples(n int, seed uint64) []packet.FiveTuple {
+	rng := sim.NewRand(seed)
+	out := make([]packet.FiveTuple, 0, n)
+	seen := make(map[packet.FiveTuple]bool, n)
+	for len(out) < n {
+		f := packet.FiveTuple{
+			SrcIP:   rng.Uint32(),
+			DstIP:   rng.Uint32(),
+			SrcPort: uint16(rng.Uint32()),
+			DstPort: uint16(rng.Uint32()),
+			Proto:   packet.ProtoTCP,
+		}
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package trafficgen
+
+import (
+	"testing"
+
+	"halo/internal/classify"
+	"halo/internal/mem"
+	"halo/internal/packet"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	scn := Scenario{Name: "x", Flows: 1000, Rules: 4, Popularity: Zipf}
+	a := Generate(scn, 42)
+	b := Generate(scn, 42)
+	for i := range a.Flows {
+		if a.Flows[i] != b.Flows[i] {
+			t.Fatal("same seed generated different flows")
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if a.NextFlow() != b.NextFlow() {
+			t.Fatal("same seed generated different streams")
+		}
+	}
+}
+
+func TestFlowsDistinct(t *testing.T) {
+	w := Generate(Scenario{Name: "x", Flows: 20000, Rules: 8, Popularity: Uniform}, 7)
+	seen := make(map[packet.FiveTuple]bool)
+	for _, f := range w.Flows {
+		if seen[f] {
+			t.Fatalf("duplicate flow %v", f)
+		}
+		seen[f] = true
+	}
+}
+
+func TestEveryFlowMatchesItsRule(t *testing.T) {
+	w := Generate(Scenario{Name: "x", Flows: 5000, Rules: 20, Popularity: Uniform}, 3)
+	space := mem.NewMemory()
+	alloc := mem.NewAllocator(0x1000, 1<<30)
+	ts := classify.NewTupleSpace(space, alloc, classify.FirstMatch, 1024)
+	if err := w.InstallRules(ts); err != nil {
+		t.Fatal(err)
+	}
+	if len(ts.Tuples()) != 20 {
+		t.Fatalf("rules created %d tuples, want 20 (one mask each)", len(ts.Tuples()))
+	}
+	for i, f := range w.Flows {
+		m, ok := ts.Classify(f)
+		if !ok {
+			t.Fatalf("flow %d (%v) matched no rule", i, f)
+		}
+		if int(m.RuleID) != w.FlowRule[i]+1 {
+			t.Fatalf("flow %d matched rule %d, assigned %d", i, m.RuleID, w.FlowRule[i]+1)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	w := Generate(Scenario{Name: "x", Flows: 10000, Rules: 1, Popularity: Zipf}, 11)
+	counts := make(map[int]int)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[w.NextFlow()]++
+	}
+	// Top-popular flow should take a markedly disproportionate share.
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	if float64(maxCount)/draws < 0.02 {
+		t.Fatalf("hottest flow only %.3f%% of traffic; Zipf skew missing",
+			100*float64(maxCount)/draws)
+	}
+	if len(counts) < 1000 {
+		t.Fatalf("only %d distinct flows drawn; tail missing", len(counts))
+	}
+}
+
+func TestUniformCoverage(t *testing.T) {
+	w := Generate(Scenario{Name: "x", Flows: 100, Rules: 1, Popularity: Uniform}, 13)
+	counts := make([]int, 100)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[w.NextFlow()]++
+	}
+	for i, c := range counts {
+		if c < draws/100*70/100 || c > draws/100*130/100 {
+			t.Fatalf("flow %d drawn %d times, want ~%d", i, c, draws/100)
+		}
+	}
+}
+
+func TestNextPacketMatchesFlow(t *testing.T) {
+	w := Generate(Scenario{Name: "x", Flows: 50, Rules: 2, Popularity: Uniform}, 17)
+	for i := 0; i < 200; i++ {
+		p, fi := w.NextPacket()
+		if p.Key() != w.Flows[fi] {
+			t.Fatalf("packet key %v != flow %v", p.Key(), w.Flows[fi])
+		}
+	}
+}
+
+func TestPaperScenariosShape(t *testing.T) {
+	scns := PaperScenarios()
+	if len(scns) != 5 {
+		t.Fatalf("%d scenarios, want 5", len(scns))
+	}
+	prevFlows := 0
+	for _, s := range scns {
+		if s.Flows < prevFlows {
+			t.Fatalf("scenarios not ordered by flow count: %+v", scns)
+		}
+		prevFlows = s.Flows
+		if s.Rules < 1 || s.Rules > 20 {
+			t.Fatalf("scenario %s has %d rules", s.Name, s.Rules)
+		}
+	}
+	if scns[4].Rules != 20 {
+		t.Fatal("gateway scenario must have 20 rules")
+	}
+}
+
+func TestRandomTuplesDistinct(t *testing.T) {
+	tuples := RandomTuples(5000, 23)
+	seen := make(map[packet.FiveTuple]bool)
+	for _, f := range tuples {
+		if seen[f] {
+			t.Fatal("duplicate tuple")
+		}
+		seen[f] = true
+	}
+	a := RandomTuples(100, 5)
+	b := RandomTuples(100, 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("RandomTuples not deterministic")
+		}
+	}
+}
+
+func TestGenerateRejectsBadScenario(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad scenario accepted")
+		}
+	}()
+	Generate(Scenario{Flows: 10, Rules: 40}, 1)
+}

@@ -1,10 +1,13 @@
 package halo_test
 
 import (
+	"io"
+	"runtime"
 	"testing"
 
 	"halo"
 	"halo/internal/experiments"
+	"halo/internal/runner"
 )
 
 // Per-figure benchmarks: each regenerates one of the paper's artefacts (at
@@ -134,6 +137,33 @@ func BenchmarkAblations(b *testing.B) {
 	}
 	b.ReportMetric(res.MetaCacheSpeedup, "sim-metacache-gain")
 }
+
+// Full-suite benchmarks: the serial path against the worker pool at
+// several widths. On a multi-core box the pooled variants show the
+// wall-clock win of sharding sweep points; on one core they bound the
+// pool's overhead.
+
+func BenchmarkRunAllSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunAll(experiments.QuickConfig(), io.Discard)
+	}
+}
+
+func benchRunAllPool(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := runner.RunAll(runner.Options{Workers: workers},
+			experiments.QuickConfig(), io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunAllPool1(b *testing.B) { benchRunAllPool(b, 1) }
+
+func BenchmarkRunAllPool4(b *testing.B) { benchRunAllPool(b, 4) }
+
+func BenchmarkRunAllPoolMax(b *testing.B) { benchRunAllPool(b, runtime.GOMAXPROCS(0)) }
 
 // Primitive benchmarks: simulator throughput of the hot operations (how many
 // simulated lookups per wall-clock second this reproduction achieves).

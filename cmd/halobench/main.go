@@ -6,16 +6,23 @@
 //	halobench                     # run every experiment at paper scale
 //	halobench -quick              # shrunk sweeps (seconds instead of minutes)
 //	halobench -experiment fig9    # one experiment
+//	halobench -parallel 8         # shard sweep points across 8 workers
+//	halobench -verify             # run every point twice, fail on divergence
 //	halobench -list               # list experiment IDs
+//
+// Output tables go to stdout; timing and verification status go to stderr,
+// so `halobench > halobench_output.txt` is byte-reproducible.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"halo/internal/experiments"
+	"halo/internal/runner"
 )
 
 func main() {
@@ -24,6 +31,8 @@ func main() {
 		experiment = flag.String("experiment", "", "run a single experiment (see -list)")
 		list       = flag.Bool("list", false, "list experiment IDs and exit")
 		seed       = flag.Uint64("seed", 0x48414c4f, "workload seed")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for sweep points")
+		verify     = flag.Bool("verify", false, "run every point serially too and fail on divergence")
 	)
 	flag.Parse()
 
@@ -38,17 +47,30 @@ func main() {
 	cfg.Quick = *quick
 	cfg.Seed = *seed
 
-	start := time.Now()
+	runners := experiments.Registry()
 	if *experiment != "" {
 		r, ok := experiments.Find(*experiment)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "halobench: unknown experiment %q (try -list)\n", *experiment)
 			os.Exit(2)
 		}
-		fmt.Printf("### %s — %s\n\n", r.ID, r.Paper)
-		r.Run(cfg, os.Stdout)
-	} else {
-		experiments.RunAll(cfg, os.Stdout)
+		runners = []experiments.Runner{r}
 	}
-	fmt.Printf("(completed in %v)\n", time.Since(start).Round(time.Millisecond))
+
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	opt := runner.Options{Workers: workers, Verify: *verify}
+	start := time.Now()
+	err := runner.Run(opt, cfg, runners, os.Stdout)
+	elapsed := time.Since(start).Round(time.Millisecond)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "halobench: %v\n", err)
+		os.Exit(1)
+	}
+	if *verify {
+		fmt.Fprintf(os.Stderr, "verify: parallel and serial results identical for every point\n")
+	}
+	fmt.Fprintf(os.Stderr, "(completed in %v, %d workers)\n", elapsed, opt.Workers)
 }

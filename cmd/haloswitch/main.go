@@ -5,18 +5,26 @@
 // Usage:
 //
 //	haloswitch -flows 100000 -rules 10 -packets 20000 -engine halo
+//	haloswitch -compare            # software, halo and hybrid side by side
+//
+// -compare runs the three engines concurrently on the worker pool, each
+// on its own platform with its own identically-seeded traffic source, so
+// the reports match what three separate single-engine runs would print.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"halo/internal/classify"
 	"halo/internal/cpu"
 	ihalo "halo/internal/halo"
 	"halo/internal/metrics"
 	"halo/internal/packet"
+	"halo/internal/runner"
 	"halo/internal/trafficgen"
 	"halo/internal/vswitch"
 )
@@ -26,12 +34,23 @@ type workloadRules struct{ w *trafficgen.Workload }
 
 func (wr workloadRules) Install(ts *classify.TupleSpace) error { return wr.w.InstallRules(ts) }
 
+// traffic bundles a packet source with its rule installer. Each engine run
+// gets a fresh one so stateful sources never cross goroutines.
+type traffic struct {
+	nextPacket   func() packet.Packet
+	installRules func(*vswitch.Switch) error
+}
+
+// trafficFactory builds an independent, identically-seeded traffic source.
+type trafficFactory func() (traffic, error)
+
 func main() {
 	var (
 		flows    = flag.Int("flows", 100_000, "number of concurrent flows")
 		rules    = flag.Int("rules", 10, "number of wildcard rules (tuples)")
 		packets  = flag.Int("packets", 20_000, "packets to forward (after warm-up)")
 		engine   = flag.String("engine", "software", "classification engine: software | halo | hybrid")
+		compare  = flag.Bool("compare", false, "run software, halo and hybrid engines concurrently and compare")
 		openflow = flag.Bool("openflow", false, "enable the OpenFlow slow-path layer (rules install there; megaflows are learned)")
 		zipf     = flag.Bool("zipf", false, "zipf flow popularity instead of uniform")
 		seed     = flag.Uint64("seed", 1, "workload seed")
@@ -39,41 +58,29 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := vswitch.DefaultConfig()
-	switch *engine {
-	case "software":
-	case "halo":
-		cfg.Engine = vswitch.EngineHalo
-	case "hybrid":
-		cfg.Engine = vswitch.EngineHybrid
-	default:
-		fmt.Fprintf(os.Stderr, "haloswitch: unknown engine %q\n", *engine)
-		os.Exit(2)
-	}
-	cfg.OpenFlow = *openflow
-
-	// Traffic source: a generated workload or a replayed trace.
-	var nextPacket func() packet.Packet
-	var installRules func(*vswitch.Switch) error
+	var factory trafficFactory
 	if *trace != "" {
-		f, err := os.Open(*trace)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "haloswitch:", err)
-			os.Exit(1)
-		}
-		tr, err := trafficgen.ReadTrace(f)
-		f.Close()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "haloswitch:", err)
-			os.Exit(1)
-		}
-		nextPacket = tr.NextPacket
-		installRules = func(sw *vswitch.Switch) error {
-			target := sw.Mega
-			if sw.Open != nil {
-				target = sw.Open
+		path := *trace
+		factory = func() (traffic, error) {
+			f, err := os.Open(path)
+			if err != nil {
+				return traffic{}, err
 			}
-			return tr.InstallRules(target)
+			tr, err := trafficgen.ReadTrace(f)
+			f.Close()
+			if err != nil {
+				return traffic{}, err
+			}
+			return traffic{
+				nextPacket: tr.NextPacket,
+				installRules: func(sw *vswitch.Switch) error {
+					target := sw.Mega
+					if sw.Open != nil {
+						target = sw.Open
+					}
+					return tr.InstallRules(target)
+				},
+			}, nil
 		}
 	} else {
 		pop := trafficgen.Uniform
@@ -81,65 +88,132 @@ func main() {
 			pop = trafficgen.Zipf
 		}
 		scn := trafficgen.Scenario{Name: "cli", Flows: *flows, Rules: *rules, Popularity: pop}
-		w := trafficgen.Generate(scn, *seed)
-		nextPacket = func() packet.Packet { pkt, _ := w.NextPacket(); return pkt }
-		installRules = func(sw *vswitch.Switch) error {
-			return sw.InstallRules([]vswitch.RuleInstaller{workloadRules{w}})
+		wseed := *seed
+		factory = func() (traffic, error) {
+			w := trafficgen.Generate(scn, wseed)
+			return traffic{
+				nextPacket: func() packet.Packet { pkt, _ := w.NextPacket(); return pkt },
+				installRules: func(sw *vswitch.Switch) error {
+					return sw.InstallRules([]vswitch.RuleInstaller{workloadRules{w}})
+				},
+			}, nil
 		}
+	}
+
+	if *compare {
+		compareEngines(factory, *packets, *openflow)
+		return
+	}
+
+	res := runEngine(*engine, factory, *packets, *openflow)
+	if res.err != nil {
+		fmt.Fprintln(os.Stderr, "haloswitch:", res.err)
+		os.Exit(1)
+	}
+	io.WriteString(os.Stdout, res.report)
+}
+
+// compareEngines runs all three engines on the pool and prints each report
+// in fixed order plus a head-to-head summary.
+func compareEngines(factory trafficFactory, packets int, openflow bool) {
+	engines := []string{"software", "halo", "hybrid"}
+	results := runner.Map(0, engines, func(i int, e string) engineResult {
+		return runEngine(e, factory, packets, openflow)
+	})
+	for i, res := range results {
+		if res.err != nil {
+			fmt.Fprintf(os.Stderr, "haloswitch: %s engine: %v\n", engines[i], res.err)
+			os.Exit(1)
+		}
+		io.WriteString(os.Stdout, res.report)
+		fmt.Println()
+	}
+	sw := results[0].cpp
+	tb := metrics.NewTable("engine comparison", "engine", "cycles/pkt", "Mpps @2.1GHz", "speedup vs software")
+	for i, res := range results {
+		tb.AddRow(engines[i], res.cpp, metrics.Mpps(res.cpp, 2.1), fmt.Sprintf("%.2fx", sw/res.cpp))
+	}
+	tb.Render(os.Stdout)
+}
+
+type engineResult struct {
+	report string
+	cpp    float64
+	err    error
+}
+
+// runEngine executes one full switch simulation on its own platform and
+// returns the rendered report. It is self-contained so the compare path
+// can run engines on separate goroutines.
+func runEngine(engine string, factory trafficFactory, packets int, openflow bool) engineResult {
+	cfg := vswitch.DefaultConfig()
+	switch engine {
+	case "software":
+	case "halo":
+		cfg.Engine = vswitch.EngineHalo
+	case "hybrid":
+		cfg.Engine = vswitch.EngineHybrid
+	default:
+		return engineResult{err: fmt.Errorf("unknown engine %q", engine)}
+	}
+	cfg.OpenFlow = openflow
+
+	src, err := factory()
+	if err != nil {
+		return engineResult{err: err}
 	}
 
 	p := ihalo.NewPlatform(ihalo.DefaultPlatformConfig())
 	sw, err := vswitch.New(p, cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "haloswitch:", err)
-		os.Exit(1)
+		return engineResult{err: err}
 	}
-	if err := installRules(sw); err != nil {
-		fmt.Fprintln(os.Stderr, "haloswitch:", err)
-		os.Exit(1)
+	if err := src.installRules(sw); err != nil {
+		return engineResult{err: err}
 	}
 	sw.Warm()
 	th := cpu.NewThread(p.Hier, 0)
 
-	for i := 0; i < *packets/2; i++ { // warm-up pass
-		pkt := nextPacket()
+	for i := 0; i < packets/2; i++ { // warm-up pass
+		pkt := src.nextPacket()
 		sw.ProcessPacket(th, &pkt)
 	}
 	sw.ResetStats()
-	for i := 0; i < *packets; i++ {
-		pkt := nextPacket()
+	for i := 0; i < packets; i++ {
+		pkt := src.nextPacket()
 		if _, ok := sw.ProcessPacket(th, &pkt); !ok {
-			fmt.Fprintln(os.Stderr, "haloswitch: unclassified packet (rule generation bug)")
-			os.Exit(1)
+			return engineResult{err: fmt.Errorf("unclassified packet (rule generation bug)")}
 		}
 	}
 
+	var out strings.Builder
 	b := sw.Breakdown()
-	tb := metrics.NewTable(fmt.Sprintf("virtual switch, %s engine", *engine),
+	tb := metrics.NewTable(fmt.Sprintf("virtual switch, %s engine", engine),
 		"stage", "cycles/pkt", "share")
 	for s := vswitch.StagePacketIO; s <= vswitch.StageOther; s++ {
 		tb.AddRow(s.String(), float64(b[s])/float64(sw.Packets()),
 			metrics.Percent(float64(b[s])/float64(b.Total())))
 	}
-	tb.Render(os.Stdout)
+	tb.Render(&out)
 
 	cpp := sw.CyclesPerPacket()
 	hits, misses := sw.MegaStats()
-	fmt.Printf("packets:             %d\n", sw.Packets())
-	fmt.Printf("cycles/packet:       %.1f\n", cpp)
-	fmt.Printf("throughput:          %.2f Mpps @ 2.1 GHz (single core)\n", metrics.Mpps(cpp, 2.1))
-	fmt.Printf("classification:      %s of packet cost\n", metrics.Percent(b.ClassificationShare()))
-	fmt.Printf("emc hit rate:        %s\n", metrics.Percent(sw.EMC.HitRate()))
-	fmt.Printf("megaflow hits/miss:  %d/%d\n", hits, misses)
+	fmt.Fprintf(&out, "packets:             %d\n", sw.Packets())
+	fmt.Fprintf(&out, "cycles/packet:       %.1f\n", cpp)
+	fmt.Fprintf(&out, "throughput:          %.2f Mpps @ 2.1 GHz (single core)\n", metrics.Mpps(cpp, 2.1))
+	fmt.Fprintf(&out, "classification:      %s of packet cost\n", metrics.Percent(b.ClassificationShare()))
+	fmt.Fprintf(&out, "emc hit rate:        %s\n", metrics.Percent(sw.EMC.HitRate()))
+	fmt.Fprintf(&out, "megaflow hits/miss:  %d/%d\n", hits, misses)
 	if cfg.OpenFlow {
-		fmt.Printf("openflow hits:       %d (megaflows learned: %d)\n", sw.OpenFlowHits(), sw.Mega.RuleCount())
+		fmt.Fprintf(&out, "openflow hits:       %d (megaflows learned: %d)\n", sw.OpenFlowHits(), sw.Mega.RuleCount())
 	}
 	if mode, ok := sw.HybridMode(); ok {
-		fmt.Printf("hybrid mode:         %v\n", mode)
+		fmt.Fprintf(&out, "hybrid mode:         %v\n", mode)
 	}
 	if cfg.Engine == vswitch.EngineHalo {
 		s := p.Unit.Stats()
-		fmt.Printf("halo queries:        %d (hit rate %s, meta-cache hits %d)\n",
+		fmt.Fprintf(&out, "halo queries:        %d (hit rate %s, meta-cache hits %d)\n",
 			s.Queries, metrics.Percent(float64(s.Hits)/float64(s.Queries)), s.MetaHits)
 	}
+	return engineResult{report: out.String(), cpp: cpp}
 }

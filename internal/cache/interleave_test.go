@@ -1,0 +1,139 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+
+	"halo/internal/mem"
+	"halo/internal/noc"
+	"halo/internal/sim"
+)
+
+// interleaveHierarchy is deliberately tiny: with per-step invariant
+// checking, a small geometry keeps the test fast while the cramped sets
+// maximise evictions, back-invalidations and ownership churn.
+func interleaveHierarchy(cores int) *Hierarchy {
+	cfg := DefaultConfig()
+	cfg.Cores = cores
+	cfg.Slices = cores
+	cfg.L1SizeBytes = 4 * mem.LineSize
+	cfg.L1Ways = 2
+	cfg.L2SizeBytes = 16 * mem.LineSize
+	cfg.L2Ways = 4
+	cfg.LLCSliceBytes = 16 * mem.LineSize
+	cfg.LLCWays = 4
+	ring := noc.NewRing(noc.RingConfig{Stops: cores, HopCycles: 2, InjectDelay: 3})
+	return New(cfg, ring, mem.NewDRAM(mem.DefaultDRAMConfig()))
+}
+
+// coreCopy returns the state of core's private copy of lineAddr, checking
+// L1 and L2 (nil means no valid copy anywhere private).
+func coreCopy(h *Hierarchy, core int, lineAddr mem.Addr) *line {
+	if l := h.l1[core].peek(lineAddr); l != nil {
+		return l
+	}
+	return h.l2[core].peek(lineAddr)
+}
+
+// checkWriteEffects asserts the MESI-lite post-write contract: the writer
+// holds the only copy, in Modified state, and every other core's copy —
+// Shared included — has been invalidated.
+func checkWriteEffects(t *testing.T, h *Hierarchy, writer int, lineAddr mem.Addr) {
+	t.Helper()
+	wl := coreCopy(h, writer, lineAddr)
+	if wl == nil {
+		t.Fatalf("after write: core %d does not hold %#x", writer, lineAddr)
+	}
+	if wl.state != Modified {
+		t.Fatalf("after write: core %d holds %#x in %v, want Modified", writer, lineAddr, wl.state)
+	}
+	for core := 0; core < h.cfg.Cores; core++ {
+		if core == writer {
+			continue
+		}
+		if l := coreCopy(h, core, lineAddr); l != nil {
+			t.Fatalf("after write by core %d: core %d still holds %#x in %v (stale copy)",
+				writer, core, lineAddr, l.state)
+		}
+	}
+}
+
+// TestInterleavedAccessInvariants drives pseudo-random multi-core
+// interleavings and validates the full invariant set after every single
+// step (the broader random-traffic test only samples every 500 steps).
+// Writes additionally assert the single-owner / no-stale-sharers contract
+// at the exact step boundary.
+func TestInterleavedAccessInvariants(t *testing.T) {
+	for _, seed := range []uint64{1, 42, 0xbeef} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			t.Parallel()
+			const cores = 4
+			h := interleaveHierarchy(cores)
+			rng := sim.NewRand(seed)
+			now := sim.Cycle(0)
+			// 24 lines across 4-line L1s / 16-line L2s: every core keeps
+			// evicting and re-fetching what its neighbours own.
+			const poolLines = 24
+			for step := 0; step < 2500; step++ {
+				addr := mem.Addr(0x8000 + rng.Intn(poolLines)*mem.LineSize)
+				core := rng.Intn(cores)
+				switch rng.Intn(10) {
+				case 0, 1, 2: // write
+					h.CoreAccess(now, core, addr, true)
+					checkWriteEffects(t, h, core, addr)
+				case 3: // accelerator read through the LLC
+					h.AccelAccess(now, rng.Intn(cores), addr, false)
+				case 4: // accelerator write: invalidates every core copy
+					h.AccelAccess(now, rng.Intn(cores), addr, true)
+					for c := 0; c < cores; c++ {
+						if l := coreCopy(h, c, addr); l != nil {
+							t.Fatalf("step %d: core %d holds %#x in %v after accel write",
+								step, c, addr, l.state)
+						}
+					}
+				case 5: // snapshot read must not perturb ownership
+					h.SnapshotRead(now, core, addr)
+				default: // read
+					h.CoreAccess(now, core, addr, false)
+				}
+				checkInvariants(t, h)
+				now += sim.Cycle(rng.Intn(40))
+			}
+		})
+	}
+}
+
+// TestWriteReadHandoffChain walks ownership around the cores in a fixed
+// interleaving: each core writes, every other core then reads, and the
+// states must settle to one-owner-then-all-shared at each hop.
+func TestWriteReadHandoffChain(t *testing.T) {
+	t.Parallel()
+	const cores = 4
+	h := interleaveHierarchy(cores)
+	now := sim.Cycle(0)
+	addr := mem.Addr(0xc000)
+	for round := 0; round < 8; round++ {
+		writer := round % cores
+		res := h.CoreAccess(now, writer, addr, true)
+		checkWriteEffects(t, h, writer, addr)
+		now = res.Done
+		for off := 1; off < cores; off++ {
+			reader := (writer + off) % cores
+			res = h.CoreAccess(now, reader, addr, false)
+			now = res.Done
+			l := coreCopy(h, reader, addr)
+			if l == nil {
+				t.Fatalf("round %d: reader %d missing %#x after read", round, reader, addr)
+			}
+			if l.state == Modified || l.state == Exclusive {
+				// A second sharer means nobody may stay exclusive.
+				if ol := coreCopy(h, writer, addr); ol != nil {
+					t.Fatalf("round %d: reader %d in %v while core %d still holds a copy",
+						round, reader, l.state, writer)
+				}
+			}
+			checkInvariants(t, h)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 
 	"halo/internal/halo"
 	"halo/internal/metrics"
@@ -18,49 +19,112 @@ type AblationResult struct {
 	Table            *metrics.Table
 }
 
+// ablationDepths and ablationPolicies fix the knob sweeps (and their
+// point order).
+var ablationDepths = []int{1, 4, 10, 16}
+
+var ablationPolicyNames = []string{"by-table", "by-key-line", "round-robin"}
+
+func ablationPolicy(name string) noc.DispatchPolicy {
+	switch name {
+	case "by-table":
+		return noc.DispatchByTable
+	case "by-key-line":
+		return noc.DispatchByKeyLine
+	default:
+		return noc.DispatchRoundRobin
+	}
+}
+
+// ablationLabels enumerates every knob setting, in render order: the
+// metadata cache on/off pair, the lock-off run, the scoreboard-depth
+// sweep, then the dispatch policies.
+func ablationLabels() []string {
+	labels := []string{"metacache-on", "metacache-off", "no-lock"}
+	for _, d := range ablationDepths {
+		labels = append(labels, fmt.Sprintf("depth-%d", d))
+	}
+	for _, n := range ablationPolicyNames {
+		labels = append(labels, "dispatch-"+n)
+	}
+	return labels
+}
+
+// AblationsSweep decomposes the design-choice sweeps: every knob setting
+// measures on its own platform, so every point is one number.
+func AblationsSweep() Sweep {
+	return Sweep{
+		Points: func(cfg Config) []Point {
+			labels := ablationLabels()
+			pts := make([]Point, len(labels))
+			for i, l := range labels {
+				pts[i] = Point{Experiment: "ablations", Index: i, Label: l}
+			}
+			return pts
+		},
+		RunPoint: func(cfg Config, p Point) any {
+			lookups := pickSize(cfg, 1500, 6000)
+			switch {
+			case p.Index == 0: // metadata cache on
+				return runAblationPoint(lookups, func(u *halo.UnitConfig) {})
+			case p.Index == 1: // metadata cache off: every query re-reads
+				// the metadata line from the LLC.
+				return runAblationPoint(lookups, func(u *halo.UnitConfig) {
+					u.Accel.MetaCacheTables = 1
+					u.Accel.MetaCacheOff = true
+				})
+			case p.Index == 2: // hardware lock off: locking costs nothing
+				// on the read path.
+				return runAblationPoint(lookups, func(u *halo.UnitConfig) { u.Accel.LockEnabled = false })
+			case p.Index < 3+len(ablationDepths): // scoreboard depth:
+				// deeper scoreboards absorb bursts.
+				return runAblationBurst(lookups, ablationDepths[p.Index-3])
+			default:
+				// Dispatch policy. The by-table policy's payoff is metadata
+				// locality: with more live tables than one metadata cache
+				// holds, hashing by table keeps each table's metadata
+				// resident on one accelerator, while round-robin thrashes
+				// every cache. 24 tables > the 10-table capacity.
+				name := ablationPolicyNames[p.Index-3-len(ablationDepths)]
+				return runAblationMultiTable(lookups, ablationPolicy(name))
+			}
+		},
+		Render: func(cfg Config, rows []any, w io.Writer) {
+			assembleAblations(rows).Table.Render(w)
+		},
+	}
+}
+
 // RunAblations sweeps the accelerator design choices.
 func RunAblations(cfg Config) *AblationResult {
-	lookups := pickSize(cfg, 1500, 6000)
+	return assembleAblations(runSerial(cfg, AblationsSweep()))
+}
+
+func assembleAblations(rows []any) *AblationResult {
 	res := &AblationResult{
 		DepthCycles:    map[int]float64{},
 		DispatchCycles: map[string]float64{},
 	}
 	res.Table = metrics.NewTable("Ablations: HALO design choices", "knob", "setting", "cyc/lookup", "note")
 
-	// Metadata cache on/off: without it every query re-reads the metadata
-	// line from the LLC.
-	on := runAblationPoint(lookups, func(u *halo.UnitConfig) {})
-	off := runAblationPoint(lookups, func(u *halo.UnitConfig) { u.Accel.MetaCacheTables = 1; u.Accel.MetaCacheOff = true })
+	on := rows[0].(float64)
+	off := rows[1].(float64)
+	noLock := rows[2].(float64)
 	res.MetaCacheSpeedup = off / on
+	res.LockCostPct = (on - noLock) / on
 	res.Table.AddRow("metadata-cache", "on", on, "")
 	res.Table.AddRow("metadata-cache", "off", off, fmt.Sprintf("%.2fx slower", res.MetaCacheSpeedup))
-
-	// Hardware lock on/off: locking costs nothing on the read path.
-	noLock := runAblationPoint(lookups, func(u *halo.UnitConfig) { u.Accel.LockEnabled = false })
-	res.LockCostPct = (on - noLock) / on
 	res.Table.AddRow("hardware-lock", "off", noLock, metrics.Percent(res.LockCostPct)+" of locked time")
 
-	// Scoreboard depth: deeper scoreboards absorb bursts.
-	for _, depth := range []int{1, 4, 10, 16} {
-		c := runAblationBurst(lookups, depth)
+	for i, depth := range ablationDepths {
+		c := rows[3+i].(float64)
 		res.DepthCycles[depth] = c
 		res.Table.AddRow("scoreboard-depth", fmt.Sprintf("%d", depth), c, "burst workload")
 	}
-
-	// Dispatch policy. The by-table policy's payoff is metadata locality:
-	// with more live tables than one metadata cache holds, hashing by
-	// table keeps each table's metadata resident on one accelerator, while
-	// round-robin thrashes every cache. 24 tables > the 10-table capacity.
-	policies := map[string]noc.DispatchPolicy{
-		"by-table":    noc.DispatchByTable,
-		"by-key-line": noc.DispatchByKeyLine,
-		"round-robin": noc.DispatchRoundRobin,
-	}
-	for name, pol := range policies {
-		res.DispatchCycles[name] = runAblationMultiTable(lookups, pol)
-	}
-	for _, name := range []string{"by-table", "by-key-line", "round-robin"} {
-		res.Table.AddRow("dispatch", name, res.DispatchCycles[name], "24 live tables")
+	for i, name := range ablationPolicyNames {
+		c := rows[3+len(ablationDepths)+i].(float64)
+		res.DispatchCycles[name] = c
+		res.Table.AddRow("dispatch", name, c, "24 live tables")
 	}
 	return res
 }

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExperimentsDeterministic runs every registry experiment twice
+// back-to-back and asserts the rendered output is byte-identical. This is
+// the property the parallel runner's fan-out relies on: a sweep point must
+// depend only on (cfg, point), never on process history, map iteration
+// order, or shared mutable state.
+func TestExperimentsDeterministic(t *testing.T) {
+	for _, r := range Registry() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			t.Parallel()
+			cfg := QuickConfig()
+			var first, second strings.Builder
+			r.Run(cfg, &first)
+			r.Run(cfg, &second)
+			if first.String() != second.String() {
+				t.Errorf("experiment %s output changed between identical runs:\n--- first ---\n%s\n--- second ---\n%s",
+					r.ID, first.String(), second.String())
+			}
+		})
+	}
+}
+
+// TestSweepPointsStable asserts the point enumeration itself is
+// deterministic and indices are dense — the pool stores rows by
+// Point.Index, so a gap or duplicate would silently drop results.
+func TestSweepPointsStable(t *testing.T) {
+	t.Parallel()
+	for _, r := range Registry() {
+		cfg := QuickConfig()
+		a := r.Sweep.Points(cfg)
+		b := r.Sweep.Points(cfg)
+		if len(a) != len(b) {
+			t.Errorf("%s: point count changed between enumerations (%d vs %d)", r.ID, len(a), len(b))
+			continue
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s: point %d changed between enumerations: %+v vs %+v", r.ID, i, a[i], b[i])
+			}
+			if a[i].Index != i {
+				t.Errorf("%s: point %d has index %d; indices must be dense and in order", r.ID, i, a[i].Index)
+			}
+			if a[i].Experiment != r.ID {
+				t.Errorf("%s: point %d claims experiment %q", r.ID, i, a[i].Experiment)
+			}
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"io"
+
 	"halo/internal/cache"
 	"halo/internal/cuckoo"
 	"halo/internal/metrics"
@@ -25,15 +27,14 @@ type Fig10Result struct {
 	Table *metrics.Table
 }
 
-// RunFig10 reproduces Fig. 10.
-func RunFig10(cfg Config) *Fig10Result {
-	lookups := pickSize(cfg, 1500, 6000)
-	res := &Fig10Result{
-		Table: metrics.NewTable("Figure 10: lookup latency breakdown (normalized to software/LLC total)",
-			"solution", "placement", "compute", "data-access", "locking", "total", "cyc/lookup"),
-	}
-	res.Table.SetCaption("paper: HALO cuts compute 48.1%%; CHA data access 4.1x faster (LLC), 1.6x (DRAM)")
+// fig10Cell is one (solution, placement) coordinate.
+type fig10Cell struct {
+	solution string
+	name     string
+	entries  uint64
+}
 
+func fig10Cells() []fig10Cell {
 	placements := []struct {
 		name    string
 		entries uint64
@@ -41,12 +42,54 @@ func RunFig10(cfg Config) *Fig10Result {
 		{"llc", 1 << 14},  // comfortably LLC-resident
 		{"dram", 1 << 21}, // far beyond the 32 MB LLC
 	}
-
+	var cells []fig10Cell
 	for _, pl := range placements {
-		res.Rows = append(res.Rows, runFig10Software(pl.name, pl.entries, lookups))
-		res.Rows = append(res.Rows, runFig10Halo(pl.name, pl.entries, lookups))
+		cells = append(cells, fig10Cell{"software", pl.name, pl.entries})
+		cells = append(cells, fig10Cell{"halo", pl.name, pl.entries})
 	}
+	return cells
+}
 
+// Fig10Sweep decomposes Fig. 10 into one point per (solution, placement).
+func Fig10Sweep() Sweep {
+	return Sweep{
+		Points: func(cfg Config) []Point {
+			cells := fig10Cells()
+			pts := make([]Point, len(cells))
+			for i, c := range cells {
+				pts[i] = Point{Experiment: "fig10", Index: i,
+					Label: c.solution + "/" + c.name}
+			}
+			return pts
+		},
+		RunPoint: func(cfg Config, p Point) any {
+			c := fig10Cells()[p.Index]
+			lookups := pickSize(cfg, 1500, 6000)
+			if c.solution == "software" {
+				return runFig10Software(c.name, c.entries, lookups)
+			}
+			return runFig10Halo(c.name, c.entries, lookups)
+		},
+		Render: func(cfg Config, rows []any, w io.Writer) {
+			assembleFig10(rows).Table.Render(w)
+		},
+	}
+}
+
+// RunFig10 reproduces Fig. 10.
+func RunFig10(cfg Config) *Fig10Result {
+	return assembleFig10(runSerial(cfg, Fig10Sweep()))
+}
+
+func assembleFig10(rows []any) *Fig10Result {
+	res := &Fig10Result{
+		Table: metrics.NewTable("Figure 10: lookup latency breakdown (normalized to software/LLC total)",
+			"solution", "placement", "compute", "data-access", "locking", "total", "cyc/lookup"),
+	}
+	res.Table.SetCaption("paper: HALO cuts compute 48.1%%; CHA data access 4.1x faster (LLC), 1.6x (DRAM)")
+	for _, r := range rows {
+		res.Rows = append(res.Rows, r.(Fig10Row))
+	}
 	base := res.Rows[0].Total // software/LLC
 	for _, r := range res.Rows {
 		res.Table.AddRow(r.Solution, r.Placement,

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 
 	"halo/internal/classify"
 	"halo/internal/cuckoo"
@@ -29,24 +30,69 @@ type Fig11Result struct {
 	Table  *metrics.Table
 }
 
+// fig11Cell is one (tuple count, mode) coordinate.
+type fig11Cell struct {
+	tuples int
+	mode   Fig9Mode
+}
+
+func fig11TupleCounts(cfg Config) []int {
+	if cfg.Quick {
+		return []int{5, 20}
+	}
+	return []int{5, 10, 15, 20}
+}
+
+func fig11Cells(cfg Config) []fig11Cell {
+	var cells []fig11Cell
+	for _, nt := range fig11TupleCounts(cfg) {
+		for _, mode := range Fig9Modes {
+			cells = append(cells, fig11Cell{nt, mode})
+		}
+	}
+	return cells
+}
+
+// Fig11Sweep decomposes Fig. 11 into one point per (tuple count, mode).
+func Fig11Sweep() Sweep {
+	return Sweep{
+		Points: func(cfg Config) []Point {
+			cells := fig11Cells(cfg)
+			pts := make([]Point, len(cells))
+			for i, c := range cells {
+				pts[i] = Point{Experiment: "fig11", Index: i,
+					Label: fmt.Sprintf("%s/%d-tuples", c.mode, c.tuples)}
+			}
+			return pts
+		},
+		RunPoint: func(cfg Config, p Point) any {
+			c := fig11Cells(cfg)[p.Index]
+			return runFig11Point(c.mode, c.tuples, pickSize(cfg, 400, 3000), cfg.Seed)
+		},
+		Render: func(cfg Config, rows []any, w io.Writer) {
+			assembleFig11(cfg, rows).Table.Render(w)
+		},
+	}
+}
+
 // RunFig11 reproduces Fig. 11.
 func RunFig11(cfg Config) *Fig11Result {
-	classifications := pickSize(cfg, 400, 3000)
-	tupleCounts := []int{5, 10, 15, 20}
-	if cfg.Quick {
-		tupleCounts = []int{5, 20}
-	}
+	return assembleFig11(cfg, runSerial(cfg, Fig11Sweep()))
+}
 
+func assembleFig11(cfg Config, rows []any) *Fig11Result {
 	res := &Fig11Result{
 		Table: metrics.NewTable("Figure 11: tuple space search throughput (normalized to software)",
 			"tuples", "software", "halo-B", "halo-NB", "tcam", "sram-tcam"),
 	}
 	res.Table.SetCaption("paper: HALO non-blocking scales TSS up to 23.4x; blocking mode flattens out")
 
-	for _, nt := range tupleCounts {
+	i := 0
+	for _, nt := range fig11TupleCounts(cfg) {
 		cycles := map[Fig9Mode]float64{}
 		for _, mode := range Fig9Modes {
-			cycles[mode] = runFig11Point(mode, nt, classifications, cfg.Seed)
+			cycles[mode] = rows[i].(float64)
+			i++
 		}
 		row := []any{nt}
 		for _, mode := range Fig9Modes {

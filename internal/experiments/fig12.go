@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 
 	"halo/internal/cache"
 	"halo/internal/cpu"
@@ -31,43 +32,99 @@ type Fig12Result struct {
 	Table  *metrics.Table
 }
 
-// RunFig12 reproduces Fig. 12.
-func RunFig12(cfg Config) *Fig12Result {
-	nfPackets := pickSize(cfg, 1200, 6000)
+// fig12Cell is one (NF, switch flow count) coordinate; both engines run
+// within the point so they share the NF-alone baseline measurement.
+type fig12Cell struct {
+	nf    string
+	flows int
+}
+
+// fig12Pair is one point's result: the same cell measured with the
+// software and the HALO switch engine.
+type fig12Pair struct {
+	Software Fig12Point
+	Halo     Fig12Point
+}
+
+func fig12Cells(cfg Config) []fig12Cell {
 	flowCounts := []int{1_000, 100_000, 1_000_000}
 	if cfg.Quick {
 		flowCounts = []int{1_000, 100_000}
 	}
+	var cells []fig12Cell
+	for _, nfName := range []string{"acl", "snortlite", "mtcplite"} {
+		for _, flows := range flowCounts {
+			cells = append(cells, fig12Cell{nfName, flows})
+		}
+	}
+	return cells
+}
 
+// Fig12Sweep decomposes Fig. 12 into one point per (NF, flow count).
+func Fig12Sweep() Sweep {
+	return Sweep{
+		Points: func(cfg Config) []Point {
+			cells := fig12Cells(cfg)
+			pts := make([]Point, len(cells))
+			for i, c := range cells {
+				pts[i] = Point{Experiment: "fig12", Index: i,
+					Label: fmt.Sprintf("%s/%d-flows", c.nf, c.flows)}
+			}
+			return pts
+		},
+		RunPoint: func(cfg Config, p Point) any {
+			return runFig12Cell(cfg, fig12Cells(cfg)[p.Index])
+		},
+		Render: func(cfg Config, rows []any, w io.Writer) {
+			assembleFig12(rows).Table.Render(w)
+		},
+	}
+}
+
+// RunFig12 reproduces Fig. 12.
+func RunFig12(cfg Config) *Fig12Result {
+	return assembleFig12(runSerial(cfg, Fig12Sweep()))
+}
+
+func runFig12Cell(cfg Config, c fig12Cell) fig12Pair {
+	nfPackets := pickSize(cfg, 1200, 6000)
+	aloneCPP, aloneMiss := runFig12Alone(c.nf, nfPackets, cfg.Seed)
+	var pair fig12Pair
+	for _, engine := range []vswitch.Engine{vswitch.EngineSoftware, vswitch.EngineHalo} {
+		coCPP, coMiss := runFig12CoRun(c.nf, engine, c.flows, nfPackets, cfg.Seed)
+		drop := 1 - aloneCPP/coCPP
+		if drop < 0 {
+			drop = 0
+		}
+		pt := Fig12Point{
+			NF: c.nf, SwitchFlows: c.flows,
+			ThroughputDrop: drop,
+			L1MissAlone:    aloneMiss,
+			L1MissCoRun:    coMiss,
+		}
+		if engine == vswitch.EngineHalo {
+			pt.Engine = "halo"
+			pair.Halo = pt
+		} else {
+			pt.Engine = "software"
+			pair.Software = pt
+		}
+	}
+	return pair
+}
+
+func assembleFig12(rows []any) *Fig12Result {
 	res := &Fig12Result{
 		Table: metrics.NewTable("Figure 12: collocated NF interference (hyper-threaded core sharing)",
 			"nf", "switch-flows", "engine", "throughput-drop", "L1D-miss alone", "L1D-miss co-run"),
 	}
 	res.Table.SetCaption("paper: NFs drop 17-26%% with the software switch, <=3.2%% with HALO")
-
-	for _, nfName := range []string{"acl", "snortlite", "mtcplite"} {
-		for _, flows := range flowCounts {
-			aloneCPP, aloneMiss := runFig12Alone(nfName, nfPackets, cfg.Seed)
-			for _, engine := range []vswitch.Engine{vswitch.EngineSoftware, vswitch.EngineHalo} {
-				coCPP, coMiss := runFig12CoRun(nfName, engine, flows, nfPackets, cfg.Seed)
-				drop := 1 - aloneCPP/coCPP
-				if drop < 0 {
-					drop = 0
-				}
-				engName := "software"
-				if engine == vswitch.EngineHalo {
-					engName = "halo"
-				}
-				pt := Fig12Point{
-					NF: nfName, SwitchFlows: flows, Engine: engName,
-					ThroughputDrop: drop,
-					L1MissAlone:    aloneMiss,
-					L1MissCoRun:    coMiss,
-				}
-				res.Points = append(res.Points, pt)
-				res.Table.AddRow(nfName, flows, engName, metrics.Percent(drop),
-					metrics.Percent(aloneMiss), metrics.Percent(coMiss))
-			}
+	for _, r := range rows {
+		pair := r.(fig12Pair)
+		for _, pt := range []Fig12Point{pair.Software, pair.Halo} {
+			res.Points = append(res.Points, pt)
+			res.Table.AddRow(pt.NF, pt.SwitchFlows, pt.Engine, metrics.Percent(pt.ThroughputDrop),
+				metrics.Percent(pt.L1MissAlone), metrics.Percent(pt.L1MissCoRun))
 		}
 	}
 	return res

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 
 	"halo/internal/halo"
 	"halo/internal/metrics"
@@ -27,27 +28,67 @@ type Fig13Result struct {
 	Table  *metrics.Table
 }
 
-// RunFig13 reproduces Fig. 13.
-func RunFig13(cfg Config) *Fig13Result {
-	packets := pickSize(cfg, 1500, 8000)
+// fig13Cell is one (NF, table size) coordinate; both engines run within
+// the point to produce its speedup row.
+type fig13Cell struct {
+	name string
+	size uint64
+}
+
+func fig13Cells(cfg Config) []fig13Cell {
 	sizes := []uint64{1_000, 10_000, 100_000}
 	if cfg.Quick {
 		sizes = []uint64{1_000, 100_000}
 	}
+	var cells []fig13Cell
+	for _, name := range []string{"nat", "prads", "packet-filter"} {
+		for _, size := range sizes {
+			cells = append(cells, fig13Cell{name, size})
+		}
+	}
+	return cells
+}
+
+// Fig13Sweep decomposes Fig. 13 into one point per (NF, table size).
+func Fig13Sweep() Sweep {
+	return Sweep{
+		Points: func(cfg Config) []Point {
+			cells := fig13Cells(cfg)
+			pts := make([]Point, len(cells))
+			for i, c := range cells {
+				pts[i] = Point{Experiment: "fig13", Index: i,
+					Label: fmt.Sprintf("%s/%d-entries", c.name, c.size)}
+			}
+			return pts
+		},
+		RunPoint: func(cfg Config, p Point) any {
+			c := fig13Cells(cfg)[p.Index]
+			packets := pickSize(cfg, 1500, 8000)
+			sw := runFig13Point(c.name, nf.EngineSoftware, c.size, packets, cfg.Seed)
+			hw := runFig13Point(c.name, nf.EngineHalo, c.size, packets, cfg.Seed)
+			return Fig13Point{NF: c.name, Entries: c.size, SWCpp: sw, HaloCpp: hw, Speedup: sw / hw}
+		},
+		Render: func(cfg Config, rows []any, w io.Writer) {
+			assembleFig13(rows).Table.Render(w)
+		},
+	}
+}
+
+// RunFig13 reproduces Fig. 13.
+func RunFig13(cfg Config) *Fig13Result {
+	return assembleFig13(runSerial(cfg, Fig13Sweep()))
+}
+
+func assembleFig13(rows []any) *Fig13Result {
 	res := &Fig13Result{
 		Table: metrics.NewTable("Figure 13: hash-table NF throughput with HALO",
 			"nf", "entries", "software cyc/pkt", "halo cyc/pkt", "speedup"),
 	}
 	res.Table.SetCaption("paper: 2.3-2.7x across NAT, prads and the packet filter")
-
-	for _, name := range []string{"nat", "prads", "packet-filter"} {
-		for _, size := range sizes {
-			sw := runFig13Point(name, nf.EngineSoftware, size, packets, cfg.Seed)
-			hw := runFig13Point(name, nf.EngineHalo, size, packets, cfg.Seed)
-			pt := Fig13Point{NF: name, Entries: size, SWCpp: sw, HaloCpp: hw, Speedup: sw / hw}
-			res.Points = append(res.Points, pt)
-			res.Table.AddRow(name, size, sw, hw, fmt.Sprintf("%.2fx", pt.Speedup))
-		}
+	for _, r := range rows {
+		pt := r.(Fig13Point)
+		res.Points = append(res.Points, pt)
+		res.Table.AddRow(pt.NF, pt.Entries, pt.SWCpp, pt.HaloCpp, fmt.Sprintf("%.2fx", pt.Speedup))
 	}
 	return res
 }

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"io"
+
 	"halo/internal/classify"
 	"halo/internal/cpu"
 	"halo/internal/halo"
@@ -28,11 +30,8 @@ type workloadRules struct{ w *trafficgen.Workload }
 
 func (wr workloadRules) Install(ts *classify.TupleSpace) error { return wr.w.InstallRules(ts) }
 
-// RunFig3 reproduces Fig. 3 (software packet-processing breakdown).
-func RunFig3(cfg Config) *Fig3Result {
-	packets := pickSize(cfg, 3000, 20000)
-	warmup := pickSize(cfg, 1000, 10000) // §5.2: warm up before measuring
-
+// fig3Scenarios returns the traffic configurations of the sweep under cfg.
+func fig3Scenarios(cfg Config) []trafficgen.Scenario {
 	scenarios := trafficgen.PaperScenarios()
 	if cfg.Quick {
 		for i := range scenarios {
@@ -41,50 +40,86 @@ func RunFig3(cfg Config) *Fig3Result {
 			}
 		}
 	}
+	return scenarios
+}
 
+// Fig3Sweep decomposes Fig. 3 into one point per traffic configuration.
+func Fig3Sweep() Sweep {
+	return Sweep{
+		Points: func(cfg Config) []Point {
+			scns := fig3Scenarios(cfg)
+			pts := make([]Point, len(scns))
+			for i, s := range scns {
+				pts[i] = Point{Experiment: "fig3", Index: i, Label: s.Name}
+			}
+			return pts
+		},
+		RunPoint: func(cfg Config, p Point) any {
+			return runFig3Scenario(cfg, fig3Scenarios(cfg)[p.Index])
+		},
+		Render: func(cfg Config, rows []any, w io.Writer) {
+			assembleFig3(rows).Table.Render(w)
+		},
+	}
+}
+
+// RunFig3 reproduces Fig. 3 (software packet-processing breakdown).
+func RunFig3(cfg Config) *Fig3Result {
+	return assembleFig3(runSerial(cfg, Fig3Sweep()))
+}
+
+// runFig3Scenario measures one traffic configuration on a fresh platform.
+func runFig3Scenario(cfg Config, scn trafficgen.Scenario) Fig3Row {
+	packets := pickSize(cfg, 3000, 20000)
+	warmup := pickSize(cfg, 1000, 10000) // §5.2: warm up before measuring
+
+	p := halo.NewPlatform(halo.DefaultPlatformConfig())
+	// The OpenFlow layer is disabled here, as in the paper's analysis
+	// ("seldom accessed in practice", §3.1): rules install directly as
+	// megaflows.
+	sw, err := vswitch.New(p, vswitch.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	w := trafficgen.Generate(scn, cfg.Seed)
+	if err := sw.InstallRules([]vswitch.RuleInstaller{workloadRules{w}}); err != nil {
+		panic(err)
+	}
+	sw.Warm()
+	th := cpu.NewThread(p.Hier, 0)
+	for i := 0; i < warmup; i++ {
+		pkt, _ := w.NextPacket()
+		sw.ProcessPacket(th, &pkt)
+	}
+	sw.ResetStats()
+	for i := 0; i < packets; i++ {
+		pkt, _ := w.NextPacket()
+		sw.ProcessPacket(th, &pkt)
+	}
+
+	b := sw.Breakdown()
+	total := float64(b.Total())
+	row := Fig3Row{
+		Scenario:            scn.Name,
+		CyclesPerPacket:     sw.CyclesPerPacket(),
+		ClassificationShare: b.ClassificationShare(),
+	}
+	for s := 0; s < len(row.StageShare); s++ {
+		row.StageShare[s] = float64(b[s]) / total
+	}
+	return row
+}
+
+func assembleFig3(rows []any) *Fig3Result {
 	res := &Fig3Result{
 		Table: metrics.NewTable("Figure 3: packet-processing breakdown (software OVS datapath)",
 			"scenario", "cyc/pkt", "pkt-io", "preproc", "emc", "megaflow", "other", "classification"),
 	}
-	// The OpenFlow layer is disabled here, as in the paper's analysis
-	// ("seldom accessed in practice", §3.1): rules install directly as
-	// megaflows.
 	res.Table.SetCaption("paper: 340-993 cyc/pkt, classification 30.9%%-77.8%%")
-
-	for _, scn := range scenarios {
-		p := halo.NewPlatform(halo.DefaultPlatformConfig())
-		sw, err := vswitch.New(p, vswitch.DefaultConfig())
-		if err != nil {
-			panic(err)
-		}
-		w := trafficgen.Generate(scn, cfg.Seed)
-		if err := sw.InstallRules([]vswitch.RuleInstaller{workloadRules{w}}); err != nil {
-			panic(err)
-		}
-		sw.Warm()
-		th := cpu.NewThread(p.Hier, 0)
-		for i := 0; i < warmup; i++ {
-			pkt, _ := w.NextPacket()
-			sw.ProcessPacket(th, &pkt)
-		}
-		sw.ResetStats()
-		for i := 0; i < packets; i++ {
-			pkt, _ := w.NextPacket()
-			sw.ProcessPacket(th, &pkt)
-		}
-
-		b := sw.Breakdown()
-		total := float64(b.Total())
-		row := Fig3Row{
-			Scenario:            scn.Name,
-			CyclesPerPacket:     sw.CyclesPerPacket(),
-			ClassificationShare: b.ClassificationShare(),
-		}
-		for s := 0; s < len(row.StageShare); s++ {
-			row.StageShare[s] = float64(b[s]) / total
-		}
+	for _, r := range rows {
+		row := r.(Fig3Row)
 		res.Rows = append(res.Rows, row)
-		res.Table.AddRow(scn.Name, row.CyclesPerPacket,
+		res.Table.AddRow(row.Scenario, row.CyclesPerPacket,
 			metrics.Percent(row.StageShare[vswitch.StagePacketIO]),
 			metrics.Percent(row.StageShare[vswitch.StagePreProc]),
 			metrics.Percent(row.StageShare[vswitch.StageEMC]),

@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"fmt"
+	"io"
+
 	"halo/internal/cache"
 	"halo/internal/cuckoo"
 	"halo/internal/metrics"
@@ -24,8 +27,14 @@ type Fig4Result struct {
 	Table *metrics.Table
 }
 
-// RunFig4 reproduces Fig. 4.
-func RunFig4(cfg Config) *Fig4Result {
+// fig4Cell is one (table kind, flow count) coordinate of the sweep.
+type fig4Cell struct {
+	name  string
+	sfh   bool
+	flows uint64
+}
+
+func fig4Cells(cfg Config) []fig4Cell {
 	// 500K sits in the window where the SFH footprint (5x over-allocated)
 	// has outgrown the 32 MB LLC while the compact cuckoo table still fits
 	// — the sharpest contrast of the paper's figure.
@@ -33,25 +42,57 @@ func RunFig4(cfg Config) *Fig4Result {
 	if cfg.Quick {
 		flowCounts = []uint64{1_000, 10_000, 100_000, 500_000}
 	}
-	lookups := pickSize(cfg, 4000, 20000)
-
-	res := &Fig4Result{
-		Table: metrics.NewTable("Figure 4: hash-table cache behaviour (cuckoo vs SFH)",
-			"table", "flows", "L2 MPKL", "LLC MPKL", "L2-stall", "LLC-stall", "util"),
-	}
-	res.Table.SetCaption("paper: cuckoo stays LLC-resident to 4M flows; SFH misses LLC from ~100K")
-
+	var cells []fig4Cell
 	for _, kind := range []struct {
 		name string
 		sfh  bool
 	}{{"cuckoo", false}, {"sfh", true}} {
 		for _, flows := range flowCounts {
-			row := runFig4Point(kind.name, kind.sfh, flows, lookups)
-			res.Rows = append(res.Rows, row)
-			res.Table.AddRow(row.Kind, row.Flows, row.L2MPKL, row.LLCMPKL,
-				metrics.Percent(row.L2StallPct), metrics.Percent(row.LLCStallPct),
-				metrics.Percent(row.Utilisation))
+			cells = append(cells, fig4Cell{kind.name, kind.sfh, flows})
 		}
+	}
+	return cells
+}
+
+// Fig4Sweep decomposes Fig. 4 into one point per (table kind, flow count).
+func Fig4Sweep() Sweep {
+	return Sweep{
+		Points: func(cfg Config) []Point {
+			cells := fig4Cells(cfg)
+			pts := make([]Point, len(cells))
+			for i, c := range cells {
+				pts[i] = Point{Experiment: "fig4", Index: i,
+					Label: fmt.Sprintf("%s/%d-flows", c.name, c.flows)}
+			}
+			return pts
+		},
+		RunPoint: func(cfg Config, p Point) any {
+			c := fig4Cells(cfg)[p.Index]
+			return runFig4Point(c.name, c.sfh, c.flows, pickSize(cfg, 4000, 20000))
+		},
+		Render: func(cfg Config, rows []any, w io.Writer) {
+			assembleFig4(rows).Table.Render(w)
+		},
+	}
+}
+
+// RunFig4 reproduces Fig. 4.
+func RunFig4(cfg Config) *Fig4Result {
+	return assembleFig4(runSerial(cfg, Fig4Sweep()))
+}
+
+func assembleFig4(rows []any) *Fig4Result {
+	res := &Fig4Result{
+		Table: metrics.NewTable("Figure 4: hash-table cache behaviour (cuckoo vs SFH)",
+			"table", "flows", "L2 MPKL", "LLC MPKL", "L2-stall", "LLC-stall", "util"),
+	}
+	res.Table.SetCaption("paper: cuckoo stays LLC-resident to 4M flows; SFH misses LLC from ~100K")
+	for _, r := range rows {
+		row := r.(Fig4Row)
+		res.Rows = append(res.Rows, row)
+		res.Table.AddRow(row.Kind, row.Flows, row.L2MPKL, row.LLCMPKL,
+			metrics.Percent(row.L2StallPct), metrics.Percent(row.LLCStallPct),
+			metrics.Percent(row.Utilisation))
 	}
 	return res
 }

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+	"io"
 	"math"
 
 	"halo/internal/halo"
@@ -25,48 +27,92 @@ type Fig8Result struct {
 	Table  *metrics.Table
 }
 
+// fig8Cell is one (register size, flow count) coordinate.
+type fig8Cell struct {
+	bits  uint
+	flows int
+}
+
+func fig8Cells() []fig8Cell {
+	var cells []fig8Cell
+	for _, bits := range []uint{8, 16, 32, 64} {
+		for _, mult := range []float64{0.25, 0.5, 1, 2, 4} {
+			cells = append(cells, fig8Cell{bits, int(math.Max(1, float64(bits)*mult))})
+		}
+	}
+	return cells
+}
+
+// Fig8Sweep decomposes Fig. 8b into one point per (register size, flow
+// count) cell. Each cell draws from its own seeded generator (derived from
+// cfg.Seed and the cell's position) so the cells are independent of sweep
+// order.
+func Fig8Sweep() Sweep {
+	return Sweep{
+		Points: func(cfg Config) []Point {
+			cells := fig8Cells()
+			pts := make([]Point, len(cells))
+			for i, c := range cells {
+				pts[i] = Point{Experiment: "fig8", Index: i,
+					Label: fmt.Sprintf("%dbit/%dflows", c.bits, c.flows)}
+			}
+			return pts
+		},
+		RunPoint: func(cfg Config, p Point) any {
+			return runFig8Cell(cfg, p.Index, fig8Cells()[p.Index])
+		},
+		Render: func(cfg Config, rows []any, w io.Writer) {
+			assembleFig8(rows).Table.Render(w)
+		},
+	}
+}
+
 // RunFig8 reproduces Fig. 8b.
 func RunFig8(cfg Config) *Fig8Result {
+	return assembleFig8(runSerial(cfg, Fig8Sweep()))
+}
+
+func runFig8Cell(cfg Config, index int, c fig8Cell) Fig8Point {
 	trials := pickSize(cfg, 60, 400)
+	rng := sim.NewRand(pointSeed(cfg, index))
+	var sumEst, sumErr float64
+	saturated := 0
+	for trial := 0; trial < trials; trial++ {
+		reg := halo.NewFlowRegister(c.bits)
+		for f := 0; f < c.flows; f++ {
+			h := rng.Uint64()
+			for rep := 0; rep < 4; rep++ { // flows repeat within a window
+				reg.Observe(h)
+			}
+		}
+		if reg.Saturated() {
+			saturated++
+		}
+		est := reg.Estimate()
+		sumEst += est
+		sumErr += math.Abs(est-float64(c.flows)) / float64(c.flows)
+	}
+	return Fig8Point{
+		RegisterBits:  c.bits,
+		Flows:         c.flows,
+		MeanEstimate:  sumEst / float64(trials),
+		MeanRelErr:    sumErr / float64(trials),
+		SaturatedPct:  float64(saturated) / float64(trials),
+		TrialsPerCell: trials,
+	}
+}
+
+func assembleFig8(rows []any) *Fig8Result {
 	res := &Fig8Result{
 		Table: metrics.NewTable("Figure 8b: flow-register estimation accuracy (linear counting)",
 			"bits", "flows", "mean-estimate", "rel-err", "saturated"),
 	}
 	res.Table.SetCaption("paper: an m-bit register accurately estimates ~2m flows")
-
-	rng := sim.NewRand(cfg.Seed)
-	for _, bits := range []uint{8, 16, 32, 64} {
-		for _, mult := range []float64{0.25, 0.5, 1, 2, 4} {
-			flows := int(math.Max(1, float64(bits)*mult))
-			var sumEst, sumErr float64
-			saturated := 0
-			for trial := 0; trial < trials; trial++ {
-				reg := halo.NewFlowRegister(bits)
-				for f := 0; f < flows; f++ {
-					h := rng.Uint64()
-					for rep := 0; rep < 4; rep++ { // flows repeat within a window
-						reg.Observe(h)
-					}
-				}
-				if reg.Saturated() {
-					saturated++
-				}
-				est := reg.Estimate()
-				sumEst += est
-				sumErr += math.Abs(est-float64(flows)) / float64(flows)
-			}
-			pt := Fig8Point{
-				RegisterBits:  bits,
-				Flows:         flows,
-				MeanEstimate:  sumEst / float64(trials),
-				MeanRelErr:    sumErr / float64(trials),
-				SaturatedPct:  float64(saturated) / float64(trials),
-				TrialsPerCell: trials,
-			}
-			res.Points = append(res.Points, pt)
-			res.Table.AddRow(bits, flows, pt.MeanEstimate,
-				metrics.Percent(pt.MeanRelErr), metrics.Percent(pt.SaturatedPct))
-		}
+	for _, r := range rows {
+		pt := r.(Fig8Point)
+		res.Points = append(res.Points, pt)
+		res.Table.AddRow(pt.RegisterBits, pt.Flows, pt.MeanEstimate,
+			metrics.Percent(pt.MeanRelErr), metrics.Percent(pt.SaturatedPct))
 	}
 	return res
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 
 	"halo/internal/cuckoo"
 	"halo/internal/halo"
@@ -58,20 +59,68 @@ func fig9Occupancies(cfg Config) []float64 {
 	return []float64{0.25, 0.50, 0.75, 0.90}
 }
 
+// fig9Cell is one (size, occupancy, mode) coordinate.
+type fig9Cell struct {
+	size uint64
+	occ  float64
+	mode Fig9Mode
+}
+
+func fig9Cells(cfg Config) []fig9Cell {
+	var cells []fig9Cell
+	for _, size := range fig9Sizes(cfg) {
+		for _, occ := range fig9Occupancies(cfg) {
+			for _, mode := range Fig9Modes {
+				cells = append(cells, fig9Cell{size, occ, mode})
+			}
+		}
+	}
+	return cells
+}
+
+// Fig9Sweep decomposes Fig. 9 into one point per (size, occupancy, mode):
+// every compared solution at every sweep coordinate is its own simulator
+// run, exactly as the paper's separate gem5 runs were.
+func Fig9Sweep() Sweep {
+	return Sweep{
+		Points: func(cfg Config) []Point {
+			cells := fig9Cells(cfg)
+			pts := make([]Point, len(cells))
+			for i, c := range cells {
+				pts[i] = Point{Experiment: "fig9", Index: i,
+					Label: fmt.Sprintf("%s/%d-entries/%.0f%%", c.mode, c.size, c.occ*100)}
+			}
+			return pts
+		},
+		RunPoint: func(cfg Config, p Point) any {
+			c := fig9Cells(cfg)[p.Index]
+			return runFig9Point(c.mode, c.size, c.occ, pickSize(cfg, 1500, 5000))
+		},
+		Render: func(cfg Config, rows []any, w io.Writer) {
+			assembleFig9(cfg, rows).Table.Render(w)
+		},
+	}
+}
+
 // RunFig9 reproduces Fig. 9.
 func RunFig9(cfg Config) *Fig9Result {
-	lookups := pickSize(cfg, 1500, 5000)
+	return assembleFig9(cfg, runSerial(cfg, Fig9Sweep()))
+}
+
+func assembleFig9(cfg Config, rows []any) *Fig9Result {
 	res := &Fig9Result{
 		Table: metrics.NewTable("Figure 9: single hash-table lookup throughput (normalized to software)",
 			"entries", "occ", "software", "halo-B", "halo-NB", "tcam", "sram-tcam"),
 	}
 	res.Table.SetCaption("paper: HALO up to 3.3x in the LLC regime; software wins for tiny tables; TCAM fastest")
 
+	i := 0
 	for _, size := range fig9Sizes(cfg) {
 		for _, occ := range fig9Occupancies(cfg) {
 			cycles := map[Fig9Mode]float64{}
 			for _, mode := range Fig9Modes {
-				cycles[mode] = runFig9Point(mode, size, occ, lookups)
+				cycles[mode] = rows[i].(float64)
+				i++
 			}
 			row := []any{size, fmt.Sprintf("%.0f%%", occ*100)}
 			for _, mode := range Fig9Modes {

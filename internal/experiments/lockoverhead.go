@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"io"
+
 	"halo/internal/cache"
 	"halo/internal/cuckoo"
 	"halo/internal/halo"
@@ -22,21 +24,58 @@ type LockOverheadResult struct {
 	Table            *metrics.Table
 }
 
+// lockPassRow is the software-locking point's measurement.
+type lockPassRow struct{ WithLock, WithoutLock float64 }
+
+// latencyRow is the remote-vs-LLC latency point's measurement.
+type latencyRow struct{ LLCHit, RemoteHit float64 }
+
+// LockOverheadSweep decomposes the §3.4 analysis into its three
+// independent measurements.
+func LockOverheadSweep() Sweep {
+	labels := []string{"software-lock", "remote-latency", "halo-lock"}
+	return Sweep{
+		Points: func(cfg Config) []Point {
+			pts := make([]Point, len(labels))
+			for i, l := range labels {
+				pts[i] = Point{Experiment: "lockoverhead", Index: i, Label: l}
+			}
+			return pts
+		},
+		RunPoint: func(cfg Config, p Point) any {
+			lookups := pickSize(cfg, 2000, 10000)
+			switch p.Index {
+			case 0:
+				// Optimistic-lock share of software lookup time, with
+				// writers interleaved so the version line actually bounces
+				// between cores.
+				return lockPassRow{
+					WithLock:    runLockPass(lookups, true),
+					WithoutLock: runLockPass(lookups, false),
+				}
+			case 1:
+				return runLatencyProbe()
+			default:
+				// HALO's hardware lock under the same read/write mix —
+				// lock stalls happen in the cache, with no instruction
+				// overhead.
+				return runHaloLockPass(lookups)
+			}
+		},
+		Render: func(cfg Config, rows []any, w io.Writer) {
+			assembleLockOverhead(rows).Table.Render(w)
+		},
+	}
+}
+
 // RunLockOverhead reproduces the §3.4 measurements.
 func RunLockOverhead(cfg Config) *LockOverheadResult {
-	lookups := pickSize(cfg, 2000, 10000)
+	return assembleLockOverhead(runSerial(cfg, LockOverheadSweep()))
+}
 
-	// Part 1: optimistic-lock share of software lookup time, with writers
-	// interleaved so the version line actually bounces between cores.
-	withLock := runLockPass(lookups, true)
-	withoutLock := runLockPass(lookups, false)
-	lockShare := (withLock - withoutLock) / withLock
-	if lockShare < 0 {
-		lockShare = 0
-	}
-
-	// Part 2: remote-private-cache access vs LLC access (paper: remote is
-	// about 2x an LLC hit and can exceed 100 cycles).
+// runLatencyProbe measures remote-private-cache access vs LLC access
+// (paper: remote is about 2x an LLC hit and can exceed 100 cycles).
+func runLatencyProbe() latencyRow {
 	p := halo.NewPlatform(halo.DefaultPlatformConfig())
 	llcAddrs := p.Alloc.AllocLines(64)
 	var llcTotal, remoteTotal float64
@@ -57,17 +96,23 @@ func RunLockOverhead(cfg Config) *LockOverheadResult {
 		}
 		remoteTotal += float64(r.Latency())
 	}
+	return latencyRow{LLCHit: llcTotal / 64, RemoteHit: remoteTotal / 64}
+}
 
+func assembleLockOverhead(rows []any) *LockOverheadResult {
+	pass := rows[0].(lockPassRow)
+	lat := rows[1].(latencyRow)
+	lockShare := (pass.WithLock - pass.WithoutLock) / pass.WithLock
+	if lockShare < 0 {
+		lockShare = 0
+	}
 	res := &LockOverheadResult{
-		LockSharePct:    lockShare,
-		LLCHitCycles:    llcTotal / 64,
-		RemoteHitCycles: remoteTotal / 64,
+		LockSharePct:     lockShare,
+		LLCHitCycles:     lat.LLCHit,
+		RemoteHitCycles:  lat.RemoteHit,
+		HaloLockStallPct: rows[2].(float64),
 	}
 	res.RemoteOverLLC = res.RemoteHitCycles / res.LLCHitCycles
-
-	// Part 3: HALO's hardware lock under the same read/write mix — lock
-	// stalls happen in the cache, with no instruction overhead.
-	res.HaloLockStallPct = runHaloLockPass(lookups)
 
 	res.Table = metrics.NewTable("§3.4: concurrency overhead of flow classification",
 		"metric", "value")

@@ -6,36 +6,39 @@ import (
 	"sort"
 )
 
-// Runner executes one experiment and writes its tables to w.
+// Runner names one experiment and carries its Sweep decomposition. The
+// runner package fans the sweep points out across workers; Run executes
+// them serially in place.
 type Runner struct {
 	ID    string
 	Paper string // which paper artefact it regenerates
-	Run   func(cfg Config, w io.Writer)
+	Sweep Sweep
+}
+
+// Run executes every point of the experiment serially and renders its
+// tables to w.
+func (r Runner) Run(cfg Config, w io.Writer) {
+	r.Sweep.Render(cfg, runSerial(cfg, r.Sweep), w)
 }
 
 // Registry returns every experiment runner, keyed and ordered by ID.
 func Registry() []Runner {
-	runners := []Runner{
-		{"fig3", "Figure 3 (packet-processing breakdown)", func(c Config, w io.Writer) { RunFig3(c).Table.Render(w) }},
-		{"fig4", "Figure 4 (cuckoo vs SFH cache behaviour)", func(c Config, w io.Writer) { RunFig4(c).Table.Render(w) }},
-		{"table1", "Table 1 (instruction profile)", func(c Config, w io.Writer) { RunTable1(c).Table.Render(w) }},
-		{"lockoverhead", "§3.4 (concurrency overhead)", func(c Config, w io.Writer) { RunLockOverhead(c).Table.Render(w) }},
-		{"fig8", "Figure 8b (flow-register accuracy)", func(c Config, w io.Writer) { RunFig8(c).Table.Render(w) }},
-		{"fig9", "Figure 9 (single-table lookup sweep)", func(c Config, w io.Writer) { RunFig9(c).Table.Render(w) }},
-		{"fig10", "Figure 10 (latency breakdown)", func(c Config, w io.Writer) { RunFig10(c).Table.Render(w) }},
-		{"fig11", "Figure 11 (tuple space search)", func(c Config, w io.Writer) { RunFig11(c).Table.Render(w) }},
-		{"fig12", "Figure 12 (collocated NF interference)", func(c Config, w io.Writer) { RunFig12(c).Table.Render(w) }},
-		{"table4", "Table 4 (power and area)", func(c Config, w io.Writer) {
-			r := RunTable4(c)
-			r.Table.Render(w)
-			r.EfficiencyTable.Render(w)
-		}},
-		{"fig13", "Figure 13 (hash-table NF speedup)", func(c Config, w io.Writer) { RunFig13(c).Table.Render(w) }},
-		{"ablations", "design-choice sweeps (beyond the paper)", func(c Config, w io.Writer) { RunAblations(c).Table.Render(w) }},
-		{"scaling", "multicore scaling under rule churn (beyond the paper)", func(c Config, w io.Writer) { RunScaling(c).Table.Render(w) }},
-		{"updates", "rule-update cost, cuckoo vs TCAM (§1 motivation)", func(c Config, w io.Writer) { RunUpdates(c).Table.Render(w) }},
+	return []Runner{
+		{"fig3", "Figure 3 (packet-processing breakdown)", Fig3Sweep()},
+		{"fig4", "Figure 4 (cuckoo vs SFH cache behaviour)", Fig4Sweep()},
+		{"table1", "Table 1 (instruction profile)", Table1Sweep()},
+		{"lockoverhead", "§3.4 (concurrency overhead)", LockOverheadSweep()},
+		{"fig8", "Figure 8b (flow-register accuracy)", Fig8Sweep()},
+		{"fig9", "Figure 9 (single-table lookup sweep)", Fig9Sweep()},
+		{"fig10", "Figure 10 (latency breakdown)", Fig10Sweep()},
+		{"fig11", "Figure 11 (tuple space search)", Fig11Sweep()},
+		{"fig12", "Figure 12 (collocated NF interference)", Fig12Sweep()},
+		{"table4", "Table 4 (power and area)", Table4Sweep()},
+		{"fig13", "Figure 13 (hash-table NF speedup)", Fig13Sweep()},
+		{"ablations", "design-choice sweeps (beyond the paper)", AblationsSweep()},
+		{"scaling", "multicore scaling under rule churn (beyond the paper)", ScalingSweep()},
+		{"updates", "rule-update cost, cuckoo vs TCAM (§1 motivation)", UpdatesSweep()},
 	}
-	return runners
 }
 
 // Find returns the runner with the given ID.
@@ -58,7 +61,7 @@ func IDs() []string {
 	return ids
 }
 
-// RunAll executes every experiment in registry order.
+// RunAll executes every experiment serially in registry order.
 func RunAll(cfg Config, w io.Writer) {
 	for _, r := range Registry() {
 		fmt.Fprintf(w, "### %s — %s\n\n", r.ID, r.Paper)

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 
 	"halo/internal/cpu"
 	"halo/internal/cuckoo"
@@ -28,23 +29,70 @@ type ScalingResult struct {
 	Table  *metrics.Table
 }
 
+// scalingCell is one (mode, core count) coordinate.
+type scalingCell struct {
+	mode  Fig9Mode
+	cores int
+}
+
+func scalingCoreCounts(cfg Config) []int {
+	if cfg.Quick {
+		return []int{1, 4, 15}
+	}
+	return []int{1, 2, 4, 8, 15}
+}
+
+func scalingCells(cfg Config) []scalingCell {
+	var cells []scalingCell
+	for _, mode := range []Fig9Mode{ModeSoftware, ModeHaloB, ModeHaloNB} {
+		for _, n := range scalingCoreCounts(cfg) {
+			cells = append(cells, scalingCell{mode, n})
+		}
+	}
+	return cells
+}
+
+// ScalingSweep decomposes the scaling study into one point per (mode,
+// core count); each point simulates its own lockstep multi-thread run.
+func ScalingSweep() Sweep {
+	return Sweep{
+		Points: func(cfg Config) []Point {
+			cells := scalingCells(cfg)
+			pts := make([]Point, len(cells))
+			for i, c := range cells {
+				pts[i] = Point{Experiment: "scaling", Index: i,
+					Label: fmt.Sprintf("%s/%d-cores", c.mode, c.cores)}
+			}
+			return pts
+		},
+		RunPoint: func(cfg Config, p Point) any {
+			c := scalingCells(cfg)[p.Index]
+			return runScalingPoint(c.mode, c.cores, pickSize(cfg, 300, 1500))
+		},
+		Render: func(cfg Config, rows []any, w io.Writer) {
+			assembleScaling(cfg, rows).Table.Render(w)
+		},
+	}
+}
+
 // RunScaling measures multicore scaling for the software and HALO paths.
 func RunScaling(cfg Config) *ScalingResult {
-	rounds := pickSize(cfg, 300, 1500)
-	coreCounts := []int{1, 2, 4, 8, 15}
-	if cfg.Quick {
-		coreCounts = []int{1, 4, 15}
-	}
+	return assembleScaling(cfg, runSerial(cfg, ScalingSweep()))
+}
+
+func assembleScaling(cfg Config, rows []any) *ScalingResult {
 	res := &ScalingResult{
 		Table: metrics.NewTable("Scaling (extension): shared-table lookup throughput vs cores",
 			"mode", "cores", "lookups/kcycle", "efficiency"),
 	}
 	res.Table.SetCaption("one updater thread churns the table; core 15 is reserved for it")
 
+	i := 0
 	for _, mode := range []Fig9Mode{ModeSoftware, ModeHaloB, ModeHaloNB} {
 		var single float64
-		for _, n := range coreCounts {
-			tput := runScalingPoint(mode, n, rounds)
+		for _, n := range scalingCoreCounts(cfg) {
+			tput := rows[i].(float64)
+			i++
 			if single == 0 {
 				single = tput
 			}

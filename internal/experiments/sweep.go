@@ -1,0 +1,62 @@
+package experiments
+
+import "io"
+
+// Point is one independently runnable unit of an experiment's sweep. A
+// point carries only coordinates — the owning experiment's ID, its position
+// in the sweep, and a human-readable label — so it is trivially cheap to
+// enumerate and can be handed to any goroutine (or, in principle, any
+// process) for execution.
+type Point struct {
+	Experiment string
+	Index      int
+	Label      string
+}
+
+// Sweep decomposes an experiment into points that can run concurrently.
+//
+// The contract that makes fan-out safe:
+//
+//   - RunPoint builds every piece of state it needs from cfg and p alone —
+//     a fresh platform per point, mirroring the paper's separate gem5 runs
+//     — and touches no package-level mutable state. The runner executes
+//     points on arbitrary goroutines in arbitrary order.
+//   - RunPoint is deterministic: the same (cfg, p) always returns the same
+//     row. All randomness must flow from seeds derived from cfg.Seed and
+//     the point's coordinates.
+//   - Rows are plain values (structs of scalars, or slices of such
+//     structs) with no pointers, so two rows are equal exactly when their
+//     %#v renderings are byte-identical — which is how the runner's verify
+//     mode checks the determinism contract.
+//   - Render receives one row per point, in Points order, regardless of
+//     the order in which the points actually ran.
+type Sweep struct {
+	// Points enumerates the sweep for cfg, in result order.
+	Points func(cfg Config) []Point
+	// RunPoint executes one point on fresh state and returns its row.
+	RunPoint func(cfg Config, p Point) any
+	// Render combines the rows (in Points order) into printed tables.
+	Render func(cfg Config, rows []any, w io.Writer)
+}
+
+// runSerial executes every point of s in order on the calling goroutine —
+// the serial baseline the parallel runner is verified against.
+func runSerial(cfg Config, s Sweep) []any {
+	pts := s.Points(cfg)
+	rows := make([]any, len(pts))
+	for i, p := range pts {
+		rows[i] = s.RunPoint(cfg, p)
+	}
+	return rows
+}
+
+// pointSeed derives a per-point workload seed from the experiment seed and
+// the point's coordinates, so points that need private randomness stay
+// deterministic and independent of sweep order.
+func pointSeed(cfg Config, index int) uint64 {
+	x := cfg.Seed ^ (uint64(index)+1)*0x9e3779b97f4a7c15
+	x ^= x >> 32
+	x *= 0xd6e8feb86659fd93
+	x ^= x >> 32
+	return x
+}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"io"
+
 	"halo/internal/cuckoo"
 	"halo/internal/metrics"
 )
@@ -17,8 +19,36 @@ type Table1Result struct {
 	Table                 *metrics.Table
 }
 
+// table1Row is the single point's measurement (the Table1Result scalars).
+type table1Row struct {
+	InstructionsPerLookup float64
+	LoadShare             float64
+	StoreShare            float64
+	MemoryShare           float64
+	ArithShare            float64
+	OtherShare            float64
+}
+
+// Table1Sweep exposes the single instruction-profile measurement as a
+// one-point sweep.
+func Table1Sweep() Sweep {
+	return Sweep{
+		Points: func(cfg Config) []Point {
+			return []Point{{Experiment: "table1", Index: 0, Label: "instruction-profile"}}
+		},
+		RunPoint: func(cfg Config, p Point) any { return runTable1Point(cfg) },
+		Render: func(cfg Config, rows []any, w io.Writer) {
+			assembleTable1(rows).Table.Render(w)
+		},
+	}
+}
+
 // RunTable1 reproduces Table 1.
 func RunTable1(cfg Config) *Table1Result {
+	return assembleTable1(runSerial(cfg, Table1Sweep()))
+}
+
+func runTable1Point(cfg Config) table1Row {
 	lookups := pickSize(cfg, 2000, 20000)
 	f := newLookupFixture(1<<14, 0.75)
 	for i := 0; i < lookups; i++ { // warm
@@ -31,13 +61,25 @@ func RunTable1(cfg Config) *Table1Result {
 	c := f.thread.Counts
 	n := float64(lookups)
 	total := float64(c.Total())
-	res := &Table1Result{
+	return table1Row{
 		InstructionsPerLookup: total / n,
 		LoadShare:             float64(c.Loads) / total,
 		StoreShare:            float64(c.Stores) / total,
 		MemoryShare:           float64(c.Loads+c.Stores) / total,
 		ArithShare:            float64(c.Arith) / total,
 		OtherShare:            float64(c.Other) / total,
+	}
+}
+
+func assembleTable1(rows []any) *Table1Result {
+	row := rows[0].(table1Row)
+	res := &Table1Result{
+		InstructionsPerLookup: row.InstructionsPerLookup,
+		LoadShare:             row.LoadShare,
+		StoreShare:            row.StoreShare,
+		MemoryShare:           row.MemoryShare,
+		ArithShare:            row.ArithShare,
+		OtherShare:            row.OtherShare,
 	}
 	res.Table = metrics.NewTable("Table 1: instructions per software lookup",
 		"solution", "#instr/lookup", "memory", "(load)", "(store)", "arith", "other")

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"io"
+
 	"halo/internal/metrics"
 	"halo/internal/power"
 )
@@ -15,12 +17,46 @@ type Table4Result struct {
 	EfficiencyTable *metrics.Table
 }
 
+// table4Row is the single point's measurement: the analytic power-model
+// outputs (no simulation involved).
+type table4Row struct {
+	Rows            []power.Table4Row
+	EfficiencyVs1MB float64
+	HaloAreaPercent float64
+}
+
+// Table4Sweep exposes the power-model evaluation as a one-point sweep.
+func Table4Sweep() Sweep {
+	return Sweep{
+		Points: func(cfg Config) []Point {
+			return []Point{{Experiment: "table4", Index: 0, Label: "power-model"}}
+		},
+		RunPoint: func(cfg Config, p Point) any {
+			return table4Row{
+				Rows:            power.Table4(),
+				EfficiencyVs1MB: power.EfficiencyVsTCAM(1 << 20),
+				HaloAreaPercent: power.HaloChipAreaPercent(),
+			}
+		},
+		Render: func(cfg Config, rows []any, w io.Writer) {
+			r := assembleTable4(rows)
+			r.Table.Render(w)
+			r.EfficiencyTable.Render(w)
+		},
+	}
+}
+
 // RunTable4 reproduces Table 4.
-func RunTable4(_ Config) *Table4Result {
+func RunTable4(cfg Config) *Table4Result {
+	return assembleTable4(runSerial(cfg, Table4Sweep()))
+}
+
+func assembleTable4(rows []any) *Table4Result {
+	row := rows[0].(table4Row)
 	res := &Table4Result{
-		Rows:            power.Table4(),
-		EfficiencyVs1MB: power.EfficiencyVsTCAM(1 << 20),
-		HaloAreaPercent: power.HaloChipAreaPercent(),
+		Rows:            row.Rows,
+		EfficiencyVs1MB: row.EfficiencyVs1MB,
+		HaloAreaPercent: row.HaloAreaPercent,
 	}
 	res.Table = metrics.NewTable("Table 4: power and area of hardware flow-classification approaches",
 		"solution", "area/tiles", "static mW", "dynamic nJ/query")

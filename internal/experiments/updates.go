@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"fmt"
+	"io"
+
 	"halo/internal/cuckoo"
 	"halo/internal/metrics"
 	"halo/internal/sim"
@@ -25,34 +28,71 @@ type UpdatesResult struct {
 	Table  *metrics.Table
 }
 
-// RunUpdates measures rule-update cost (alternating insert/delete at random
-// priority positions) for the software cuckoo table and a TCAM.
-func RunUpdates(cfg Config) *UpdatesResult {
-	ops := pickSize(cfg, 400, 2000)
+// updatesCell is one (solution, table size) coordinate.
+type updatesCell struct {
+	solution string
+	size     int
+}
+
+func updatesCells(cfg Config) []updatesCell {
 	sizes := []int{1_000, 10_000, 100_000}
 	if cfg.Quick {
 		sizes = []int{1_000, 10_000}
 	}
+	var cells []updatesCell
+	for _, size := range sizes {
+		cells = append(cells, updatesCell{"cuckoo", size}, updatesCell{"tcam", size})
+	}
+	return cells
+}
+
+// UpdatesSweep decomposes the update-cost study into one point per
+// (solution, table size).
+func UpdatesSweep() Sweep {
+	return Sweep{
+		Points: func(cfg Config) []Point {
+			cells := updatesCells(cfg)
+			pts := make([]Point, len(cells))
+			for i, c := range cells {
+				pts[i] = Point{Experiment: "updates", Index: i,
+					Label: fmt.Sprintf("%s/%d-entries", c.solution, c.size)}
+			}
+			return pts
+		},
+		RunPoint: func(cfg Config, p Point) any {
+			c := updatesCells(cfg)[p.Index]
+			ops := pickSize(cfg, 400, 2000)
+			if c.solution == "cuckoo" {
+				return runCuckooUpdates(c.size, ops)
+			}
+			return runTCAMUpdates(c.size, ops, cfg.Seed)
+		},
+		Render: func(cfg Config, rows []any, w io.Writer) {
+			assembleUpdates(cfg, rows).Table.Render(w)
+		},
+	}
+}
+
+// RunUpdates measures rule-update cost (alternating insert/delete at random
+// priority positions) for the software cuckoo table and a TCAM.
+func RunUpdates(cfg Config) *UpdatesResult {
+	return assembleUpdates(cfg, runSerial(cfg, UpdatesSweep()))
+}
+
+func assembleUpdates(cfg Config, rows []any) *UpdatesResult {
 	res := &UpdatesResult{
 		Table: metrics.NewTable("Updates (extension): rule-update cost, cuckoo vs TCAM",
 			"solution", "entries", "cycles/update", "updates/ms @2.1GHz"),
 	}
 	res.Table.SetCaption("paper §1: TCAM updates are expensive (priority shifting); cuckoo is near-constant")
 
-	for _, size := range sizes {
-		c := runCuckooUpdates(size, ops)
+	for i, cell := range updatesCells(cfg) {
+		c := rows[i].(float64)
 		res.Points = append(res.Points, UpdatePoint{
-			Solution: "cuckoo", Entries: size, CyclesPerOp: c,
+			Solution: cell.solution, Entries: cell.size, CyclesPerOp: c,
 			UpdatesPerMsec: ClockGHz * 1e6 / c,
 		})
-		res.Table.AddRow("cuckoo", size, c, ClockGHz*1e6/c)
-
-		tc := runTCAMUpdates(size, ops, cfg.Seed)
-		res.Points = append(res.Points, UpdatePoint{
-			Solution: "tcam", Entries: size, CyclesPerOp: tc,
-			UpdatesPerMsec: ClockGHz * 1e6 / tc,
-		})
-		res.Table.AddRow("tcam", size, tc, ClockGHz*1e6/tc)
+		res.Table.AddRow(cell.solution, cell.size, c, ClockGHz*1e6/c)
 	}
 	return res
 }

@@ -9,9 +9,13 @@
 //	halobench -parallel 8         # shard sweep points across 8 workers
 //	halobench -verify             # run every point twice, fail on divergence
 //	halobench -list               # list experiment IDs
+//	halobench -json results.json  # also write the schema-versioned stats document
+//	halobench -validate results.json  # check a stats document and exit
 //
 // Output tables go to stdout; timing and verification status go to stderr,
-// so `halobench > halobench_output.txt` is byte-reproducible.
+// so `halobench > halobench_output.txt` is byte-reproducible. The -json
+// document is likewise byte-identical across worker counts, which CI
+// asserts by comparing serial and pooled runs.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 
 	"halo/internal/experiments"
 	"halo/internal/runner"
+	"halo/internal/stats"
 )
 
 func main() {
@@ -33,8 +38,30 @@ func main() {
 		seed       = flag.Uint64("seed", 0x48414c4f, "workload seed")
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for sweep points")
 		verify     = flag.Bool("verify", false, "run every point serially too and fail on divergence")
+		jsonPath   = flag.String("json", "", "also write the stats document (rows + counters + histograms) to this file")
+		validate   = flag.String("validate", "", "validate a stats document written by -json and exit")
 	)
 	flag.Parse()
+
+	if *validate != "" {
+		data, err := os.ReadFile(*validate)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "halobench: %v\n", err)
+			os.Exit(1)
+		}
+		doc, err := stats.Validate(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "halobench: %s: %v\n", *validate, err)
+			os.Exit(1)
+		}
+		points := 0
+		for _, e := range doc.Experiments {
+			points += len(e.Points)
+		}
+		fmt.Fprintf(os.Stderr, "%s: valid %s document (%d experiments, %d points)\n",
+			*validate, doc.Schema, len(doc.Experiments), points)
+		return
+	}
 
 	if *list {
 		for _, r := range experiments.Registry() {
@@ -63,7 +90,22 @@ func main() {
 	}
 	opt := runner.Options{Workers: workers, Verify: *verify}
 	start := time.Now()
-	err := runner.Run(opt, cfg, runners, os.Stdout)
+	var err error
+	if *jsonPath != "" {
+		var doc *stats.Document
+		doc, err = runner.RunDoc(opt, cfg, runners, os.Stdout)
+		if err == nil {
+			var data []byte
+			if data, err = stats.Encode(doc); err == nil {
+				err = os.WriteFile(*jsonPath, data, 0o644)
+			}
+			if err == nil {
+				fmt.Fprintf(os.Stderr, "stats document: %s (%d bytes)\n", *jsonPath, len(data))
+			}
+		}
+	} else {
+		err = runner.Run(opt, cfg, runners, os.Stdout)
+	}
 	elapsed := time.Since(start).Round(time.Millisecond)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "halobench: %v\n", err)

@@ -179,6 +179,7 @@ func runEngine(engine string, factory trafficFactory, packets int, openflow bool
 		sw.ProcessPacket(th, &pkt)
 	}
 	sw.ResetStats()
+	th.ResetCounts() // latency histograms cover the measured window only
 	for i := 0; i < packets; i++ {
 		pkt := src.nextPacket()
 		if _, ok := sw.ProcessPacket(th, &pkt); !ok {
@@ -207,8 +208,31 @@ func runEngine(engine string, factory trafficFactory, packets int, openflow bool
 	if cfg.OpenFlow {
 		fmt.Fprintf(&out, "openflow hits:       %d (megaflows learned: %d)\n", sw.OpenFlowHits(), sw.Mega.RuleCount())
 	}
+	if h := th.Hist("lat.packet"); h != nil {
+		fmt.Fprintf(&out, "packet latency:      %s\n", metrics.Quantiles(h.Quantile))
+	}
+	// Per-mode lookup latency histograms: a hybrid run shows both engines'
+	// distributions plus the combined hybrid view.
+	for _, lh := range []struct{ name, label string }{
+		{"lat.lookup.software", "software lookups"},
+		{"lat.lookup.accel", "accel lookups"},
+		{"lat.lookup.hybrid", "hybrid lookups"},
+	} {
+		if h := th.Hist(lh.name); h != nil {
+			fmt.Fprintf(&out, "%-21s%s (n=%d, mean %.1f)\n", lh.label+":", metrics.Quantiles(h.Quantile), h.Count(), h.Mean())
+		}
+	}
 	if mode, ok := sw.HybridMode(); ok {
 		fmt.Fprintf(&out, "hybrid mode:         %v\n", mode)
+	}
+	if hy := sw.Hybrid(); hy != nil {
+		swLookups, hwLookups := hy.Lookups()
+		fmt.Fprintf(&out, "hybrid routing:      %d software / %d accel (%d window scans, incl. warm-up)\n",
+			swLookups, hwLookups, hy.Scans())
+		for _, ev := range hy.Timeline() {
+			fmt.Fprintf(&out, "mode switch:         cycle %d: %v -> %v (flow estimate %.1f)\n",
+				ev.At, ev.From, ev.To, ev.Estimate)
+		}
 	}
 	if cfg.Engine == vswitch.EngineHalo {
 		s := p.Unit.Stats()

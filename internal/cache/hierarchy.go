@@ -6,6 +6,7 @@ import (
 	"halo/internal/mem"
 	"halo/internal/noc"
 	"halo/internal/sim"
+	"halo/internal/stats"
 )
 
 // Config sizes and times the hierarchy. Defaults follow paper Table 2
@@ -124,6 +125,25 @@ type Stats struct {
 	LockStalls         uint64
 	BackInvalidations  uint64
 	Writebacks         uint64
+}
+
+// CollectInto adds the hierarchy counters to a snapshot under the cache.*
+// names documented in DESIGN.md.
+func (s Stats) CollectInto(snap *stats.Snapshot) {
+	snap.Add("cache.l1.hits", s.L1Hits)
+	snap.Add("cache.l1.misses", s.L1Misses)
+	snap.Add("cache.l2.hits", s.L2Hits)
+	snap.Add("cache.l2.misses", s.L2Misses)
+	snap.Add("cache.llc.hits", s.LLCHits)
+	snap.Add("cache.llc.misses", s.LLCMisses)
+	snap.Add("cache.remote.hits", s.RemoteCacheHits)
+	snap.Add("cache.accel.accesses", s.AccelAccesses)
+	snap.Add("cache.accel.cycles", s.AccelAccessCycles)
+	snap.Add("cache.accel.llc_misses", s.AccelLLCMisses)
+	snap.Add("cache.lock.stalls", s.LockStalls)
+	snap.Add("cache.lock.stall_cycles", s.LockStallCycles)
+	snap.Add("cache.back_invalidations", s.BackInvalidations)
+	snap.Add("cache.writebacks", s.Writebacks)
 }
 
 // Hierarchy is the full simulated cache system.

@@ -14,6 +14,7 @@ import (
 	"halo/internal/cache"
 	"halo/internal/mem"
 	"halo/internal/sim"
+	"halo/internal/stats"
 )
 
 // Width is the sustained non-memory IPC of the modelled core: a Skylake-class
@@ -65,6 +66,10 @@ type Thread struct {
 
 	aluResidue uint64    // sub-cycle accumulator for IPC modelling
 	winStart   sim.Cycle // measurement-window start (set by ResetCounts)
+
+	// hists holds the thread's named latency histograms (lat.*), allocated
+	// lazily so threads that never record pay nothing.
+	hists map[string]*stats.Histogram
 }
 
 // NewThread creates a thread on the given core at cycle 0.
@@ -229,12 +234,46 @@ func (t *Thread) Reset() {
 	t.ResetCounts()
 }
 
-// ResetCounts clears instruction and stall counters without touching the
-// clock, marking the start of a measurement window.
+// ResetCounts clears instruction and stall counters (latency histograms
+// included) without touching the clock, marking the start of a measurement
+// window.
 func (t *Thread) ResetCounts() {
 	t.Counts = InstrCounts{}
 	t.Stalls = StallStats{}
 	t.pendingFills = make(map[mem.Addr]pendingFill)
 	t.aluResidue = 0
 	t.winStart = t.Now
+	t.hists = nil
+}
+
+// Record adds one cycle-cost observation to the thread's named latency
+// histogram, created on first use. Component code calls this with the
+// elapsed simulated cycles of an operation (a lookup, an insert, a whole
+// packet) under the stable lat.* names documented in DESIGN.md.
+func (t *Thread) Record(name string, cycles sim.Cycle) {
+	if t.hists == nil {
+		t.hists = make(map[string]*stats.Histogram)
+	}
+	h := t.hists[name]
+	if h == nil {
+		h = stats.NewHistogram()
+		t.hists[name] = h
+	}
+	h.Observe(uint64(cycles))
+}
+
+// Hist returns the thread's named latency histogram, or nil if nothing was
+// recorded under that name in the current measurement window.
+func (t *Thread) Hist(name string) *stats.Histogram { return t.hists[name] }
+
+// CollectInto merges the thread's instruction counts and latency histograms
+// into a snapshot under the cpu.instr.* and lat.* names.
+func (t *Thread) CollectInto(s *stats.Snapshot) {
+	s.Add("cpu.instr.loads", t.Counts.Loads)
+	s.Add("cpu.instr.stores", t.Counts.Stores)
+	s.Add("cpu.instr.arith", t.Counts.Arith)
+	s.Add("cpu.instr.other", t.Counts.Other)
+	for name, h := range t.hists {
+		s.MergeHist(name, h)
+	}
 }

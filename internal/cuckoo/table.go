@@ -15,6 +15,7 @@ import (
 
 	"halo/internal/hashfn"
 	"halo/internal/mem"
+	"halo/internal/stats"
 )
 
 // EntriesPerBucket is the bucket width; 8 entries of 8 bytes fill one 64 B
@@ -86,6 +87,37 @@ type Table struct {
 
 	free []uint32 // free key-value slot indexes (host-side allocator state)
 	size uint64
+
+	stats TableStats
+}
+
+// TableStats counts operations against one table handle, functional and
+// timed paths combined. Lookups include the duplicate-check probe every
+// insert performs; Displacements counts individual cuckoo moves.
+type TableStats struct {
+	Lookups       uint64
+	Hits          uint64
+	Inserts       uint64
+	Deletes       uint64
+	Updates       uint64
+	Displacements uint64
+}
+
+// Stats returns a copy of the operation counters.
+func (t *Table) Stats() TableStats { return t.stats }
+
+// ResetStats zeroes the operation counters.
+func (t *Table) ResetStats() { t.stats = TableStats{} }
+
+// CollectInto adds the table's counters to a snapshot under the cuckoo.*
+// names; calling it for several tables accumulates them.
+func (s TableStats) CollectInto(snap *stats.Snapshot) {
+	snap.Add("cuckoo.lookups", s.Lookups)
+	snap.Add("cuckoo.hits", s.Hits)
+	snap.Add("cuckoo.inserts", s.Inserts)
+	snap.Add("cuckoo.deletes", s.Deletes)
+	snap.Add("cuckoo.updates", s.Updates)
+	snap.Add("cuckoo.displacements", s.Displacements)
 }
 
 // kvSlotSize returns the aligned key-value slot size for a key length:
@@ -305,11 +337,13 @@ func (t *Table) Lookup(key []byte) (value uint64, ok bool) {
 	if len(key) != t.keyLen {
 		return 0, false
 	}
+	t.stats.Lookups++
 	_, sig, b1, b2 := t.Hashes(key)
 	for _, b := range [2]uint64{b1, b2} {
 		for e := 0; e < EntriesPerBucket; e++ {
 			s, idx := t.readEntry(b, e)
 			if s == sig && t.keyEqual(idx, key) {
+				t.stats.Hits++
 				return t.readValue(idx), true
 			}
 		}
@@ -352,9 +386,11 @@ func (t *Table) Insert(key []byte, value uint64) error {
 		return false
 	}
 	if place(b1) {
+		t.stats.Inserts++
 		return nil
 	}
 	if !t.IsSFH() && place(b2) {
+		t.stats.Inserts++
 		return nil
 	}
 	if t.IsSFH() {
@@ -365,6 +401,7 @@ func (t *Table) Insert(key []byte, value uint64) error {
 	if path := t.findCuckooPath(b1, b2); path != nil {
 		t.applyCuckooPath(path)
 		if place(b1) || place(b2) {
+			t.stats.Inserts++
 			return nil
 		}
 	}
@@ -425,6 +462,7 @@ func (t *Table) findCuckooPath(b1, b2 uint64) []pathNode {
 // unreachable; each move bumps the change counter (a concurrent optimistic
 // reader would retry, paper Fig. 7a).
 func (t *Table) applyCuckooPath(path []pathNode) {
+	t.stats.Displacements += uint64(len(path))
 	for i := len(path) - 1; i >= 0; i-- {
 		n := path[i]
 		sig, idx := t.readEntry(n.bucket, n.slot)
@@ -452,6 +490,7 @@ func (t *Table) Update(key []byte, value uint64) bool {
 			s, idx := t.readEntry(b, e)
 			if s == sig && t.keyEqual(idx, key) {
 				t.writeKV(idx, key, value)
+				t.stats.Updates++
 				return true
 			}
 		}
@@ -477,6 +516,7 @@ func (t *Table) Delete(key []byte) bool {
 				t.bumpVersion()
 				t.free = append(t.free, idx)
 				t.size--
+				t.stats.Deletes++
 				return true
 			}
 		}

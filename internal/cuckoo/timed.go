@@ -40,6 +40,8 @@ func (t *Table) TimedLookup(th *cpu.Thread, key []byte, opts LookupOptions) (val
 	if len(key) != t.keyLen {
 		return 0, false
 	}
+	t.stats.Lookups++
+	start := th.Now
 
 	// Function prologue and call-chain overhead. The DPDK lookup path runs
 	// through three call layers (rte_hash_lookup → lookup_with_hash →
@@ -99,6 +101,10 @@ func (t *Table) TimedLookup(th *cpu.Thread, key []byte, opts LookupOptions) (val
 	th.LocalLoad(36)
 	th.LocalStore(4)
 	th.Other(28)
+	if ok {
+		t.stats.Hits++
+	}
+	th.Record("lat.lookup.software", th.Now-start)
 	return value, ok
 }
 
@@ -149,6 +155,8 @@ func (t *Table) TimedInsert(th *cpu.Thread, key []byte, value uint64) error {
 	if len(key) != t.keyLen {
 		return ErrKeyLen
 	}
+	start := th.Now
+	defer func() { th.Record("lat.insert.software", th.Now-start) }()
 	th.Other(6)
 	th.LocalStore(8)
 	th.LocalLoad(6)
@@ -190,10 +198,12 @@ func (t *Table) TimedInsert(th *cpu.Thread, key []byte, value uint64) error {
 	}
 	if place(b1) {
 		th.Other(4)
+		t.stats.Inserts++
 		return nil
 	}
 	if !t.IsSFH() && place(b2) {
 		th.Other(4)
+		t.stats.Inserts++
 		return nil
 	}
 	if t.IsSFH() {
@@ -224,6 +234,7 @@ func (t *Table) TimedInsert(th *cpu.Thread, key []byte, value uint64) error {
 	t.applyCuckooPath(path)
 	if place(b1) || place(b2) {
 		th.Other(4)
+		t.stats.Inserts++
 		return nil
 	}
 	return ErrTableFull
@@ -235,6 +246,8 @@ func (t *Table) TimedDelete(th *cpu.Thread, key []byte) bool {
 	if len(key) != t.keyLen {
 		return false
 	}
+	start := th.Now
+	defer func() { th.Record("lat.delete.software", th.Now-start) }()
 	th.Other(6)
 	th.LocalStore(6)
 	th.LocalLoad(4)

@@ -7,6 +7,7 @@ import (
 	"halo/internal/halo"
 	"halo/internal/metrics"
 	"halo/internal/noc"
+	"halo/internal/stats"
 )
 
 // AblationResult holds the design-choice sweeps DESIGN.md calls out: they
@@ -64,21 +65,23 @@ func AblationsSweep() Sweep {
 		},
 		RunPoint: func(cfg Config, p Point) any {
 			lookups := pickSize(cfg, 1500, 6000)
+			snap := pointSnapshot(cfg)
+			var row any
 			switch {
 			case p.Index == 0: // metadata cache on
-				return runAblationPoint(lookups, func(u *halo.UnitConfig) {})
+				row = runAblationPoint(lookups, func(u *halo.UnitConfig) {}, snap)
 			case p.Index == 1: // metadata cache off: every query re-reads
 				// the metadata line from the LLC.
-				return runAblationPoint(lookups, func(u *halo.UnitConfig) {
+				row = runAblationPoint(lookups, func(u *halo.UnitConfig) {
 					u.Accel.MetaCacheTables = 1
 					u.Accel.MetaCacheOff = true
-				})
+				}, snap)
 			case p.Index == 2: // hardware lock off: locking costs nothing
 				// on the read path.
-				return runAblationPoint(lookups, func(u *halo.UnitConfig) { u.Accel.LockEnabled = false })
+				row = runAblationPoint(lookups, func(u *halo.UnitConfig) { u.Accel.LockEnabled = false }, snap)
 			case p.Index < 3+len(ablationDepths): // scoreboard depth:
 				// deeper scoreboards absorb bursts.
-				return runAblationBurst(lookups, ablationDepths[p.Index-3])
+				row = runAblationBurst(lookups, ablationDepths[p.Index-3], snap)
 			default:
 				// Dispatch policy. The by-table policy's payoff is metadata
 				// locality: with more live tables than one metadata cache
@@ -86,8 +89,10 @@ func AblationsSweep() Sweep {
 				// resident on one accelerator, while round-robin thrashes
 				// every cache. 24 tables > the 10-table capacity.
 				name := ablationPolicyNames[p.Index-3-len(ablationDepths)]
-				return runAblationMultiTable(lookups, ablationPolicy(name))
+				row = runAblationMultiTable(lookups, ablationPolicy(name), snap)
 			}
+			recordSnap(cfg, p, snap)
+			return row
 		},
 		Render: func(cfg Config, rows []any, w io.Writer) {
 			assembleAblations(rows).Table.Render(w)
@@ -131,7 +136,7 @@ func assembleAblations(rows []any) *AblationResult {
 
 // runAblationMultiTable measures blocking lookups round-robining over 24
 // tables under the given dispatch policy.
-func runAblationMultiTable(lookups int, pol noc.DispatchPolicy) float64 {
+func runAblationMultiTable(lookups int, pol noc.DispatchPolicy, snap *stats.Snapshot) float64 {
 	pcfg := halo.DefaultPlatformConfig()
 	pcfg.Unit.Dispatch = pol
 	p := halo.NewPlatform(pcfg)
@@ -150,10 +155,11 @@ func runAblationMultiTable(lookups int, pol noc.DispatchPolicy) float64 {
 		f := fixtures[i%nTables]
 		p.Unit.LookupBAt(th, f.table.Base(), f.stageKeyDMA(uint64(i*13)))
 	}
+	collectInto(snap, p, th)
 	return float64(th.Now-start) / float64(lookups)
 }
 
-func runAblationPoint(lookups int, mutate func(*halo.UnitConfig)) float64 {
+func runAblationPoint(lookups int, mutate func(*halo.UnitConfig), snap *stats.Snapshot) float64 {
 	pcfg := halo.DefaultPlatformConfig()
 	mutate(&pcfg.Unit)
 	p := halo.NewPlatform(pcfg)
@@ -165,12 +171,13 @@ func runAblationPoint(lookups int, mutate func(*halo.UnitConfig)) float64 {
 	for i := 0; i < lookups; i++ {
 		p.Unit.LookupBAt(f.thread, f.table.Base(), f.stageKeyDMA(uint64(i*13)))
 	}
+	collectInto(snap, p, f.thread)
 	return float64(f.thread.Now-start) / float64(lookups)
 }
 
 // runAblationBurst measures a bursty all-cores workload against one table,
 // where the scoreboard depth governs queueing.
-func runAblationBurst(lookups int, depth int) float64 {
+func runAblationBurst(lookups int, depth int, snap *stats.Snapshot) float64 {
 	pcfg := halo.DefaultPlatformConfig()
 	pcfg.Unit.Accel.ScoreboardDepth = depth
 	p := halo.NewPlatform(pcfg)
@@ -184,5 +191,6 @@ func runAblationBurst(lookups int, depth int) float64 {
 			lastDone = float64(r.Done)
 		}
 	}
+	collectInto(snap, p, f.thread)
 	return lastDone / float64(lookups)
 }

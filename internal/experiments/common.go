@@ -13,6 +13,7 @@ import (
 	"halo/internal/cuckoo"
 	"halo/internal/halo"
 	"halo/internal/mem"
+	"halo/internal/stats"
 )
 
 // Config controls experiment scale.
@@ -22,6 +23,11 @@ type Config struct {
 	Quick bool
 	// Seed drives all workload randomness.
 	Seed uint64
+	// Stats, when non-nil, receives one component snapshot per sweep point
+	// (counters and latency histograms under the stable dotted names of
+	// internal/stats). Collection never influences the simulation, so runs
+	// with and without a collector produce identical rows.
+	Stats *stats.Collector
 }
 
 // DefaultConfig runs experiments at paper scale.
@@ -96,6 +102,41 @@ func (f *lookupFixture) stageKeyDMA(n uint64) mem.Addr {
 	f.p.Space.WriteAt(addr, testKey(n%f.fill))
 	f.p.Hier.DMAWrite(addr)
 	return addr
+}
+
+// statsCollector is anything that can publish counters and histograms into
+// a snapshot: platforms, threads, switches, hybrid controllers, table stats.
+type statsCollector interface {
+	CollectInto(*stats.Snapshot)
+}
+
+// collectInto gathers every collector into snap; a nil snap (stats disabled)
+// makes it a no-op, so run functions collect unconditionally.
+func collectInto(snap *stats.Snapshot, cs ...statsCollector) {
+	if snap == nil {
+		return
+	}
+	for _, c := range cs {
+		if c != nil {
+			c.CollectInto(snap)
+		}
+	}
+}
+
+// pointSnapshot returns a fresh snapshot when cfg wants stats, nil otherwise.
+func pointSnapshot(cfg Config) *stats.Snapshot {
+	if cfg.Stats == nil {
+		return nil
+	}
+	return stats.NewSnapshot()
+}
+
+// recordSnap files a point's snapshot with the configured collector.
+func recordSnap(cfg Config, pt Point, snap *stats.Snapshot) {
+	if cfg.Stats == nil || snap == nil || snap.Empty() {
+		return
+	}
+	cfg.Stats.Record(pt.Experiment, pt.Index, snap)
 }
 
 // pickSize returns quick or full depending on cfg.

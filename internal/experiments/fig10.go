@@ -6,6 +6,7 @@ import (
 	"halo/internal/cache"
 	"halo/internal/cuckoo"
 	"halo/internal/metrics"
+	"halo/internal/stats"
 )
 
 // Fig10Row is one (solution, placement) latency breakdown, in cycles per
@@ -65,10 +66,15 @@ func Fig10Sweep() Sweep {
 		RunPoint: func(cfg Config, p Point) any {
 			c := fig10Cells()[p.Index]
 			lookups := pickSize(cfg, 1500, 6000)
+			snap := pointSnapshot(cfg)
+			var row any
 			if c.solution == "software" {
-				return runFig10Software(c.name, c.entries, lookups)
+				row = runFig10Software(c.name, c.entries, lookups, snap)
+			} else {
+				row = runFig10Halo(c.name, c.entries, lookups, snap)
 			}
-			return runFig10Halo(c.name, c.entries, lookups)
+			recordSnap(cfg, p, snap)
+			return row
 		},
 		Render: func(cfg Config, rows []any, w io.Writer) {
 			assembleFig10(rows).Table.Render(w)
@@ -129,11 +135,14 @@ func fig10SoftwarePass(f *lookupFixture, lookups int, lock bool) (total, data fl
 	return elapsed, float64(stall) / float64(lookups)
 }
 
-func runFig10Software(placement string, entries uint64, lookups int) Fig10Row {
+func runFig10Software(placement string, entries uint64, lookups int, snap *stats.Snapshot) Fig10Row {
 	// Locking cost is the delta between runs with and without the
 	// optimistic-lock protocol (fresh fixtures: separate simulator runs).
+	// The locked pass — the configuration under study — is snapshotted.
 	noLockTotal, noLockData := fig10SoftwarePass(newLookupFixture(entries, 0.75), lookups, false)
-	lockTotal, lockData := fig10SoftwarePass(newLookupFixture(entries, 0.75), lookups, true)
+	fLock := newLookupFixture(entries, 0.75)
+	lockTotal, lockData := fig10SoftwarePass(fLock, lookups, true)
+	collectInto(snap, fLock.p, fLock.thread)
 	locking := lockTotal - noLockTotal
 	if locking < 0 {
 		locking = 0
@@ -148,7 +157,7 @@ func runFig10Software(placement string, entries uint64, lookups int) Fig10Row {
 	}
 }
 
-func runFig10Halo(placement string, entries uint64, lookups int) Fig10Row {
+func runFig10Halo(placement string, entries uint64, lookups int, snap *stats.Snapshot) Fig10Row {
 	f := newLookupFixture(entries, 0.75)
 	for i := 0; i < lookups/2; i++ { // warm
 		f.p.Unit.LookupBAt(f.thread, f.table.Base(), f.stageKeyDMA(uint64(i)))
@@ -158,6 +167,7 @@ func runFig10Halo(placement string, entries uint64, lookups int) Fig10Row {
 	for i := 0; i < lookups; i++ {
 		f.p.Unit.LookupBAt(f.thread, f.table.Base(), f.stageKeyDMA(uint64(i*13)))
 	}
+	collectInto(snap, f.p, f.thread)
 	total := float64(f.thread.Now-start) / float64(lookups)
 	data := float64(f.p.Hier.Stats().AccelAccessCycles) / float64(lookups)
 	return Fig10Row{

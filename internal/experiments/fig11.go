@@ -11,6 +11,7 @@ import (
 	"halo/internal/metrics"
 	"halo/internal/packet"
 	"halo/internal/sim"
+	"halo/internal/stats"
 	"halo/internal/tcam"
 )
 
@@ -67,7 +68,10 @@ func Fig11Sweep() Sweep {
 		},
 		RunPoint: func(cfg Config, p Point) any {
 			c := fig11Cells(cfg)[p.Index]
-			return runFig11Point(c.mode, c.tuples, pickSize(cfg, 400, 3000), cfg.Seed)
+			snap := pointSnapshot(cfg)
+			row := runFig11Point(c.mode, c.tuples, pickSize(cfg, 400, 3000), cfg.Seed, snap)
+			recordSnap(cfg, p, snap)
+			return row
 		},
 		Render: func(cfg Config, rows []any, w io.Writer) {
 			assembleFig11(cfg, rows).Table.Render(w)
@@ -159,9 +163,9 @@ func newFig11TupleSpace(p *halo.Platform, nt int, seed uint64) (*classify.TupleS
 	return ts, matchKeys
 }
 
-func runFig11Point(mode Fig9Mode, nt, classifications int, seed uint64) float64 {
+func runFig11Point(mode Fig9Mode, nt, classifications int, seed uint64, snap *stats.Snapshot) float64 {
 	if mode == ModeTCAM || mode == ModeSRAMTCAM {
-		return runFig11TCAM(mode, nt, classifications, seed)
+		return runFig11TCAM(mode, nt, classifications, seed, snap)
 	}
 	p := halo.NewPlatform(halo.DefaultPlatformConfig())
 	ts, keys := newFig11TupleSpace(p, nt, seed)
@@ -210,10 +214,14 @@ func runFig11Point(mode Fig9Mode, nt, classifications int, seed uint64) float64 
 	}
 	run(warm, false)
 	run(classifications, true)
+	collectInto(snap, p, th)
+	for _, tp := range ts.Tuples() { // tuple tables bypass Platform.NewTable
+		collectInto(snap, tp.Table.Stats())
+	}
 	return float64(classifyCycles) / float64(classifications)
 }
 
-func runFig11TCAM(mode Fig9Mode, nt, classifications int, seed uint64) float64 {
+func runFig11TCAM(mode Fig9Mode, nt, classifications int, seed uint64, snap *stats.Snapshot) float64 {
 	kind := tcam.ClassicTCAM
 	if mode == ModeSRAMTCAM {
 		kind = tcam.SRAMTCAM
@@ -233,6 +241,7 @@ func runFig11TCAM(mode Fig9Mode, nt, classifications int, seed uint64) float64 {
 		key := keys[rng.Intn(len(keys))]
 		dev.LookupTimed(th, key.Packed())
 	}
+	collectInto(snap, p, th)
 	return float64(th.Now-start) / float64(classifications)
 }
 

@@ -10,6 +10,7 @@ import (
 	"halo/internal/metrics"
 	"halo/internal/nf"
 	"halo/internal/packet"
+	"halo/internal/stats"
 	"halo/internal/trafficgen"
 	"halo/internal/vswitch"
 )
@@ -73,7 +74,10 @@ func Fig12Sweep() Sweep {
 			return pts
 		},
 		RunPoint: func(cfg Config, p Point) any {
-			return runFig12Cell(cfg, fig12Cells(cfg)[p.Index])
+			snap := pointSnapshot(cfg)
+			row := runFig12Cell(cfg, fig12Cells(cfg)[p.Index], snap)
+			recordSnap(cfg, p, snap)
+			return row
 		},
 		Render: func(cfg Config, rows []any, w io.Writer) {
 			assembleFig12(rows).Table.Render(w)
@@ -86,12 +90,17 @@ func RunFig12(cfg Config) *Fig12Result {
 	return assembleFig12(runSerial(cfg, Fig12Sweep()))
 }
 
-func runFig12Cell(cfg Config, c fig12Cell) fig12Pair {
+func runFig12Cell(cfg Config, c fig12Cell, snap *stats.Snapshot) fig12Pair {
 	nfPackets := pickSize(cfg, 1200, 6000)
 	aloneCPP, aloneMiss := runFig12Alone(c.nf, nfPackets, cfg.Seed)
 	var pair fig12Pair
 	for _, engine := range []vswitch.Engine{vswitch.EngineSoftware, vswitch.EngineHalo} {
-		coCPP, coMiss := runFig12CoRun(c.nf, engine, c.flows, nfPackets, cfg.Seed)
+		// Snapshot the HALO co-run — the configuration under study.
+		var engineSnap *stats.Snapshot
+		if engine == vswitch.EngineHalo {
+			engineSnap = snap
+		}
+		coCPP, coMiss := runFig12CoRun(c.nf, engine, c.flows, nfPackets, cfg.Seed, engineSnap)
 		drop := 1 - aloneCPP/coCPP
 		if drop < 0 {
 			drop = 0
@@ -213,7 +222,7 @@ func runFig12Alone(nfName string, packets int, seed uint64) (cpp, l1Miss float64
 	return float64(th.Now-start) / float64(packets), l1MissRatio(th)
 }
 
-func runFig12CoRun(nfName string, engine vswitch.Engine, flows, packets int, seed uint64) (cpp, l1Miss float64) {
+func runFig12CoRun(nfName string, engine vswitch.Engine, flows, packets int, seed uint64, snap *stats.Snapshot) (cpp, l1Miss float64) {
 	p := halo.NewPlatform(halo.DefaultPlatformConfig())
 	n := buildFig12NF(p, nfName)
 
@@ -273,5 +282,6 @@ func runFig12CoRun(nfName string, engine vswitch.Engine, flows, packets int, see
 	for i := 0; i < packets; i++ {
 		step(true)
 	}
+	collectInto(snap, p, sw, nfTh, swTh)
 	return float64(nfCycles) / float64(packets), l1MissRatio(nfTh)
 }

@@ -9,6 +9,7 @@ import (
 	"halo/internal/nf"
 	"halo/internal/packet"
 	"halo/internal/sim"
+	"halo/internal/stats"
 	"halo/internal/trafficgen"
 )
 
@@ -64,8 +65,11 @@ func Fig13Sweep() Sweep {
 		RunPoint: func(cfg Config, p Point) any {
 			c := fig13Cells(cfg)[p.Index]
 			packets := pickSize(cfg, 1500, 8000)
-			sw := runFig13Point(c.name, nf.EngineSoftware, c.size, packets, cfg.Seed)
-			hw := runFig13Point(c.name, nf.EngineHalo, c.size, packets, cfg.Seed)
+			snap := pointSnapshot(cfg)
+			// The HALO run — the configuration under study — is snapshotted.
+			sw := runFig13Point(c.name, nf.EngineSoftware, c.size, packets, cfg.Seed, nil)
+			hw := runFig13Point(c.name, nf.EngineHalo, c.size, packets, cfg.Seed, snap)
+			recordSnap(cfg, p, snap)
 			return Fig13Point{NF: c.name, Entries: c.size, SWCpp: sw, HaloCpp: hw, Speedup: sw / hw}
 		},
 		Render: func(cfg Config, rows []any, w io.Writer) {
@@ -103,7 +107,7 @@ func (r *Fig13Result) Point(name string, entries uint64) (Fig13Point, bool) {
 	return Fig13Point{}, false
 }
 
-func runFig13Point(name string, engine nf.Engine, entries uint64, packets int, seed uint64) float64 {
+func runFig13Point(name string, engine nf.Engine, entries uint64, packets int, seed uint64, snap *stats.Snapshot) float64 {
 	p := halo.NewPlatform(halo.DefaultPlatformConfig())
 	// Capacity above the preloaded population so misses stay rare.
 	capEntries := entries * 4 / 3
@@ -169,5 +173,6 @@ func runFig13Point(name string, engine nf.Engine, entries uint64, packets int, s
 		pkt := next()
 		theNF.ProcessPacket(th, &pkt)
 	}
+	collectInto(snap, p, th)
 	return float64(th.Now-start) / float64(packets)
 }

@@ -7,6 +7,7 @@ import (
 	"halo/internal/cpu"
 	"halo/internal/halo"
 	"halo/internal/metrics"
+	"halo/internal/stats"
 	"halo/internal/trafficgen"
 	"halo/internal/vswitch"
 )
@@ -55,7 +56,10 @@ func Fig3Sweep() Sweep {
 			return pts
 		},
 		RunPoint: func(cfg Config, p Point) any {
-			return runFig3Scenario(cfg, fig3Scenarios(cfg)[p.Index])
+			snap := pointSnapshot(cfg)
+			row := runFig3Scenario(cfg, fig3Scenarios(cfg)[p.Index], snap)
+			recordSnap(cfg, p, snap)
+			return row
 		},
 		Render: func(cfg Config, rows []any, w io.Writer) {
 			assembleFig3(rows).Table.Render(w)
@@ -69,7 +73,7 @@ func RunFig3(cfg Config) *Fig3Result {
 }
 
 // runFig3Scenario measures one traffic configuration on a fresh platform.
-func runFig3Scenario(cfg Config, scn trafficgen.Scenario) Fig3Row {
+func runFig3Scenario(cfg Config, scn trafficgen.Scenario, snap *stats.Snapshot) Fig3Row {
 	packets := pickSize(cfg, 3000, 20000)
 	warmup := pickSize(cfg, 1000, 10000) // §5.2: warm up before measuring
 
@@ -96,6 +100,8 @@ func runFig3Scenario(cfg Config, scn trafficgen.Scenario) Fig3Row {
 		pkt, _ := w.NextPacket()
 		sw.ProcessPacket(th, &pkt)
 	}
+
+	collectInto(snap, p, sw, th)
 
 	b := sw.Breakdown()
 	total := float64(b.Total())

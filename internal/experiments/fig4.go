@@ -7,6 +7,7 @@ import (
 	"halo/internal/cache"
 	"halo/internal/cuckoo"
 	"halo/internal/metrics"
+	"halo/internal/stats"
 )
 
 // Fig4Row is one (table kind, flow count) cache-behaviour measurement.
@@ -68,7 +69,10 @@ func Fig4Sweep() Sweep {
 		},
 		RunPoint: func(cfg Config, p Point) any {
 			c := fig4Cells(cfg)[p.Index]
-			return runFig4Point(c.name, c.sfh, c.flows, pickSize(cfg, 4000, 20000))
+			snap := pointSnapshot(cfg)
+			row := runFig4Point(c.name, c.sfh, c.flows, pickSize(cfg, 4000, 20000), snap)
+			recordSnap(cfg, p, snap)
+			return row
 		},
 		Render: func(cfg Config, rows []any, w io.Writer) {
 			assembleFig4(rows).Table.Render(w)
@@ -97,7 +101,7 @@ func assembleFig4(rows []any) *Fig4Result {
 	return res
 }
 
-func runFig4Point(name string, sfh bool, flows uint64, lookups int) Fig4Row {
+func runFig4Point(name string, sfh bool, flows uint64, lookups int, snap *stats.Snapshot) Fig4Row {
 	// Size the table the way operators do: next power of two above the
 	// flow count, then fill to the flow count.
 	entries := uint64(8)
@@ -132,6 +136,10 @@ func runFig4Point(name string, sfh bool, flows uint64, lookups int) Fig4Row {
 	for i := 0; i < lookups; i++ {
 		table.TimedLookup(f.thread, testKey(uint64(i)*40503001%inserted), cuckoo.DefaultLookupOptions())
 	}
+
+	// The table here bypasses Platform.NewTable (it sizes its own arena), so
+	// its counters are collected explicitly alongside the platform's.
+	collectInto(snap, p, f.thread, table.Stats())
 
 	// MPKL counts cache misses per thousand retired loads from the cache
 	// counters, as VTune does: prefetch-triggered misses included.

@@ -7,6 +7,7 @@ import (
 	"halo/internal/cuckoo"
 	"halo/internal/halo"
 	"halo/internal/metrics"
+	"halo/internal/stats"
 	"halo/internal/tcam"
 )
 
@@ -94,7 +95,10 @@ func Fig9Sweep() Sweep {
 		},
 		RunPoint: func(cfg Config, p Point) any {
 			c := fig9Cells(cfg)[p.Index]
-			return runFig9Point(c.mode, c.size, c.occ, pickSize(cfg, 1500, 5000))
+			snap := pointSnapshot(cfg)
+			row := runFig9Point(c.mode, c.size, c.occ, pickSize(cfg, 1500, 5000), snap)
+			recordSnap(cfg, p, snap)
+			return row
 		},
 		Render: func(cfg Config, rows []any, w io.Writer) {
 			assembleFig9(cfg, rows).Table.Render(w)
@@ -147,14 +151,15 @@ func (r *Fig9Result) Point(mode Fig9Mode, entries uint64, occ float64) (Fig9Poin
 	return Fig9Point{}, false
 }
 
-func runFig9Point(mode Fig9Mode, entries uint64, occ float64, lookups int) float64 {
+func runFig9Point(mode Fig9Mode, entries uint64, occ float64, lookups int, snap *stats.Snapshot) float64 {
 	switch mode {
 	case ModeTCAM, ModeSRAMTCAM:
-		return runFig9TCAM(mode, entries, occ, lookups)
+		return runFig9TCAM(mode, entries, occ, lookups, snap)
 	}
 	f := newLookupFixture(entries, occ)
 	th := f.thread
 	warm := lookups / 2
+	defer collectInto(snap, f.p, th)
 
 	switch mode {
 	case ModeSoftware:
@@ -201,7 +206,7 @@ func runFig9Point(mode Fig9Mode, entries uint64, occ float64, lookups int) float
 	panic("unknown mode")
 }
 
-func runFig9TCAM(mode Fig9Mode, entries uint64, occ float64, lookups int) float64 {
+func runFig9TCAM(mode Fig9Mode, entries uint64, occ float64, lookups int, snap *stats.Snapshot) float64 {
 	kind := tcam.ClassicTCAM
 	if mode == ModeSRAMTCAM {
 		kind = tcam.SRAMTCAM
@@ -224,5 +229,6 @@ func runFig9TCAM(mode Fig9Mode, entries uint64, occ float64, lookups int) float6
 	for i := 0; i < lookups; i++ {
 		dev.LookupTimed(th, testKey(uint64(i*13)%fill))
 	}
+	collectInto(snap, f.p, th)
 	return float64(th.Now-start) / float64(lookups)
 }

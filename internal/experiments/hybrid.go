@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"io"
+
+	"halo/internal/halo"
+	"halo/internal/metrics"
+	"halo/internal/stats"
+)
+
+// HybridRow is one traffic phase's hybrid-controller measurement.
+type HybridRow struct {
+	Phase           string
+	Flows           int
+	Lookups         int
+	SwLookups       uint64
+	HwLookups       uint64
+	Scans           uint64
+	Switches        uint64
+	FinalMode       string
+	CyclesPerLookup float64
+}
+
+// HybridResult exercises the §4.6 hybrid controller end to end: a
+// many-flow phase that must stay on the accelerators, a few-flow phase
+// that must settle into software, and a phase shift that must switch and
+// switch back. It is an extension: the paper describes the controller but
+// shows no dedicated figure for it.
+type HybridResult struct {
+	Rows  []HybridRow
+	Table *metrics.Table
+}
+
+// hybridPhases fixes the traffic phases (and their point order).
+var hybridPhases = []string{"many-flows", "few-flows", "phase-shift"}
+
+// HybridSweep decomposes the controller study into one point per phase.
+func HybridSweep() Sweep {
+	return Sweep{
+		Points: func(cfg Config) []Point {
+			pts := make([]Point, len(hybridPhases))
+			for i, l := range hybridPhases {
+				pts[i] = Point{Experiment: "hybrid", Index: i, Label: l}
+			}
+			return pts
+		},
+		RunPoint: func(cfg Config, p Point) any {
+			snap := pointSnapshot(cfg)
+			row := runHybridPoint(hybridPhases[p.Index], pickSize(cfg, 2000, 12000), snap)
+			recordSnap(cfg, p, snap)
+			return row
+		},
+		Render: func(cfg Config, rows []any, w io.Writer) {
+			assembleHybrid(rows).Table.Render(w)
+		},
+	}
+}
+
+// RunHybrid measures the hybrid controller across the three phases.
+func RunHybrid(cfg Config) *HybridResult {
+	return assembleHybrid(runSerial(cfg, HybridSweep()))
+}
+
+func assembleHybrid(rows []any) *HybridResult {
+	res := &HybridResult{
+		Table: metrics.NewTable("Hybrid controller (§4.6): mode selection across traffic phases",
+			"phase", "flows", "lookups", "sw-lookups", "hw-lookups", "scans", "switches", "final-mode", "cyc/lookup"),
+	}
+	res.Table.SetCaption("paper: below 64 active flows the L1-resident software path wins; above, the accelerators")
+	for _, r := range rows {
+		row := r.(HybridRow)
+		res.Rows = append(res.Rows, row)
+		res.Table.AddRow(row.Phase, row.Flows, row.Lookups, row.SwLookups, row.HwLookups,
+			row.Scans, row.Switches, row.FinalMode, row.CyclesPerLookup)
+	}
+	return res
+}
+
+// Row fetches a phase's measurement.
+func (r *HybridResult) Row(phase string) (HybridRow, bool) {
+	for _, row := range r.Rows {
+		if row.Phase == phase {
+			return row, true
+		}
+	}
+	return HybridRow{}, false
+}
+
+// hybridFewFlows is well below the 64-flow software threshold;
+// hybridManyFlows is well above it.
+const (
+	hybridFewFlows  = 8
+	hybridManyFlows = 2048
+)
+
+func runHybridPoint(phase string, lookups int, snap *stats.Snapshot) HybridRow {
+	p := halo.NewPlatform(halo.DefaultPlatformConfig())
+	f := fixtureOn(p, 1<<12, 0.70)
+	hcfg := halo.DefaultHybridConfig()
+	// A shorter scan window than the paper's 100K cycles so every phase
+	// closes several windows even at quick scale.
+	hcfg.WindowCycles = 20_000
+	h := halo.NewHybrid(hcfg, p.Unit)
+	th := f.thread
+
+	many := uint64(hybridManyFlows)
+	if many > f.fill {
+		many = f.fill
+	}
+	keyAt := func(i int) uint64 {
+		switch phase {
+		case "many-flows":
+			return uint64(i*13) % many
+		case "few-flows":
+			return uint64(i) % hybridFewFlows
+		default: // phase-shift: few flows first, then many
+			if i < lookups/2 {
+				return uint64(i) % hybridFewFlows
+			}
+			return uint64(i*13) % many
+		}
+	}
+
+	start := th.Now
+	for i := 0; i < lookups; i++ {
+		h.Lookup(th, f.table, testKey(keyAt(i)))
+	}
+	sw, hw := h.Lookups()
+	collectInto(snap, p, th, h)
+
+	flows := int(many)
+	if phase == "few-flows" {
+		flows = hybridFewFlows
+	}
+	return HybridRow{
+		Phase:           phase,
+		Flows:           flows,
+		Lookups:         lookups,
+		SwLookups:       sw,
+		HwLookups:       hw,
+		Scans:           h.Scans(),
+		Switches:        h.Switches(),
+		FinalMode:       h.Mode().String(),
+		CyclesPerLookup: float64(th.Now-start) / float64(lookups),
+	}
+}

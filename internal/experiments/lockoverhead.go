@@ -9,6 +9,7 @@ import (
 	"halo/internal/mem"
 	"halo/internal/metrics"
 	"halo/internal/sim"
+	"halo/internal/stats"
 )
 
 // LockOverheadResult reproduces the §3.4 concurrency analysis: the share of
@@ -44,23 +45,28 @@ func LockOverheadSweep() Sweep {
 		},
 		RunPoint: func(cfg Config, p Point) any {
 			lookups := pickSize(cfg, 2000, 10000)
+			snap := pointSnapshot(cfg)
+			var row any
 			switch p.Index {
 			case 0:
 				// Optimistic-lock share of software lookup time, with
 				// writers interleaved so the version line actually bounces
-				// between cores.
-				return lockPassRow{
-					WithLock:    runLockPass(lookups, true),
-					WithoutLock: runLockPass(lookups, false),
+				// between cores. Only the locked pass is snapshotted: it is
+				// the configuration under study.
+				row = lockPassRow{
+					WithLock:    runLockPass(lookups, true, snap),
+					WithoutLock: runLockPass(lookups, false, nil),
 				}
 			case 1:
-				return runLatencyProbe()
+				row = runLatencyProbe(snap)
 			default:
 				// HALO's hardware lock under the same read/write mix —
 				// lock stalls happen in the cache, with no instruction
 				// overhead.
-				return runHaloLockPass(lookups)
+				row = runHaloLockPass(lookups, snap)
 			}
+			recordSnap(cfg, p, snap)
+			return row
 		},
 		Render: func(cfg Config, rows []any, w io.Writer) {
 			assembleLockOverhead(rows).Table.Render(w)
@@ -75,7 +81,7 @@ func RunLockOverhead(cfg Config) *LockOverheadResult {
 
 // runLatencyProbe measures remote-private-cache access vs LLC access
 // (paper: remote is about 2x an LLC hit and can exceed 100 cycles).
-func runLatencyProbe() latencyRow {
+func runLatencyProbe(snap *stats.Snapshot) latencyRow {
 	p := halo.NewPlatform(halo.DefaultPlatformConfig())
 	llcAddrs := p.Alloc.AllocLines(64)
 	var llcTotal, remoteTotal float64
@@ -96,6 +102,7 @@ func runLatencyProbe() latencyRow {
 		}
 		remoteTotal += float64(r.Latency())
 	}
+	collectInto(snap, p)
 	return latencyRow{LLCHit: llcTotal / 64, RemoteHit: remoteTotal / 64}
 }
 
@@ -127,7 +134,7 @@ func assembleLockOverhead(rows []any) *LockOverheadResult {
 
 // runLockPass measures software cycles/lookup with a writer thread on
 // another core updating the table between reader bursts.
-func runLockPass(lookups int, lock bool) float64 {
+func runLockPass(lookups int, lock bool, snap *stats.Snapshot) float64 {
 	f := newLookupFixture(1<<14, 0.60)
 	opts := cuckoo.LookupOptions{OptimisticLock: lock, Prefetch: false}
 	writer := newThreadOn(f.p)
@@ -147,12 +154,13 @@ func runLockPass(lookups int, lock bool) float64 {
 			writeSeq++
 		}
 	}
+	collectInto(snap, f.p, f.thread, writer)
 	return float64(f.thread.Now-start) / float64(lookups)
 }
 
 // runHaloLockPass measures the share of HALO lookup time lost to hardware
 // lock stalls under the same write mix.
-func runHaloLockPass(lookups int) float64 {
+func runHaloLockPass(lookups int, snap *stats.Snapshot) float64 {
 	f := newLookupFixture(1<<14, 0.60)
 	writer := newThreadOn(f.p)
 	writer.Core = 1
@@ -168,6 +176,7 @@ func runHaloLockPass(lookups int) float64 {
 			writeSeq++
 		}
 	}
+	collectInto(snap, f.p, f.thread, writer)
 	elapsed := float64(f.thread.Now - start)
 	if elapsed == 0 {
 		return 0

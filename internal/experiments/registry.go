@@ -38,6 +38,7 @@ func Registry() []Runner {
 		{"ablations", "design-choice sweeps (beyond the paper)", AblationsSweep()},
 		{"scaling", "multicore scaling under rule churn (beyond the paper)", ScalingSweep()},
 		{"updates", "rule-update cost, cuckoo vs TCAM (§1 motivation)", UpdatesSweep()},
+		{"hybrid", "§4.6 hybrid controller mode selection (beyond the paper)", HybridSweep()},
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"halo/internal/halo"
 	"halo/internal/mem"
 	"halo/internal/metrics"
+	"halo/internal/stats"
 )
 
 // ScalingPoint is one (mode, core count) aggregate-throughput measurement.
@@ -67,7 +68,10 @@ func ScalingSweep() Sweep {
 		},
 		RunPoint: func(cfg Config, p Point) any {
 			c := scalingCells(cfg)[p.Index]
-			return runScalingPoint(c.mode, c.cores, pickSize(cfg, 300, 1500))
+			snap := pointSnapshot(cfg)
+			row := runScalingPoint(c.mode, c.cores, pickSize(cfg, 300, 1500), snap)
+			recordSnap(cfg, p, snap)
+			return row
 		},
 		Render: func(cfg Config, rows []any, w io.Writer) {
 			assembleScaling(cfg, rows).Table.Render(w)
@@ -120,7 +124,7 @@ func (r *ScalingResult) Point(mode Fig9Mode, cores int) (ScalingPoint, bool) {
 
 // runScalingPoint runs n lookup threads plus one updater in lockstep rounds
 // and returns aggregate lookups per cycle.
-func runScalingPoint(mode Fig9Mode, n, rounds int) float64 {
+func runScalingPoint(mode Fig9Mode, n, rounds int, snap *stats.Snapshot) float64 {
 	f := newLookupFixture(1<<15, 0.60)
 	p := f.p
 	threads := make([]*cpu.Thread, n)
@@ -195,6 +199,10 @@ func runScalingPoint(mode Fig9Mode, n, rounds int) float64 {
 	run(rounds/4, 7)
 	start := threads[0].Now
 	run(rounds, 0)
+	collectInto(snap, p, updater)
+	for _, th := range threads {
+		collectInto(snap, th)
+	}
 	elapsed := float64(threads[0].Now - start)
 	return float64(rounds*lookupsPerRound) / elapsed
 }

@@ -5,6 +5,7 @@ import (
 
 	"halo/internal/cuckoo"
 	"halo/internal/metrics"
+	"halo/internal/stats"
 )
 
 // Table1Result reproduces Table 1: the retired-instruction profile of one
@@ -36,7 +37,12 @@ func Table1Sweep() Sweep {
 		Points: func(cfg Config) []Point {
 			return []Point{{Experiment: "table1", Index: 0, Label: "instruction-profile"}}
 		},
-		RunPoint: func(cfg Config, p Point) any { return runTable1Point(cfg) },
+		RunPoint: func(cfg Config, p Point) any {
+			snap := pointSnapshot(cfg)
+			row := runTable1Point(cfg, snap)
+			recordSnap(cfg, p, snap)
+			return row
+		},
 		Render: func(cfg Config, rows []any, w io.Writer) {
 			assembleTable1(rows).Table.Render(w)
 		},
@@ -48,7 +54,7 @@ func RunTable1(cfg Config) *Table1Result {
 	return assembleTable1(runSerial(cfg, Table1Sweep()))
 }
 
-func runTable1Point(cfg Config) table1Row {
+func runTable1Point(cfg Config, snap *stats.Snapshot) table1Row {
 	lookups := pickSize(cfg, 2000, 20000)
 	f := newLookupFixture(1<<14, 0.75)
 	for i := 0; i < lookups; i++ { // warm
@@ -58,6 +64,7 @@ func runTable1Point(cfg Config) table1Row {
 	for i := 0; i < lookups; i++ {
 		f.table.TimedLookup(f.thread, testKey(uint64(i*13)%f.fill), cuckoo.DefaultLookupOptions())
 	}
+	collectInto(snap, f.p, f.thread)
 	c := f.thread.Counts
 	n := float64(lookups)
 	total := float64(c.Total())

@@ -7,6 +7,7 @@ import (
 	"halo/internal/cuckoo"
 	"halo/internal/metrics"
 	"halo/internal/sim"
+	"halo/internal/stats"
 	"halo/internal/tcam"
 )
 
@@ -62,10 +63,15 @@ func UpdatesSweep() Sweep {
 		RunPoint: func(cfg Config, p Point) any {
 			c := updatesCells(cfg)[p.Index]
 			ops := pickSize(cfg, 400, 2000)
+			snap := pointSnapshot(cfg)
+			var row any
 			if c.solution == "cuckoo" {
-				return runCuckooUpdates(c.size, ops)
+				row = runCuckooUpdates(c.size, ops, snap)
+			} else {
+				row = runTCAMUpdates(c.size, ops, cfg.Seed, snap)
 			}
-			return runTCAMUpdates(c.size, ops, cfg.Seed)
+			recordSnap(cfg, p, snap)
+			return row
 		},
 		Render: func(cfg Config, rows []any, w io.Writer) {
 			assembleUpdates(cfg, rows).Table.Render(w)
@@ -107,7 +113,7 @@ func (r *UpdatesResult) Point(solution string, entries int) (UpdatePoint, bool) 
 	return UpdatePoint{}, false
 }
 
-func runCuckooUpdates(size, ops int) float64 {
+func runCuckooUpdates(size, ops int, snap *stats.Snapshot) float64 {
 	f := newLookupFixture(nextPow2(uint64(size)), 0.7)
 	th := f.thread
 	seq := f.fill
@@ -117,10 +123,11 @@ func runCuckooUpdates(size, ops int) float64 {
 		f.table.TimedDelete(th, testKey(uint64(i*13)%f.fill))
 		seq++
 	}
+	collectInto(snap, f.p, th)
 	return float64(th.Now-start) / float64(ops)
 }
 
-func runTCAMUpdates(size, ops int, seed uint64) float64 {
+func runTCAMUpdates(size, ops int, seed uint64, snap *stats.Snapshot) float64 {
 	dev := tcam.New(tcam.DefaultConfig(tcam.ClassicTCAM, size+ops, 16))
 	care := make([]byte, 16)
 	for i := range care {
@@ -146,6 +153,7 @@ func runTCAMUpdates(size, ops int, seed uint64) float64 {
 		dev.DeleteTimed(th, victim, care)
 		seq++
 	}
+	collectInto(snap, f.p, th)
 	return float64(th.Now-start) / float64(ops)
 }
 

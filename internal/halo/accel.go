@@ -8,6 +8,7 @@ import (
 	"halo/internal/hashfn"
 	"halo/internal/mem"
 	"halo/internal/sim"
+	"halo/internal/stats"
 )
 
 // AccelConfig parametrises one per-slice accelerator (paper §4.7).
@@ -50,6 +51,20 @@ type AccelStats struct {
 	DataAccess  uint64 // LLC/DRAM line accesses issued
 	BusyCycles  uint64 // cycles of scoreboard-full admission delay imposed
 	QueueCycles uint64 // total cycles queries waited for admission
+}
+
+// CollectInto adds the accelerator counters to a snapshot under the
+// accel.* names; calling it for several accelerators accumulates them.
+func (s AccelStats) CollectInto(snap *stats.Snapshot) {
+	snap.Add("accel.queries", s.Queries)
+	snap.Add("accel.hits", s.Hits)
+	snap.Add("accel.misses", s.Misses)
+	snap.Add("accel.faults", s.Faults)
+	snap.Add("accel.meta.hits", s.MetaHits)
+	snap.Add("accel.meta.misses", s.MetaMisses)
+	snap.Add("accel.data.accesses", s.DataAccess)
+	snap.Add("accel.busy_cycles", s.BusyCycles)
+	snap.Add("accel.queue_cycles", s.QueueCycles)
 }
 
 // Query is one lookup handed to an accelerator by the distributor.

@@ -5,6 +5,7 @@ import (
 	"halo/internal/cuckoo"
 	"halo/internal/mem"
 	"halo/internal/sim"
+	"halo/internal/stats"
 )
 
 // Mode is the hybrid controller's current execution choice (paper §4.6).
@@ -55,12 +56,31 @@ type Hybrid struct {
 	unit *Unit
 	mode Mode
 
-	softReg     *FlowRegister
-	windowStart sim.Cycle
+	softReg *FlowRegister
+
+	// windowStart anchors the current measurement window. It initializes
+	// lazily from the first observed cycle (windowStarted): threads rarely
+	// start at cycle 0, and anchoring at 0 would close a window full of
+	// nothing on the very first lookup and spuriously switch to software.
+	windowStart   sim.Cycle
+	windowStarted bool
+	// windowLookups counts lookups observed since the window opened; a
+	// window that closes with zero lookups says nothing about the active
+	// flow set and must not flip the mode.
+	windowLookups uint64
 
 	switches  uint64
+	scans     uint64
 	swLookups uint64
 	hwLookups uint64
+	timeline  []SwitchEvent
+}
+
+// SwitchEvent records one mode transition for timelines and reports.
+type SwitchEvent struct {
+	At       sim.Cycle
+	From, To Mode
+	Estimate float64 // the flow estimate that triggered the switch
 }
 
 // NewHybrid builds a controller over a HALO unit, starting in accelerator
@@ -83,25 +103,70 @@ func (h *Hybrid) Switches() uint64 { return h.switches }
 // Lookups returns the per-mode lookup counts.
 func (h *Hybrid) Lookups() (software, accel uint64) { return h.swLookups, h.hwLookups }
 
+// Scans returns how many measurement windows have closed.
+func (h *Hybrid) Scans() uint64 { return h.scans }
+
+// Timeline returns the mode-switch history in occurrence order.
+func (h *Hybrid) Timeline() []SwitchEvent { return h.timeline }
+
+// CollectInto adds the controller's counters to a snapshot under the
+// hybrid.* names.
+func (h *Hybrid) CollectInto(s *stats.Snapshot) {
+	s.Add("hybrid.switches", h.switches)
+	s.Add("hybrid.scans", h.scans)
+	s.Add("hybrid.lookups.software", h.swLookups)
+	s.Add("hybrid.lookups.accel", h.hwLookups)
+}
+
+// Scan gives the controller a chance to close the measurement window at
+// cycle now — the paper's periodic flow-register scan. Every lookup calls
+// it implicitly; datapaths with long idle gaps may also call it from a
+// timer. A window that observed no lookups keeps the current mode: an
+// empty register is indistinguishable from "no traffic", not evidence of a
+// small flow set.
+func (h *Hybrid) Scan(now sim.Cycle) { h.maybeScan(now) }
+
 // maybeScan closes the measurement window and re-evaluates the mode.
 func (h *Hybrid) maybeScan(now sim.Cycle) {
-	if now-h.windowStart < h.cfg.WindowCycles {
+	if !h.windowStarted {
+		// First observation anchors the window.
+		h.windowStart = now
+		h.windowStarted = true
 		return
 	}
-	h.windowStart = now
+	elapsed := now - h.windowStart
+	if elapsed < h.cfg.WindowCycles {
+		return
+	}
+	// Advance by whole windows so the scan cadence does not drift with
+	// inter-lookup gaps.
+	h.windowStart += elapsed / h.cfg.WindowCycles * h.cfg.WindowCycles
+	h.scans++
+	observed := h.windowLookups
+	h.windowLookups = 0
+
 	var est float64
 	if h.mode == ModeAccel {
 		est = h.unit.ActiveFlowEstimate()
-		h.unit.ResetFlowWindow()
 	} else {
 		est = h.softReg.Estimate()
-		h.softReg.Reset()
+	}
+	// Reset BOTH registers at every window close. The inactive register
+	// would otherwise carry bits from the last window it was active in,
+	// inflating its first post-switch estimate and causing premature
+	// switch-back.
+	h.unit.ResetFlowWindow()
+	h.softReg.Reset()
+
+	if observed == 0 {
+		return
 	}
 	want := ModeAccel
 	if est < h.cfg.SoftwareThreshold {
 		want = ModeSoftware
 	}
 	if want != h.mode {
+		h.timeline = append(h.timeline, SwitchEvent{At: now, From: h.mode, To: want, Estimate: est})
 		h.mode = want
 		h.switches++
 	}
@@ -110,12 +175,18 @@ func (h *Hybrid) maybeScan(now sim.Cycle) {
 // Lookup performs one flow lookup through whichever engine the controller
 // currently selects, charging the thread either way.
 func (h *Hybrid) Lookup(th *cpu.Thread, table *cuckoo.Table, key []byte) (uint64, bool) {
+	start := th.Now
 	h.maybeScan(th.Now)
+	h.windowLookups++
 	if h.mode == ModeSoftware {
-		return h.lookupSoftware(th, table, key)
+		v, ok := h.lookupSoftware(th, table, key)
+		th.Record("lat.lookup.hybrid", th.Now-start)
+		return v, ok
 	}
 	h.hwLookups++
-	return h.unit.LookupB(th, table.Base(), key)
+	v, ok := h.unit.LookupB(th, table.Base(), key)
+	th.Record("lat.lookup.hybrid", th.Now-start)
+	return v, ok
 }
 
 // LookupAt performs one flow lookup where the key already resides in
@@ -123,12 +194,18 @@ func (h *Hybrid) Lookup(th *cpu.Thread, table *cuckoo.Table, key []byte) (uint64
 // for the software path. Datapaths use this form so the accelerator mode
 // avoids key staging.
 func (h *Hybrid) LookupAt(th *cpu.Thread, table *cuckoo.Table, key []byte, keyAddr mem.Addr) (uint64, bool) {
+	start := th.Now
 	h.maybeScan(th.Now)
+	h.windowLookups++
 	if h.mode == ModeSoftware {
-		return h.lookupSoftware(th, table, key)
+		v, ok := h.lookupSoftware(th, table, key)
+		th.Record("lat.lookup.hybrid", th.Now-start)
+		return v, ok
 	}
 	h.hwLookups++
-	return h.unit.LookupBAt(th, table.Base(), keyAddr)
+	v, ok := h.unit.LookupBAt(th, table.Base(), keyAddr)
+	th.Record("lat.lookup.hybrid", th.Now-start)
+	return v, ok
 }
 
 func (h *Hybrid) lookupSoftware(th *cpu.Thread, table *cuckoo.Table, key []byte) (uint64, bool) {

@@ -5,6 +5,7 @@ import (
 	"halo/internal/cuckoo"
 	"halo/internal/mem"
 	"halo/internal/noc"
+	"halo/internal/stats"
 )
 
 // Platform bundles one simulated machine: functional memory, DRAM timing,
@@ -17,6 +18,8 @@ type Platform struct {
 	Ring  *noc.Ring
 	Hier  *cache.Hierarchy
 	Unit  *Unit
+
+	tables []*cuckoo.Table // tables created through NewTable, for snapshots
 }
 
 // PlatformConfig collects the per-component configurations.
@@ -51,9 +54,27 @@ func NewPlatform(cfg PlatformConfig) *Platform {
 	return &Platform{Space: space, Alloc: alloc, DRAM: dram, Ring: ring, Hier: hier, Unit: unit}
 }
 
-// NewTable creates a cuckoo table in the platform's memory.
+// NewTable creates a cuckoo table in the platform's memory and registers it
+// for snapshot collection.
 func (p *Platform) NewTable(cfg cuckoo.Config) (*cuckoo.Table, error) {
-	return cuckoo.Create(p.Space, p.Alloc, cfg)
+	t, err := cuckoo.Create(p.Space, p.Alloc, cfg)
+	if err != nil {
+		return nil, err
+	}
+	p.tables = append(p.tables, t)
+	return t, nil
+}
+
+// CollectInto gathers every platform component's counters into a snapshot:
+// the cache hierarchy, all accelerators, the query distributor, and every
+// table created through NewTable.
+func (p *Platform) CollectInto(s *stats.Snapshot) {
+	p.Hier.Stats().CollectInto(s)
+	p.Unit.Stats().CollectInto(s)
+	p.Unit.Distributor().CollectInto(s)
+	for _, t := range p.tables {
+		t.Stats().CollectInto(s)
+	}
 }
 
 // WarmTable walks a table's metadata, buckets and key-value array into the

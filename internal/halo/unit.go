@@ -138,6 +138,7 @@ func (u *Unit) Stats() AccelStats {
 		s.MetaHits += as.MetaHits
 		s.MetaMisses += as.MetaMisses
 		s.DataAccess += as.DataAccess
+		s.BusyCycles += as.BusyCycles
 		s.QueueCycles += as.QueueCycles
 	}
 	return s
@@ -195,6 +196,7 @@ func (u *Unit) stageKey(th *cpu.Thread, key []byte) mem.Addr {
 // LookupB performs a blocking accelerator lookup (the LOOKUP_B instruction):
 // the core stalls until the result returns over the interconnect.
 func (u *Unit) LookupB(th *cpu.Thread, tableAddr mem.Addr, key []byte) (uint64, bool) {
+	start := th.Now
 	keyAddr := u.stageKey(th, key)
 	th.ALU(1)   // RAX already holds the table address; address formation
 	th.Other(1) // the LOOKUP_B instruction itself
@@ -205,6 +207,7 @@ func (u *Unit) LookupB(th *cpu.Thread, tableAddr mem.Addr, key []byte) (uint64, 
 	})
 	// Result returns to the issuing core on the command path.
 	th.WaitUntil(r.Done + u.cmdDelay(r.Slice, th.Core))
+	th.Record("lat.lookup.accel", th.Now-start)
 	return r.Value, r.Found
 }
 
@@ -213,10 +216,12 @@ func (u *Unit) LookupB(th *cpu.Thread, tableAddr mem.Addr, key []byte) (uint64, 
 // DDIO-delivered packet buffer (clean in the LLC), so the accelerator's key
 // fetch avoids the dirty-line snoop that staged keys pay.
 func (u *Unit) LookupBAt(th *cpu.Thread, tableAddr, keyAddr mem.Addr) (uint64, bool) {
+	start := th.Now
 	th.ALU(1)
 	th.Other(1)
 	r := u.dispatch(th.Now, Query{Core: th.Core, TableAddr: tableAddr, KeyAddr: keyAddr})
 	th.WaitUntil(r.Done + u.cmdDelay(r.Slice, th.Core))
+	th.Record("lat.lookup.accel", th.Now-start)
 	return r.Value, r.Found
 }
 
@@ -257,6 +262,7 @@ func (u *Unit) LookupManyNB(th *cpu.Thread, queries []NBQuery) []NBResult {
 }
 
 func (u *Unit) lookupWindowNB(th *cpu.Thread, queries []NBQuery, results []NBResult) {
+	start := th.Now
 	resultBase := u.resultBuf[th.Core]
 	lines := (len(queries) + u.cfg.BatchSize - 1) / u.cfg.BatchSize
 	// Zero the result lines so "non-zero" means done.
@@ -310,6 +316,9 @@ func (u *Unit) lookupWindowNB(th *cpu.Thread, queries []NBQuery, results []NBRes
 	}
 	// Read out the slots (register moves from the snapshotted vectors).
 	th.ALU(len(queries))
+	// One observation per issue window: NB queries complete together, so
+	// the window's end-to-end cost is the meaningful latency.
+	th.Record("lat.lookup.accel_nb", th.Now-start)
 }
 
 func minCycle(a, b sim.Cycle) sim.Cycle {

@@ -118,6 +118,12 @@ func Percent(f float64) string {
 	return fmt.Sprintf("%.1f%%", 100*f)
 }
 
+// Quantiles formats p50/p95/p99 from a quantile function (such as
+// (*stats.Histogram).Quantile) as cycle counts.
+func Quantiles(q func(float64) uint64) string {
+	return fmt.Sprintf("p50=%d p95=%d p99=%d cyc", q(0.50), q(0.95), q(0.99))
+}
+
 // Mpps converts cycles-per-packet at a clock frequency to millions of
 // packets per second.
 func Mpps(cyclesPerPacket float64, ghz float64) float64 {

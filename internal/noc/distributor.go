@@ -3,6 +3,7 @@ package noc
 import (
 	"halo/internal/hashfn"
 	"halo/internal/sim"
+	"halo/internal/stats"
 )
 
 // SliceHash maps a cache-line address to its home LLC slice. Real CPUs use an
@@ -61,6 +62,13 @@ func (d *QueryDistributor) Busy(slice int) bool { return d.busy[slice] }
 
 // Stats returns a copy of the dispatch statistics.
 func (d *QueryDistributor) Stats() DistributorStats { return d.stats }
+
+// CollectInto adds the distributor's counters to a snapshot under the
+// noc.dispatch.* names.
+func (d *QueryDistributor) CollectInto(s *stats.Snapshot) {
+	s.Add("noc.dispatch.dispatched", d.stats.Dispatched)
+	s.Add("noc.dispatch.diverted", d.stats.Diverted)
+}
 
 // Target returns the accelerator slice for a query and the extra latency to
 // reach it from the issuing core's ring stop.

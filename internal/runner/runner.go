@@ -15,6 +15,7 @@
 package runner
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -23,6 +24,7 @@ import (
 	"sync/atomic"
 
 	"halo/internal/experiments"
+	"halo/internal/stats"
 )
 
 // Options configure a pool run.
@@ -63,6 +65,13 @@ type task struct {
 // serially and compares. The error aggregates every point panic and every
 // verify divergence; experiments with failures are not rendered.
 func Run(opt Options, cfg experiments.Config, runners []experiments.Runner, w io.Writer) error {
+	_, err := run(opt, cfg, runners, w)
+	return err
+}
+
+// run is Run's body; it additionally returns the per-experiment states so
+// RunDoc can assemble the stats document from the completed rows.
+func run(opt Options, cfg experiments.Config, runners []experiments.Runner, w io.Writer) ([]*expState, error) {
 	states := make([]*expState, len(runners))
 	var tasks []task
 	for i, r := range runners {
@@ -131,7 +140,46 @@ func Run(opt Options, cfg experiments.Config, runners []experiments.Runner, w io
 		r.Sweep.Render(cfg, st.rows, w)
 	}
 	wg.Wait()
-	return errors.Join(failures...)
+	return states, errors.Join(failures...)
+}
+
+// RunDoc executes the runners like Run (rendered tables still stream to w)
+// and additionally returns the machine-readable stats document: every
+// point's row marshalled verbatim, its component snapshot from cfg.Stats
+// (seeded with a fresh collector when nil), and per-experiment merged
+// snapshots. The document depends only on (cfg, runners) — never on worker
+// count or scheduling — so serial and pooled runs encode to identical bytes.
+func RunDoc(opt Options, cfg experiments.Config, runners []experiments.Runner, w io.Writer) (*stats.Document, error) {
+	if cfg.Stats == nil {
+		cfg.Stats = stats.NewCollector()
+	}
+	states, err := run(opt, cfg, runners, w)
+	if err != nil {
+		return nil, err
+	}
+	doc := &stats.Document{Schema: stats.SchemaVersion, Quick: cfg.Quick, Seed: cfg.Seed}
+	for i, r := range runners {
+		st := states[i]
+		ed := stats.ExperimentDoc{ID: r.ID, Paper: r.Paper, Points: []stats.PointDoc{}}
+		merged := stats.NewSnapshot()
+		for j, p := range st.points {
+			row, err := json.Marshal(st.rows[j])
+			if err != nil {
+				return nil, fmt.Errorf("runner: marshalling %s point %q row: %w", r.ID, p.Label, err)
+			}
+			pd := stats.PointDoc{Label: p.Label, Row: row}
+			if snap := cfg.Stats.Snapshot(r.ID, p.Index); snap != nil {
+				pd.Snapshot = snap
+				merged.Merge(snap)
+			}
+			ed.Points = append(ed.Points, pd)
+		}
+		if !merged.Empty() {
+			ed.Snapshot = merged
+		}
+		doc.Experiments = append(doc.Experiments, ed)
+	}
+	return doc, nil
 }
 
 // RunAll runs the whole experiment registry on the pool.

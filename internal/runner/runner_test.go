@@ -1,6 +1,7 @@
 package runner_test
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"strings"
@@ -9,6 +10,7 @@ import (
 
 	"halo/internal/experiments"
 	"halo/internal/runner"
+	"halo/internal/stats"
 )
 
 // cheapRunners picks real registry experiments that are fast at quick
@@ -181,6 +183,54 @@ func TestZeroPointExperiment(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "### empty") {
 		t.Error("empty experiment header missing")
+	}
+}
+
+// TestRunDocDeterministic: the stats document must encode to identical
+// bytes at any worker count, validate against its schema, and actually
+// carry component snapshots.
+func TestRunDocDeterministic(t *testing.T) {
+	t.Parallel()
+	cfg := experiments.QuickConfig()
+	runners := cheapRunners(t)
+	hy, ok := experiments.Find("hybrid")
+	if !ok {
+		t.Fatal("hybrid experiment missing from registry")
+	}
+	runners = append(runners, hy)
+
+	var ref []byte
+	for _, workers := range []int{1, 4} {
+		doc, err := runner.RunDoc(runner.Options{Workers: workers}, cfg, runners, io.Discard)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		data, err := stats.Encode(doc)
+		if err != nil {
+			t.Fatalf("workers=%d: encode: %v", workers, err)
+		}
+		if _, err := stats.Validate(data); err != nil {
+			t.Fatalf("workers=%d: document does not validate: %v", workers, err)
+		}
+		if ref == nil {
+			ref = data
+		} else if !bytes.Equal(ref, data) {
+			t.Errorf("workers=%d: document bytes differ from serial run", workers)
+		}
+	}
+
+	doc, err := stats.Decode(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withSnap := 0
+	for _, e := range doc.Experiments {
+		if e.Snapshot != nil {
+			withSnap++
+		}
+	}
+	if withSnap == 0 {
+		t.Error("no experiment carried a merged component snapshot")
 	}
 }
 

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// SchemaVersion identifies the document layout. Bump it on any breaking
+// change to the JSON structure so downstream perf-tracking tooling can
+// refuse documents it does not understand.
+const SchemaVersion = "halo-stats/v1"
+
+// Document is the machine-readable result of one halobench run: every
+// experiment's rows plus the merged component counters and latency
+// histograms. It intentionally carries no timestamps, worker counts or
+// host information — the same simulation must produce identical bytes
+// regardless of parallelism, which is what CI's serial-vs-pooled byte
+// comparison asserts.
+type Document struct {
+	Schema      string          `json:"schema"`
+	Quick       bool            `json:"quick"`
+	Seed        uint64          `json:"seed"`
+	Experiments []ExperimentDoc `json:"experiments"`
+}
+
+// ExperimentDoc is one experiment's results: rows in sweep-point order and
+// the snapshot merged across all points.
+type ExperimentDoc struct {
+	ID       string     `json:"id"`
+	Paper    string     `json:"paper"`
+	Points   []PointDoc `json:"points"`
+	Snapshot *Snapshot  `json:"snapshot,omitempty"`
+}
+
+// PointDoc is one sweep point: its label, its row (the experiment's native
+// result struct, marshalled verbatim) and its component snapshot when the
+// experiment builds a simulated platform (analytic experiments have none).
+type PointDoc struct {
+	Label    string          `json:"label"`
+	Row      json.RawMessage `json:"row,omitempty"`
+	Snapshot *Snapshot       `json:"snapshot,omitempty"`
+}
+
+// Experiment returns the experiment with the given ID, or nil.
+func (d *Document) Experiment(id string) *ExperimentDoc {
+	for i := range d.Experiments {
+		if d.Experiments[i].ID == id {
+			return &d.Experiments[i]
+		}
+	}
+	return nil
+}
+
+// Encode serialises a document to indented, byte-stable JSON with a
+// trailing newline.
+func Encode(doc *Document) ([]byte, error) {
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Decode parses a document, rejecting unknown schema versions.
+func Decode(data []byte) (*Document, error) {
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("stats: decoding document: %w", err)
+	}
+	if doc.Schema != SchemaVersion {
+		return nil, fmt.Errorf("stats: unsupported schema %q (want %q)", doc.Schema, SchemaVersion)
+	}
+	return &doc, nil
+}
+
+// Validate decodes a document and verifies it round-trips to the exact
+// input bytes — proving the file was produced by Encode, carries the
+// current schema, and lost nothing in transit.
+func Validate(data []byte) (*Document, error) {
+	doc, err := Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(doc.Experiments) == 0 {
+		return nil, fmt.Errorf("stats: document has no experiments")
+	}
+	again, err := Encode(doc)
+	if err != nil {
+		return nil, fmt.Errorf("stats: re-encoding document: %w", err)
+	}
+	if !bytes.Equal(data, again) {
+		return nil, fmt.Errorf("stats: document does not round-trip byte-identically")
+	}
+	return doc, nil
+}

@@ -1,0 +1,183 @@
+// Package stats is the unified observability layer: stable dotted-name
+// counters, cycle-bucketed latency histograms, and a schema-versioned JSON
+// document that carries every experiment's rows and per-component counters.
+//
+// The package sits below every simulator component (it imports only the
+// standard library), so cpu threads, the cache hierarchy, accelerator units,
+// the query distributor, cuckoo tables and the hybrid controller can all
+// publish into one Snapshot without import cycles. Everything here is
+// deterministic: maps serialize in sorted order, histograms quantize to
+// fixed bucket boundaries, and documents contain no timestamps or
+// host-dependent values, so the same simulation always produces the same
+// bytes — the property the runner's verify mode and CI's serial-vs-pooled
+// byte comparison check.
+package stats
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Histogram counts cycle-valued observations in log-scaled buckets: values
+// below 16 get exact buckets; larger values land in power-of-two octaves
+// split into 16 linear sub-buckets, bounding the relative quantization
+// error at 1/16 (~6%). Quantiles return a bucket's upper bound, so they are
+// exact integers that do not depend on observation order.
+type Histogram struct {
+	count   uint64
+	sum     uint64
+	buckets map[int]uint64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// bucketIndex maps a value to its bucket: 0..15 exact, then 16 sub-buckets
+// per power-of-two octave.
+func bucketIndex(v uint64) int {
+	if v < 16 {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1 // >= 4
+	sub := int((v >> (uint(exp) - 4)) & 15)
+	return 16 + (exp-4)*16 + sub
+}
+
+// bucketUpper returns the largest value that maps to bucket idx — the value
+// quantiles report.
+func bucketUpper(idx int) uint64 {
+	if idx < 16 {
+		return uint64(idx)
+	}
+	rel := idx - 16
+	exp := uint(rel/16) + 4
+	sub := uint64(rel % 16)
+	return (uint64(1) << exp) + (sub+1)<<(exp-4) - 1
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	if h.buckets == nil {
+		h.buckets = make(map[int]uint64)
+	}
+	h.buckets[bucketIndex(v)]++
+	h.count++
+	h.sum += v
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the exact sum of all observed values (for means).
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Mean returns the exact average of the observed values.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Merge adds another histogram's observations into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	if h.buckets == nil {
+		h.buckets = make(map[int]uint64)
+	}
+	for idx, c := range o.buckets {
+		h.buckets[idx] += c
+	}
+	h.count += o.count
+	h.sum += o.sum
+}
+
+// sortedIdxs returns the populated bucket indexes in ascending order.
+func (h *Histogram) sortedIdxs() []int {
+	idxs := make([]int, 0, len(h.buckets))
+	for idx := range h.buckets {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	return idxs
+}
+
+// Quantile returns the upper bound of the bucket containing the q-th
+// quantile observation (q in [0,1]). Deterministic: the result depends only
+// on the bucket counts, never on observation order.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(h.count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	idxs := h.sortedIdxs()
+	for _, idx := range idxs {
+		cum += h.buckets[idx]
+		if cum >= target {
+			return bucketUpper(idx)
+		}
+	}
+	return bucketUpper(idxs[len(idxs)-1])
+}
+
+// MarshalJSON emits {"count":N,"sum":S,"buckets":"idx:count,idx:count"} with
+// buckets in ascending index order — a compact, byte-stable encoding.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, `{"count":%d,"sum":%d,"buckets":"`, h.count, h.sum)
+	for i, idx := range h.sortedIdxs() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d:%d", idx, h.buckets[idx])
+	}
+	b.WriteString(`"}`)
+	return b.Bytes(), nil
+}
+
+// UnmarshalJSON parses the MarshalJSON encoding.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var wire struct {
+		Count   uint64 `json:"count"`
+		Sum     uint64 `json:"sum"`
+		Buckets string `json:"buckets"`
+	}
+	if err := json.Unmarshal(data, &wire); err != nil {
+		return err
+	}
+	h.count = wire.Count
+	h.sum = wire.Sum
+	h.buckets = nil
+	if wire.Buckets == "" {
+		return nil
+	}
+	h.buckets = make(map[int]uint64)
+	for _, pair := range strings.Split(wire.Buckets, ",") {
+		idxStr, cntStr, ok := strings.Cut(pair, ":")
+		if !ok {
+			return fmt.Errorf("stats: malformed histogram bucket %q", pair)
+		}
+		idx, err := strconv.Atoi(idxStr)
+		if err != nil {
+			return fmt.Errorf("stats: malformed histogram bucket index %q", idxStr)
+		}
+		cnt, err := strconv.ParseUint(cntStr, 10, 64)
+		if err != nil {
+			return fmt.Errorf("stats: malformed histogram bucket count %q", cntStr)
+		}
+		h.buckets[idx] = cnt
+	}
+	return nil
+}

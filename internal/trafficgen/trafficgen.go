@@ -58,6 +58,10 @@ type Workload struct {
 	Flows    []packet.FiveTuple
 	FlowRule []int // index of the rule each flow matches
 	Rules    []RuleSpec
+	// Retries counts uniqueness-check collisions during generation — a
+	// regression guard: over-restricting the free source-IP bits clusters
+	// flows and sends this climbing.
+	Retries uint64
 
 	rng  *sim.Rand
 	cdf  []float64 // Zipf CDF over flows (nil for uniform)
@@ -110,11 +114,17 @@ func Generate(scn Scenario, seed uint64) *Workload {
 	seen := make(map[packet.FiveTuple]bool, scn.Flows)
 	for i := 0; i < scn.Flows; i++ {
 		r := i % scn.Rules
+		// Free host bits: an r-bit prefix with r <= 8 is already covered by
+		// the 10.0.0.0/8 base, so only prefixes longer than 8 bits eat into
+		// the 24-bit host space.
+		shift := 0
+		if r > 8 {
+			shift = r - 8
+		}
+		hostMask := uint32(0x00FFFFFF) >> uint(shift)
 		for {
-			// Free bits: below the rule's r-bit prefix and inside the
-			// 10.0.0.0/8 host space.
 			f := packet.FiveTuple{
-				SrcIP:   baseSrcIP | (w.rng.Uint32() & (uint32(0x00FFFFFF) >> uint(r))),
+				SrcIP:   baseSrcIP | (w.rng.Uint32() & hostMask),
 				DstIP:   0xc0a80000 | w.rng.Uint32()&0xFFFF,
 				SrcPort: uint16(1024 + w.rng.Intn(60000)),
 				DstPort: uint16(baseDstPort + r),
@@ -126,6 +136,7 @@ func Generate(scn Scenario, seed uint64) *Workload {
 				w.FlowRule[i] = r
 				break
 			}
+			w.Retries++
 		}
 	}
 

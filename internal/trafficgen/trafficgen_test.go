@@ -142,6 +142,32 @@ func TestRandomTuplesDistinct(t *testing.T) {
 	}
 }
 
+// Regression: the free host bits for rule r were computed as 24-r instead
+// of 24-max(0,r-8), so flows of high-index rules (long source prefixes) were
+// squeezed into a handful of source addresses — rule 19 got 32 distinct
+// SrcIPs no matter how many flows it owned.
+func TestGenerateHighRuleSrcEntropy(t *testing.T) {
+	w := Generate(Scenario{Name: "x", Flows: 4000, Rules: 20, Popularity: Uniform}, 29)
+	srcs := make(map[uint32]bool)
+	for i, f := range w.Flows {
+		if w.FlowRule[i] != 19 {
+			continue
+		}
+		srcs[f.SrcIP] = true
+		// The source must still sit inside rule 19's prefix.
+		if got := w.Rules[19].Mask.Apply(f); got.SrcIP != w.Rules[19].Pattern.SrcIP {
+			t.Fatalf("flow %d src %08x escapes rule 19's prefix", i, f.SrcIP)
+		}
+	}
+	// 200 flows over an 8192-address host space: expect nearly all distinct.
+	if len(srcs) <= 100 {
+		t.Fatalf("rule 19 flows use only %d distinct SrcIPs; host bits over-restricted", len(srcs))
+	}
+	if w.Retries > uint64(len(w.Flows))/10 {
+		t.Fatalf("%d uniqueness retries for %d flows; flow space too clustered", w.Retries, len(w.Flows))
+	}
+}
+
 func TestGenerateRejectsBadScenario(t *testing.T) {
 	defer func() {
 		if recover() == nil {

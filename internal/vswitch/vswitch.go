@@ -14,6 +14,7 @@ import (
 	"halo/internal/halo"
 	"halo/internal/mem"
 	"halo/internal/packet"
+	"halo/internal/stats"
 )
 
 // Stage labels the datapath components of the Fig. 3 breakdown.
@@ -182,6 +183,34 @@ func (sw *Switch) HybridMode() (halo.Mode, bool) {
 	return sw.hybrid.Mode(), true
 }
 
+// Hybrid returns the hybrid controller, or nil for non-hybrid engines.
+func (sw *Switch) Hybrid() *halo.Hybrid { return sw.hybrid }
+
+// CollectInto gathers the switch's counters into a snapshot: per-stage
+// cycles, MegaFlow/OpenFlow outcomes, the classification tables' operation
+// counts, and — for the hybrid engine — the controller's counters.
+func (sw *Switch) CollectInto(s *stats.Snapshot) {
+	s.Add("vswitch.packets", sw.packets)
+	for st := StagePacketIO; st <= StageOther; st++ {
+		s.Add("vswitch.cycles."+st.String(), sw.breakdown[st])
+	}
+	s.Add("vswitch.mega.hits", sw.megaHits)
+	s.Add("vswitch.mega.misses", sw.megaMisses)
+	s.Add("vswitch.openflow.hits", sw.openHits)
+	sw.EMC.Table().Stats().CollectInto(s)
+	for _, tp := range sw.Mega.Tuples() {
+		tp.Table.Stats().CollectInto(s)
+	}
+	if sw.Open != nil {
+		for _, tp := range sw.Open.Tuples() {
+			tp.Table.Stats().CollectInto(s)
+		}
+	}
+	if sw.hybrid != nil {
+		sw.hybrid.CollectInto(s)
+	}
+}
+
 // Breakdown returns the accumulated per-stage cycles.
 func (sw *Switch) Breakdown() Breakdown { return sw.breakdown }
 
@@ -233,6 +262,7 @@ func (sw *Switch) deliver(pkt *packet.Packet) (bufAddr, descAddr mem.Addr) {
 // and returns its classification result.
 func (sw *Switch) ProcessPacket(th *cpu.Thread, pkt *packet.Packet) (classify.Match, bool) {
 	sw.packets++
+	start := th.Now
 	bufAddr, descAddr := sw.deliver(pkt)
 
 	// --- Packet IO: descriptor poll, buffer fetch, ring bookkeeping.
@@ -324,6 +354,7 @@ func (sw *Switch) ProcessPacket(th *cpu.Thread, pkt *packet.Packet) (classify.Ma
 	th.Store(descAddr) // TX descriptor writeback
 	sw.breakdown[StageOther] += uint64(th.Now - t0)
 
+	th.Record("lat.packet", th.Now-start)
 	return m, ok
 }
 

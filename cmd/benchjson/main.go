@@ -1,0 +1,62 @@
+// Command benchjson converts `go test -bench` output into a small
+// schema-versioned JSON document so CI can archive performance numbers as a
+// machine-readable artifact and later sessions can diff them.
+//
+// Usage:
+//
+//	go test -bench 'RunAllSerial|Fig9SingleLookup' -benchmem -benchtime 1x . |
+//	    go run ./cmd/benchjson -o BENCH_perf.json
+//
+// The document intentionally carries no timestamp or hostname: two runs of
+// the same toolchain on the same code should encode identically except for
+// the measured values themselves.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"halo/internal/benchjson"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	in := os.Stdin
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	} else if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson [-o out.json] [bench-output.txt]")
+		os.Exit(2)
+	}
+
+	doc, err := benchjson.Parse(bufio.NewReader(in))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data, err := benchjson.Encode(doc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %s (%d benchmarks, %d bytes)\n",
+		*out, len(doc.Benchmarks), len(data))
+}

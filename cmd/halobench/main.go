@@ -11,6 +11,7 @@
 //	halobench -list               # list experiment IDs
 //	halobench -json results.json  # also write the schema-versioned stats document
 //	halobench -validate results.json  # check a stats document and exit
+//	halobench -cpuprofile cpu.pprof -memprofile mem.pprof  # pprof profiles
 //
 // Output tables go to stdout; timing and verification status go to stderr,
 // so `halobench > halobench_output.txt` is byte-reproducible. The -json
@@ -23,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"halo/internal/experiments"
@@ -40,6 +42,8 @@ func main() {
 		verify     = flag.Bool("verify", false, "run every point serially too and fail on divergence")
 		jsonPath   = flag.String("json", "", "also write the stats document (rows + counters + histograms) to this file")
 		validate   = flag.String("validate", "", "validate a stats document written by -json and exit")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -87,6 +91,33 @@ func main() {
 	workers := *parallel
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "halobench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "halobench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "halobench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush accumulated allocations into the profile
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "halobench: %v\n", err)
+			}
+		}()
 	}
 	opt := runner.Options{Workers: workers, Verify: *verify}
 	start := time.Now()

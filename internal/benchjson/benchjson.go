@@ -1,0 +1,142 @@
+// Package benchjson parses `go test -bench` text output into a
+// schema-versioned document, mirroring the stats package's contract: a
+// Schema field pinned to one version, deterministic encoding, and a
+// round-trip check in Decode.
+package benchjson
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// SchemaVersion identifies the document layout. Bump on incompatible change.
+const SchemaVersion = "halo-bench/v1"
+
+// Benchmark is one `Benchmark...` result line. Metrics maps unit → value
+// for every (value, unit) pair on the line: "ns/op", and with -benchmem
+// "B/op" and "allocs/op", plus any custom b.ReportMetric units.
+type Benchmark struct {
+	Name       string             `json:"name"`  // without the -N procs suffix
+	Procs      int                `json:"procs"` // GOMAXPROCS suffix (1 if absent)
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Document is the archived artifact.
+type Document struct {
+	Schema     string      `json:"schema"`
+	GoVersion  string      `json:"go"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Parse reads `go test -bench` output and collects every benchmark result
+// line, in order. Non-benchmark lines (goos/goarch/pkg headers, PASS, ok)
+// are skipped; goos/goarch headers override the runtime defaults so a
+// document built from a saved log describes the machine that produced it.
+func Parse(r io.Reader) (*Document, error) {
+	doc := &Document{
+		Schema:     SchemaVersion,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: []Benchmark{},
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if v, ok := strings.CutPrefix(line, "goos: "); ok {
+			doc.GOOS = v
+			continue
+		}
+		if v, ok := strings.CutPrefix(line, "goarch: "); ok {
+			doc.GOARCH = v
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		b, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: %q: %v", line, err)
+		}
+		doc.Benchmarks = append(doc.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchjson: no benchmark result lines found")
+	}
+	return doc, nil
+}
+
+// parseLine splits one result line:
+//
+//	BenchmarkRunAllSerial-8  1  6.2e9 ns/op  9.8e8 B/op  1.2e7 allocs/op
+func parseLine(line string) (Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, fmt.Errorf("want name, count and (value, unit) pairs")
+	}
+	b := Benchmark{Procs: 1, Metrics: make(map[string]float64, (len(fields)-2)/2)}
+	b.Name = strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndexByte(b.Name, '-'); i >= 0 {
+		if procs, err := strconv.Atoi(b.Name[i+1:]); err == nil && procs > 0 {
+			b.Procs = procs
+			b.Name = b.Name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("iteration count: %v", err)
+	}
+	b.Iterations = iters
+	for i := 2; i < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("metric value %q: %v", fields[i], err)
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, nil
+}
+
+// Find returns the named benchmark.
+func (d *Document) Find(name string) (Benchmark, bool) {
+	for _, b := range d.Benchmarks {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+// Encode renders the document deterministically (map keys sorted by
+// encoding/json, two-space indent, trailing newline).
+func Encode(d *Document) ([]byte, error) {
+	data, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Decode parses a document, rejecting unknown schema versions.
+func Decode(data []byte) (*Document, error) {
+	var d Document
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, err
+	}
+	if d.Schema != SchemaVersion {
+		return nil, fmt.Errorf("benchjson: unsupported schema %q (want %q)", d.Schema, SchemaVersion)
+	}
+	return &d, nil
+}

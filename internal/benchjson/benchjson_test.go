@@ -1,0 +1,90 @@
+package benchjson
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: halo
+cpu: Intel(R) Xeon(R) CPU
+BenchmarkRunAllSerial-8            	       1	6247000000 ns/op	        42.50 sim-fig9-speedup	986000000 B/op	12600000 allocs/op
+BenchmarkFig9SingleLookup-8        	       1	  91000000 ns/op	21000000 B/op	  310000 allocs/op
+BenchmarkEngineSchedule            	20000000	        55.1 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	halo	6.5s
+`
+
+func TestParseSample(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != SchemaVersion {
+		t.Fatalf("schema = %q", doc.Schema)
+	}
+	if doc.GOOS != "linux" || doc.GOARCH != "amd64" {
+		t.Fatalf("goos/goarch = %q/%q", doc.GOOS, doc.GOARCH)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+
+	b, ok := doc.Find("RunAllSerial")
+	if !ok {
+		t.Fatal("RunAllSerial not found")
+	}
+	if b.Procs != 8 || b.Iterations != 1 {
+		t.Fatalf("RunAllSerial procs/iters = %d/%d", b.Procs, b.Iterations)
+	}
+	if b.Metrics["ns/op"] != 6.247e9 || b.Metrics["allocs/op"] != 12.6e6 {
+		t.Fatalf("RunAllSerial metrics = %v", b.Metrics)
+	}
+	if b.Metrics["sim-fig9-speedup"] != 42.5 {
+		t.Fatalf("custom metric = %v", b.Metrics["sim-fig9-speedup"])
+	}
+
+	// No -procs suffix → procs defaults to 1, name is untouched.
+	e, ok := doc.Find("EngineSchedule")
+	if !ok {
+		t.Fatal("EngineSchedule not found")
+	}
+	if e.Procs != 1 || e.Metrics["allocs/op"] != 0 {
+		t.Fatalf("EngineSchedule = %+v", e)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := Encode(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, err := Encode(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Fatal("encode/decode round trip is not byte-stable")
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok halo 1s\n")); err == nil {
+		t.Fatal("want error for output with no benchmark lines")
+	}
+	if _, err := Parse(strings.NewReader("BenchmarkX-8 notanint 5 ns/op\n")); err == nil {
+		t.Fatal("want error for bad iteration count")
+	}
+	if _, err := Decode([]byte(`{"schema":"halo-bench/v999"}`)); err == nil {
+		t.Fatal("want error for unknown schema")
+	}
+}

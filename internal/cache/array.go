@@ -56,9 +56,13 @@ type line struct {
 	lockFreeAt sim.Cycle
 }
 
-// array is a set-associative cache structure with LRU replacement.
+// array is a set-associative cache structure with LRU replacement. Sets are
+// materialised lazily on first install: experiments touch a small fraction
+// of a 32 MB LLC's sets, and eager allocation dominated the simulator's
+// memory profile.
 type array struct {
 	sets    [][]line
+	ways    int
 	setMask uint64
 	lruTick uint64
 
@@ -75,15 +79,23 @@ func newArray(sizeBytes, ways int) *array {
 	if sets == 0 || sets&(sets-1) != 0 {
 		panic(fmt.Sprintf("cache: set count %d is not a positive power of two", sets))
 	}
-	a := &array{sets: make([][]line, sets), setMask: uint64(sets - 1)}
-	for i := range a.sets {
-		a.sets[i] = make([]line, ways)
-	}
-	return a
+	return &array{sets: make([][]line, sets), ways: ways, setMask: uint64(sets - 1)}
 }
 
 func (a *array) setIndex(lineAddr mem.Addr) uint64 {
 	return (uint64(lineAddr) / mem.LineSize) & a.setMask
+}
+
+// materialize returns lineAddr's set, allocating its ways on first touch
+// (an untouched set is nil and reads as all-invalid).
+func (a *array) materialize(lineAddr mem.Addr) []line {
+	idx := a.setIndex(lineAddr)
+	s := a.sets[idx]
+	if s == nil {
+		s = make([]line, a.ways)
+		a.sets[idx] = s
+	}
+	return s
 }
 
 // lookup finds the line, updating LRU on hit. It returns nil on miss.
@@ -118,7 +130,7 @@ func (a *array) peek(lineAddr mem.Addr) *line {
 // is locked — impossible in practice given scoreboard limits — the LRU way is
 // returned anyway to guarantee progress.
 func (a *array) victim(lineAddr mem.Addr) *line {
-	set := a.sets[a.setIndex(lineAddr)]
+	set := a.materialize(lineAddr)
 	var lru *line
 	var lruAny *line
 	for i := range set {

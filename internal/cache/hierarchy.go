@@ -160,10 +160,60 @@ type Hierarchy struct {
 
 	stats Stats
 
+	// txnFree recycles access transactions (see accessTxn); txnAllocs and
+	// txnReuses count how often the pool had to grow versus hand back a
+	// recycled object. They are deliberately NOT part of Stats: the stats
+	// document is byte-compared across runs and pooling is invisible to it.
+	txnFree   *accessTxn
+	txnAllocs uint64
+	txnReuses uint64
+
 	// OnAccelInvalidate, when set, is called whenever a line with the
 	// accelerator core-valid bit set leaves the LLC or is written, so HALO
 	// metadata caches stay coherent (paper §4.3).
 	OnAccelInvalidate func(lineAddr mem.Addr)
+}
+
+// accessTxn carries one access's state through the hierarchy's stages —
+// private-cache probe, LLC/directory service, fill, snoop, install — in
+// place of per-hop continuation captures. Transactions come from a free list
+// and return to it on completion, so the steady-state access path performs
+// no allocation.
+type accessTxn struct {
+	requester int // core for CoreAccess, slice for AccelAccess
+	lineAddr  mem.Addr
+	write     bool
+	issued    sim.Cycle
+	t         sim.Cycle // the txn's clock as it moves through stages
+	where     HitWhere
+	home      int
+	l         *line // LLC line under service after the LLC stage
+	next      *accessTxn
+}
+
+// acquireTxn pops a recycled transaction, or grows the pool by one.
+func (h *Hierarchy) acquireTxn() *accessTxn {
+	tx := h.txnFree
+	if tx == nil {
+		h.txnAllocs++
+		return &accessTxn{}
+	}
+	h.txnReuses++
+	h.txnFree = tx.next
+	*tx = accessTxn{}
+	return tx
+}
+
+// releaseTxn returns a completed transaction to the free list.
+func (h *Hierarchy) releaseTxn(tx *accessTxn) {
+	tx.next = h.txnFree
+	h.txnFree = tx
+}
+
+// TxnPoolStats reports the transaction pool's allocation and reuse counts
+// (observability for the zero-allocation access path; not part of Stats).
+func (h *Hierarchy) TxnPoolStats() (allocs, reuses uint64) {
+	return h.txnAllocs, h.txnReuses
 }
 
 // New builds a hierarchy over the given interconnect and memory controller.
@@ -362,23 +412,49 @@ func (h *Hierarchy) dropPrivateVictim(core int, a *array, v *line) {
 }
 
 // CoreAccess models one load (write=false) or store (write=true) from a core
-// through its private caches into the shared LLC and memory.
+// through its private caches into the shared LLC and memory. The access runs
+// as a pooled transaction through three stages: private-cache probe, home
+// LLC-slice service, private install.
 func (h *Hierarchy) CoreAccess(at sim.Cycle, core int, addr mem.Addr, write bool) AccessResult {
-	lineAddr := mem.LineAddr(addr)
-	t := at + h.cfg.L1Latency
+	tx := h.acquireTxn()
+	tx.requester = core
+	tx.lineAddr = mem.LineAddr(addr)
+	tx.write = write
+	tx.issued = at
+	tx.t = at + h.cfg.L1Latency
 
+	if h.corePrivateStage(tx) {
+		res := AccessResult{sim.Ticket{Issued: at, Done: tx.t}, tx.where}
+		h.releaseTxn(tx)
+		return res
+	}
+	h.coreLLCStage(tx)
+	h.coreInstallStage(tx)
+	res := AccessResult{sim.Ticket{Issued: at, Done: tx.t}, tx.where}
+	h.releaseTxn(tx)
+	return res
+}
+
+// corePrivateStage tries to service the access from the requester's L1/L2.
+// It returns true when a private cache completes the access (tx.t and
+// tx.where are final); otherwise the transaction's clock carries the probe
+// and miss-handling costs and the access continues at the home LLC slice.
+func (h *Hierarchy) corePrivateStage(tx *accessTxn) bool {
+	core, lineAddr, write := tx.requester, tx.lineAddr, tx.write
 	if l := h.l1[core].lookup(lineAddr); l != nil {
 		if !write {
-			return AccessResult{sim.Ticket{Issued: at, Done: t}, InL1}
+			tx.where = InL1
+			return true
 		}
 		if l.state != Shared {
 			l.state = Modified
 			l.dirty = true
-			return AccessResult{sim.Ticket{Issued: at, Done: t}, InL1}
+			tx.where = InL1
+			return true
 		}
 		// Write to a Shared line: fall through to the LLC for ownership.
 	} else if l2l := h.l2[core].lookup(lineAddr); l2l != nil {
-		t += h.cfg.L2Latency
+		tx.t += h.cfg.L2Latency
 		if !write || l2l.state != Shared {
 			st := l2l.state
 			if write {
@@ -396,19 +472,28 @@ func (h *Hierarchy) CoreAccess(at sim.Cycle, core int, addr mem.Addr, write bool
 			if write {
 				nl.dirty = true
 			}
-			return AccessResult{sim.Ticket{Issued: at, Done: t}, InL2}
+			tx.where = InL2
+			return true
 		}
 	} else {
-		t += h.cfg.L2Latency
+		tx.t += h.cfg.L2Latency
 	}
-	t += h.cfg.MissHandling
+	tx.t += h.cfg.MissHandling
+	return false
+}
 
-	// Go to the home LLC slice.
+// coreLLCStage services the access at the home LLC slice: ring transit, port
+// claim, directory lookup, DRAM fill on miss, lock stall and snoop on hit.
+// On return tx.l is the LLC line under service and tx.t the service
+// completion time (before the return hop).
+func (h *Hierarchy) coreLLCStage(tx *accessTxn) {
+	core, lineAddr, write := tx.requester, tx.lineAddr, tx.write
 	home := h.homeSlice(lineAddr)
-	arrive := t + h.ring.Delay(core, home)
+	tx.home = home
+	arrive := tx.t + h.ring.Delay(core, home)
 	start := h.llcPort[home].Claim(arrive, h.cfg.PortOccupancy)
 	done := start + h.cfg.LLCLatency
-	where := InLLC
+	tx.where = InLLC
 
 	l := h.llc[home].lookup(lineAddr)
 	if l == nil {
@@ -417,7 +502,7 @@ func (h *Hierarchy) CoreAccess(at sim.Cycle, core int, addr mem.Addr, write bool
 		done = dt.Done
 		h.evictLLCVictim(done, home, lineAddr)
 		l = h.llc[home].install(lineAddr, Exclusive)
-		where = InMemory
+		tx.where = InMemory
 	} else {
 		if write {
 			if until := lockedUntil(l, done); until > 0 {
@@ -429,7 +514,7 @@ func (h *Hierarchy) CoreAccess(at sim.Cycle, core int, addr mem.Addr, write bool
 		if owner := h.exclusiveOwner(l); owner >= 0 && owner != core {
 			// Source the line from the remote private cache.
 			done += h.snoopPenaltyFor(owner, lineAddr)
-			where = InRemoteCache
+			tx.where = InRemoteCache
 			h.stats.RemoteCacheHits++
 			// Owner's copy is downgraded (read) or invalidated (write);
 			// either way its dirty data is now captured by the LLC copy.
@@ -471,7 +556,14 @@ func (h *Hierarchy) CoreAccess(at sim.Cycle, core int, addr mem.Addr, write bool
 			l.accelValid = false
 		}
 	}
+	tx.l = l
+	tx.t = done
+}
 
+// coreInstallStage picks the private-cache state, installs the line into the
+// requester's L1/L2 and charges the return ring hop.
+func (h *Hierarchy) coreInstallStage(tx *accessTxn) {
+	core, lineAddr, write, l := tx.requester, tx.lineAddr, tx.write, tx.l
 	var st State
 	if write {
 		st = Modified
@@ -500,9 +592,7 @@ func (h *Hierarchy) CoreAccess(at sim.Cycle, core int, addr mem.Addr, write bool
 			pl.dirty = true
 		}
 	}
-
-	done += h.ring.Delay(home, core)
-	return AccessResult{sim.Ticket{Issued: at, Done: done}, where}
+	tx.t += h.ring.Delay(tx.home, core)
 }
 
 // AccelAccess models a HALO accelerator at `slice` touching a line. The
@@ -510,17 +600,35 @@ func (h *Hierarchy) CoreAccess(at sim.Cycle, core int, addr mem.Addr, write bool
 // lines cost AccelLocalLatency, remote-slice lines add the CHA-to-CHA hop
 // path both ways.
 func (h *Hierarchy) AccelAccess(at sim.Cycle, slice int, addr mem.Addr, write bool) AccessResult {
-	lineAddr := mem.LineAddr(addr)
-	home := h.homeSlice(lineAddr)
+	tx := h.acquireTxn()
+	tx.requester = slice
+	tx.lineAddr = mem.LineAddr(addr)
+	tx.write = write
+	tx.issued = at
 	h.stats.AccelAccesses++
 
-	t := at
-	if home != slice {
-		t += sim.Cycle(h.ring.Hops(slice, home)) * h.cfg.AccelHopCycles
+	tx.home = h.homeSlice(tx.lineAddr)
+	tx.t = at
+	if tx.home != slice {
+		tx.t += sim.Cycle(h.ring.Hops(slice, tx.home)) * h.cfg.AccelHopCycles
 	}
-	start := h.llcPort[home].Claim(t, h.cfg.PortOccupancy)
+	h.accelLLCStage(tx)
+	h.accelFinishStage(tx)
+
+	h.stats.AccelAccessCycles += uint64(tx.t - at)
+	res := AccessResult{sim.Ticket{Issued: at, Done: tx.t}, tx.where}
+	h.releaseTxn(tx)
+	return res
+}
+
+// accelLLCStage services an accelerator access at the home slice's data
+// array: port claim, directory lookup, DRAM fill on miss, lock stall and
+// core snoop on hit. tx.l and tx.t are set on return.
+func (h *Hierarchy) accelLLCStage(tx *accessTxn) {
+	lineAddr, write, home := tx.lineAddr, tx.write, tx.home
+	start := h.llcPort[home].Claim(tx.t, h.cfg.PortOccupancy)
 	done := start + h.cfg.AccelLocalLatency
-	where := InLLC
+	tx.where = InLLC
 
 	l := h.llc[home].lookup(lineAddr)
 	if l == nil {
@@ -528,7 +636,7 @@ func (h *Hierarchy) AccelAccess(at sim.Cycle, slice int, addr mem.Addr, write bo
 		done = dt.Done
 		h.evictLLCVictim(done, home, lineAddr)
 		l = h.llc[home].install(lineAddr, Exclusive)
-		where = InMemory
+		tx.where = InMemory
 		h.stats.AccelLLCMisses++
 	} else {
 		if write {
@@ -541,7 +649,7 @@ func (h *Hierarchy) AccelAccess(at sim.Cycle, slice int, addr mem.Addr, write bo
 		if owner := h.exclusiveOwner(l); owner >= 0 {
 			// Latest data may live in a core's private cache: snoop it.
 			done += h.snoopPenaltyFor(owner, lineAddr)
-			where = InRemoteCache
+			tx.where = InRemoteCache
 			h.stats.RemoteCacheHits++
 			if op := h.l1[owner].peek(lineAddr); op != nil {
 				if op.dirty {
@@ -564,7 +672,15 @@ func (h *Hierarchy) AccelAccess(at sim.Cycle, slice int, addr mem.Addr, write bo
 			}
 		}
 	}
-	if write {
+	tx.l = l
+	tx.t = done
+}
+
+// accelFinishStage applies the write's directory consequences and charges
+// the return CHA-to-CHA hops.
+func (h *Hierarchy) accelFinishStage(tx *accessTxn) {
+	lineAddr, l := tx.lineAddr, tx.l
+	if tx.write {
 		// Accelerator writes land in the LLC; core copies are stale.
 		for c := 0; c < h.cfg.Cores; c++ {
 			if l.coreValid&(1<<c) == 0 {
@@ -576,12 +692,9 @@ func (h *Hierarchy) AccelAccess(at sim.Cycle, slice int, addr mem.Addr, write bo
 		l.coreValid = 0
 		l.dirty = true
 	}
-
-	if home != slice {
-		done += sim.Cycle(h.ring.Hops(slice, home)) * h.cfg.AccelHopCycles
+	if tx.home != tx.requester {
+		tx.t += sim.Cycle(h.ring.Hops(tx.requester, tx.home)) * h.cfg.AccelHopCycles
 	}
-	h.stats.AccelAccessCycles += uint64(done - at)
-	return AccessResult{sim.Ticket{Issued: at, Done: done}, where}
 }
 
 // SnapshotRead models the SNAPSHOT_READ instruction (paper §4.5): the core

@@ -53,9 +53,15 @@ func (m Mask) Apply(t packet.FiveTuple) packet.FiveTuple {
 	return t
 }
 
-// Key returns the packed masked key.
+// Key returns the packed masked key as a fresh slice.
 func (m Mask) Key(t packet.FiveTuple) []byte {
 	return m.Apply(t).Packed()
+}
+
+// KeyInto packs the masked key into buf (at least packet.KeyBytes long),
+// for hot paths that reuse a scratch buffer.
+func (m Mask) KeyInto(t packet.FiveTuple, buf []byte) {
+	m.Apply(t).Pack(buf)
 }
 
 // Valid reports whether the mask is well formed.

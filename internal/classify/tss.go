@@ -64,6 +64,16 @@ type TupleSpace struct {
 	tuples []*Tuple
 
 	entriesPerTuple uint64
+
+	// Per-search scratch. Sequential search paths mask one tuple's key at a
+	// time into keyScratch (every lookup copies what it keeps); the
+	// non-blocking path needs all per-tuple keys live at once until the batch
+	// issues, so it carves them out of the nbKeys arena. Classifiers were
+	// already single-owner (table stats race otherwise).
+	keyScratch [packet.KeyBytes]byte
+	nbKeys     []byte
+	nbQueries  []halo.NBQuery
+	nbResults  []halo.NBResult
 }
 
 // Errors.
@@ -151,7 +161,8 @@ func (ts *TupleSpace) DeleteRule(mask Mask, pattern packet.FiveTuple) bool {
 func (ts *TupleSpace) RuleSource(t packet.FiveTuple, m Match) (Mask, packet.FiveTuple, bool) {
 	want := encodeRule(m)
 	for _, tp := range ts.tuples {
-		if v, ok := tp.Table.Lookup(tp.Mask.Key(t)); ok && v == want {
+		tp.Mask.KeyInto(t, ts.keyScratch[:])
+		if v, ok := tp.Table.Lookup(ts.keyScratch[:]); ok && v == want {
 			return tp.Mask, tp.Mask.Apply(t), true
 		}
 	}
@@ -163,7 +174,8 @@ func (ts *TupleSpace) Classify(t packet.FiveTuple) (Match, bool) {
 	var best Match
 	found := false
 	for _, tp := range ts.tuples {
-		v, ok := tp.Table.Lookup(tp.Mask.Key(t))
+		tp.Mask.KeyInto(t, ts.keyScratch[:])
+		v, ok := tp.Table.Lookup(ts.keyScratch[:])
 		if !ok {
 			continue
 		}
@@ -197,7 +209,8 @@ func (ts *TupleSpace) ClassifyTimed(th *cpu.Thread, t packet.FiveTuple, opts cuc
 	th.Other(4) // loop setup
 	for _, tp := range ts.tuples {
 		maskCost(th)
-		v, ok := tp.Table.TimedLookup(th, tp.Mask.Key(t), opts)
+		tp.Mask.KeyInto(t, ts.keyScratch[:])
+		v, ok := tp.Table.TimedLookup(th, ts.keyScratch[:], opts)
 		if !ok {
 			continue
 		}
@@ -222,12 +235,20 @@ func (ts *TupleSpace) ClassifyTimed(th *cpu.Thread, t packet.FiveTuple, opts cuc
 // to all the tuples at once"). First-match semantics pick the
 // lowest-indexed hitting tuple, matching the software search order.
 func (ts *TupleSpace) ClassifyHaloNB(th *cpu.Thread, unit *halo.Unit, t packet.FiveTuple) (Match, bool) {
-	queries := make([]halo.NBQuery, len(ts.tuples))
+	n := len(ts.tuples)
+	if cap(ts.nbQueries) < n {
+		ts.nbQueries = make([]halo.NBQuery, n)
+		ts.nbResults = make([]halo.NBResult, n)
+		ts.nbKeys = make([]byte, n*packet.KeyBytes)
+	}
+	queries, results := ts.nbQueries[:n], ts.nbResults[:n]
 	for i, tp := range ts.tuples {
 		maskCost(th)
-		queries[i] = halo.NBQuery{TableAddr: tp.Table.Base(), Key: tp.Mask.Key(t)}
+		kb := ts.nbKeys[i*packet.KeyBytes : (i+1)*packet.KeyBytes]
+		tp.Mask.KeyInto(t, kb)
+		queries[i] = halo.NBQuery{TableAddr: tp.Table.Base(), Key: kb}
 	}
-	results := unit.LookupManyNB(th, queries)
+	unit.LookupManyNBInto(th, queries, results)
 	var best Match
 	found := false
 	for i, r := range results {
@@ -254,7 +275,8 @@ func (ts *TupleSpace) ClassifyHaloB(th *cpu.Thread, unit *halo.Unit, t packet.Fi
 	found := false
 	for _, tp := range ts.tuples {
 		maskCost(th)
-		v, ok := unit.LookupB(th, tp.Table.Base(), tp.Mask.Key(t))
+		tp.Mask.KeyInto(t, ts.keyScratch[:])
+		v, ok := unit.LookupB(th, tp.Table.Base(), ts.keyScratch[:])
 		if !ok {
 			continue
 		}

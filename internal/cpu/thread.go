@@ -61,7 +61,9 @@ type Thread struct {
 
 	// pendingFills tracks prefetches in flight so later demand loads to the
 	// same line cannot complete before the fill does (and are attributed
-	// to the structure the fill came from, not the L1 it lands in).
+	// to the structure the fill came from, not the L1 it lands in). The map
+	// is allocated lazily by Prefetch: threads that never prefetch keep it
+	// nil and demand loads skip the lookup entirely.
 	pendingFills map[mem.Addr]pendingFill
 
 	aluResidue uint64    // sub-cycle accumulator for IPC modelling
@@ -74,7 +76,7 @@ type Thread struct {
 
 // NewThread creates a thread on the given core at cycle 0.
 func NewThread(h *cache.Hierarchy, core int) *Thread {
-	return &Thread{Core: core, H: h, pendingFills: make(map[mem.Addr]pendingFill)}
+	return &Thread{Core: core, H: h}
 }
 
 // pendingFill records an in-flight prefetch: when it completes and where
@@ -126,15 +128,17 @@ func (t *Thread) LocalStore(n int) {
 func (t *Thread) Load(addr mem.Addr) cache.AccessResult {
 	t.Counts.Loads++
 	res := t.H.CoreAccess(t.Now, t.Core, addr, false)
-	if fill, ok := t.pendingFills[mem.LineAddr(addr)]; ok {
-		if fill.ready > res.Done {
-			// Still waiting on the prefetch: the stall belongs to the
-			// structure the fill is coming from.
-			res.Done = fill.ready
-			res.Where = fill.where
-		}
-		if fill.ready <= t.Now {
-			delete(t.pendingFills, mem.LineAddr(addr))
+	if len(t.pendingFills) > 0 {
+		if fill, ok := t.pendingFills[mem.LineAddr(addr)]; ok {
+			if fill.ready > res.Done {
+				// Still waiting on the prefetch: the stall belongs to the
+				// structure the fill is coming from.
+				res.Done = fill.ready
+				res.Where = fill.where
+			}
+			if fill.ready <= t.Now {
+				delete(t.pendingFills, mem.LineAddr(addr))
+			}
 		}
 	}
 	t.Stalls.LoadsByWhere[res.Where]++
@@ -156,6 +160,9 @@ func (t *Thread) Prefetch(addr mem.Addr) {
 	t.Counts.Other++ // prefetch instructions retire as "other"
 	res := t.H.CoreAccess(t.Now, t.Core, addr, false)
 	line := mem.LineAddr(addr)
+	if t.pendingFills == nil {
+		t.pendingFills = make(map[mem.Addr]pendingFill)
+	}
 	if cur, ok := t.pendingFills[line]; !ok || res.Done > cur.ready {
 		t.pendingFills[line] = pendingFill{ready: res.Done, where: res.Where}
 	}
@@ -240,7 +247,7 @@ func (t *Thread) Reset() {
 func (t *Thread) ResetCounts() {
 	t.Counts = InstrCounts{}
 	t.Stalls = StallStats{}
-	t.pendingFills = make(map[mem.Addr]pendingFill)
+	clear(t.pendingFills)
 	t.aluResidue = 0
 	t.winStart = t.Now
 	t.hists = nil

@@ -89,6 +89,16 @@ type Table struct {
 	size uint64
 
 	stats TableStats
+
+	// Scratch state reused across operations so the steady-state lookup and
+	// insert paths allocate nothing. Table handles were never safe for
+	// concurrent use (the stats counters race); the scratch buffers lean on
+	// the same single-owner contract.
+	cmpBuf     [64]byte // key-compare buffer (KeyLen is validated ≤ 64)
+	bfsNodes   []pathNode
+	bfsPath    []pathNode
+	bfsQueue   []frontierItem
+	bfsVisited map[uint64]bool
 }
 
 // TableStats counts operations against one table handle, functional and
@@ -306,7 +316,10 @@ func (t *Table) writeKV(idx uint32, key []byte, value uint64) {
 }
 
 func (t *Table) keyEqual(idx uint32, key []byte) bool {
-	buf := make([]byte, t.keyLen)
+	buf := t.cmpBuf[:t.keyLen]
+	if t.keyLen > len(t.cmpBuf) { // attached table with out-of-spec metadata
+		buf = make([]byte, t.keyLen)
+	}
 	t.readKey(idx, buf)
 	for i := range buf {
 		if buf[i] != key[i] {
@@ -416,20 +429,31 @@ type pathNode struct {
 	parent int
 }
 
+// frontierItem is one BFS queue entry in findCuckooPath.
+type frontierItem struct {
+	bucket uint64
+	node   int
+}
+
 // findCuckooPath BFS-searches for a chain of moves freeing a slot in b1 or
 // b2. It returns the chain leaf-first-resolved (root..leaf order) or nil.
+// The returned slice aliases the table's scratch state and is only valid
+// until the next insert.
 func (t *Table) findCuckooPath(b1, b2 uint64) []pathNode {
-	type frontierItem struct {
-		bucket uint64
-		node   int
+	nodes := t.bfsNodes[:0]
+	queue := append(t.bfsQueue[:0], frontierItem{b1, -1}, frontierItem{b2, -1})
+	head := 0
+	if t.bfsVisited == nil {
+		t.bfsVisited = make(map[uint64]bool)
 	}
-	nodes := make([]pathNode, 0, maxDisplacements*EntriesPerBucket)
-	frontier := []frontierItem{{b1, -1}, {b2, -1}}
-	visited := map[uint64]bool{b1: true, b2: true}
+	visited := t.bfsVisited
+	clear(visited)
+	visited[b1], visited[b2] = true, true
+	defer func() { t.bfsNodes, t.bfsQueue = nodes[:0], queue[:0] }()
 
-	for len(frontier) > 0 && len(nodes) < maxDisplacements*EntriesPerBucket {
-		item := frontier[0]
-		frontier = frontier[1:]
+	for head < len(queue) && len(nodes) < maxDisplacements*EntriesPerBucket {
+		item := queue[head]
+		head++
 		for e := 0; e < EntriesPerBucket; e++ {
 			sig, _ := t.readEntry(item.bucket, e)
 			if sig == 0 {
@@ -441,17 +465,21 @@ func (t *Table) findCuckooPath(b1, b2 uint64) []pathNode {
 			// Does the alternative bucket have a free slot?
 			for ae := 0; ae < EntriesPerBucket; ae++ {
 				if s, _ := t.readEntry(alt, ae); s == 0 {
-					// Build path root→leaf.
-					var path []pathNode
+					// Collect leaf→root, then reverse to root→leaf order.
+					path := t.bfsPath[:0]
 					for i := nodeIdx; i >= 0; i = nodes[i].parent {
-						path = append([]pathNode{nodes[i]}, path...)
+						path = append(path, nodes[i])
 					}
+					for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
+						path[l], path[r] = path[r], path[l]
+					}
+					t.bfsPath = path
 					return path
 				}
 			}
 			if !visited[alt] {
 				visited[alt] = true
-				frontier = append(frontier, frontierItem{alt, nodeIdx})
+				queue = append(queue, frontierItem{alt, nodeIdx})
 			}
 		}
 	}

@@ -39,12 +39,22 @@ func QuickConfig() Config { return Config{Quick: true, Seed: 0x48414c4f} }
 // ClockGHz is the simulated core clock (paper Table 2).
 const ClockGHz = 2.1
 
-// testKey builds the canonical 16-byte synthetic key used by the raw
-// hash-table experiments.
-func testKey(i uint64) []byte {
-	k := make([]byte, 16)
+// testKeyLen is the canonical synthetic key size of the raw hash-table
+// experiments.
+const testKeyLen = 16
+
+// testKeyInto writes the canonical synthetic key for index i into k (at
+// least testKeyLen long). Hot loops call this with a reused stack buffer;
+// testKey wraps it where a fresh slice is convenient.
+func testKeyInto(i uint64, k []byte) {
 	binary.LittleEndian.PutUint64(k, i)
 	binary.LittleEndian.PutUint64(k[8:], i^0xabcdef)
+}
+
+// testKey builds the canonical synthetic key as a fresh slice.
+func testKey(i uint64) []byte {
+	k := make([]byte, testKeyLen)
+	testKeyInto(i, k)
 	return k
 }
 
@@ -57,6 +67,7 @@ type lookupFixture struct {
 	thread  *cpu.Thread
 	keyPool []mem.Addr // one line per pooled key
 	fill    uint64
+	keyBuf  [testKeyLen]byte // DMA staging scratch
 }
 
 // keyPoolLines bounds the packet-buffer pool: real NFV buffer pools are
@@ -79,8 +90,10 @@ func fixtureOn(p *halo.Platform, entries uint64, occupancy float64) *lookupFixtu
 		fill = 1
 	}
 	inserted := uint64(0)
+	var kb [testKeyLen]byte
 	for i := uint64(0); i < fill; i++ {
-		if err := table.Insert(testKey(i), i*2+1); err != nil {
+		testKeyInto(i, kb[:])
+		if err := table.Insert(kb[:], i*2+1); err != nil {
 			break
 		}
 		inserted++
@@ -99,7 +112,8 @@ func fixtureOn(p *halo.Platform, entries uint64, occupancy float64) *lookupFixtu
 // functional write + LLC-resident clean line) and returns its address.
 func (f *lookupFixture) stageKeyDMA(n uint64) mem.Addr {
 	addr := f.keyPool[n%keyPoolLines]
-	f.p.Space.WriteAt(addr, testKey(n%f.fill))
+	testKeyInto(n%f.fill, f.keyBuf[:])
+	f.p.Space.WriteAt(addr, f.keyBuf[:])
 	f.p.Hier.DMAWrite(addr)
 	return addr
 }

@@ -114,8 +114,10 @@ func runFig4Point(name string, sfh bool, flows uint64, lookups int, snap *stats.
 		panic(err)
 	}
 	inserted := uint64(0)
+	var kb [testKeyLen]byte
 	for i := uint64(0); i < flows; i++ {
-		if err := table.Insert(testKey(i), i); err != nil {
+		testKeyInto(i, kb[:])
+		if err := table.Insert(kb[:], i); err != nil {
 			break
 		}
 		inserted++
@@ -129,12 +131,14 @@ func runFig4Point(name string, sfh bool, flows uint64, lookups int, snap *stats.
 	// Fibonacci-hash strides spread the looked-up keys uniformly across
 	// the whole table, as real flow traffic does.
 	for i := 0; i < lookups; i++ {
-		table.TimedLookup(f.thread, testKey(uint64(i)*2654435761%inserted), cuckoo.DefaultLookupOptions())
+		testKeyInto(uint64(i)*2654435761%inserted, kb[:])
+		table.TimedLookup(f.thread, kb[:], cuckoo.DefaultLookupOptions())
 	}
 	f.thread.ResetCounts()
 	p.Hier.ResetStats()
 	for i := 0; i < lookups; i++ {
-		table.TimedLookup(f.thread, testKey(uint64(i)*40503001%inserted), cuckoo.DefaultLookupOptions())
+		testKeyInto(uint64(i)*40503001%inserted, kb[:])
+		table.TimedLookup(f.thread, kb[:], cuckoo.DefaultLookupOptions())
 	}
 
 	// The table here bypasses Platform.NewTable (it sizes its own arena), so

@@ -165,12 +165,15 @@ func runFig9Point(mode Fig9Mode, entries uint64, occ float64, lookups int, snap 
 	case ModeSoftware:
 		// Single-lookup rte_hash path: no cross-lookup prefetch pipeline.
 		opts := cuckoo.LookupOptions{OptimisticLock: true, Prefetch: false}
+		var kb [testKeyLen]byte
 		for i := 0; i < warm; i++ {
-			f.table.TimedLookup(th, testKey(uint64(i)%f.fill), opts)
+			testKeyInto(uint64(i)%f.fill, kb[:])
+			f.table.TimedLookup(th, kb[:], opts)
 		}
 		start := th.Now
 		for i := 0; i < lookups; i++ {
-			f.table.TimedLookup(th, testKey(uint64(i*13)%f.fill), opts)
+			testKeyInto(uint64(i*13)%f.fill, kb[:])
+			f.table.TimedLookup(th, kb[:], opts)
 		}
 		return float64(th.Now-start) / float64(lookups)
 
@@ -185,17 +188,19 @@ func runFig9Point(mode Fig9Mode, entries uint64, occ float64, lookups int, snap 
 		return float64(th.Now-start) / float64(lookups)
 
 	case ModeHaloNB:
+		const batch = 8
+		qs := make([]halo.NBQuery, 0, batch)
+		rs := make([]halo.NBResult, batch)
 		run := func(n int, base uint64) {
-			const batch = 8
 			for done := 0; done < n; done += batch {
-				qs := make([]halo.NBQuery, 0, batch)
+				qs = qs[:0]
 				for j := 0; j < batch && done+j < n; j++ {
 					qs = append(qs, halo.NBQuery{
 						TableAddr: f.table.Base(),
 						KeyAddr:   f.stageKeyDMA(base + uint64(done+j)*13),
 					})
 				}
-				f.p.Unit.LookupManyNB(th, qs)
+				f.p.Unit.LookupManyNBInto(th, qs, rs[:len(qs)])
 			}
 		}
 		run(warm, 7)
@@ -216,8 +221,10 @@ func runFig9TCAM(mode Fig9Mode, entries uint64, occ float64, lookups int, snap *
 		fill = 1
 	}
 	dev := tcam.New(tcam.DefaultConfig(kind, int(fill), 16))
+	var kb [testKeyLen]byte
 	for i := uint64(0); i < fill; i++ {
-		if err := dev.InsertExact(testKey(i), i); err != nil {
+		testKeyInto(i, kb[:])
+		if err := dev.InsertExact(kb[:], i); err != nil {
 			panic(err)
 		}
 	}
@@ -227,7 +234,8 @@ func runFig9TCAM(mode Fig9Mode, entries uint64, occ float64, lookups int, snap *
 	th := f.thread
 	start := th.Now
 	for i := 0; i < lookups; i++ {
-		dev.LookupTimed(th, testKey(uint64(i*13)%fill))
+		testKeyInto(uint64(i*13)%fill, kb[:])
+		dev.LookupTimed(th, kb[:])
 	}
 	collectInto(snap, f.p, th)
 	return float64(th.Now-start) / float64(lookups)

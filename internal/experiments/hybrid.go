@@ -122,8 +122,10 @@ func runHybridPoint(phase string, lookups int, snap *stats.Snapshot) HybridRow {
 	}
 
 	start := th.Now
+	var kb [testKeyLen]byte
 	for i := 0; i < lookups; i++ {
-		h.Lookup(th, f.table, testKey(keyAt(i)))
+		testKeyInto(keyAt(i), kb[:])
+		h.Lookup(th, f.table, kb[:])
 	}
 	sw, hw := h.Lookups()
 	collectInto(snap, p, th, h)

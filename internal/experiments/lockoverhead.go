@@ -141,16 +141,20 @@ func runLockPass(lookups int, lock bool, snap *stats.Snapshot) float64 {
 	writer.Core = 1
 	writeSeq := f.fill
 
+	var kb, wb [testKeyLen]byte
 	for i := 0; i < lookups/2; i++ { // warm
-		f.table.TimedLookup(f.thread, testKey(uint64(i)%f.fill), opts)
+		testKeyInto(uint64(i)%f.fill, kb[:])
+		f.table.TimedLookup(f.thread, kb[:], opts)
 	}
 	start := f.thread.Now
 	for i := 0; i < lookups; i++ {
-		f.table.TimedLookup(f.thread, testKey(uint64(i*13)%f.fill), opts)
+		testKeyInto(uint64(i*13)%f.fill, kb[:])
+		f.table.TimedLookup(f.thread, kb[:], opts)
 		if i%16 == 0 {
 			// A concurrent writer inserts a flow (bursty rule updates).
 			writer.WaitUntil(f.thread.Now)
-			_ = f.table.TimedInsert(writer, testKey(writeSeq), writeSeq)
+			testKeyInto(writeSeq, wb[:])
+			_ = f.table.TimedInsert(writer, wb[:], writeSeq)
 			writeSeq++
 		}
 	}
@@ -168,11 +172,13 @@ func runHaloLockPass(lookups int, snap *stats.Snapshot) float64 {
 
 	f.p.Hier.ResetStats()
 	start := f.thread.Now
+	var wb [testKeyLen]byte
 	for i := 0; i < lookups; i++ {
 		f.p.Unit.LookupBAt(f.thread, f.table.Base(), f.stageKeyDMA(uint64(i*13)))
 		if i%16 == 0 {
 			writer.WaitUntil(f.thread.Now)
-			_ = f.table.TimedInsert(writer, testKey(writeSeq), writeSeq)
+			testKeyInto(writeSeq, wb[:])
+			_ = f.table.TimedInsert(writer, wb[:], writeSeq)
 			writeSeq++
 		}
 	}

@@ -139,9 +139,11 @@ func runScalingPoint(mode Fig9Mode, n, rounds int, snap *stats.Snapshot) float64
 	for i := range keyBufs {
 		keyBufs[i] = p.Alloc.AllocLines(8)
 	}
+	var sb [testKeyLen]byte
 	stage := func(ti int, slot int, k uint64) mem.Addr {
 		addr := keyBufs[ti] + mem.Addr(slot)*mem.LineSize
-		p.Space.WriteAt(addr, testKey(k%f.fill))
+		testKeyInto(k%f.fill, sb[:])
+		p.Space.WriteAt(addr, sb[:])
 		p.Hier.DMAWrite(addr)
 		return addr
 	}
@@ -166,6 +168,9 @@ func runScalingPoint(mode Fig9Mode, n, rounds int, snap *stats.Snapshot) float64
 	// Warm rounds, then measured rounds. Threads run in lockstep: a round's
 	// duration is the slowest thread's, which is what wall-clock parallel
 	// execution would show.
+	var kb, wb [testKeyLen]byte
+	qs := make([]halo.NBQuery, batch)
+	rs := make([]halo.NBResult, batch)
 	run := func(nr int, base uint64) {
 		for r := 0; r < nr; r++ {
 			for ti, th := range threads {
@@ -173,25 +178,26 @@ func runScalingPoint(mode Fig9Mode, n, rounds int, snap *stats.Snapshot) float64
 				switch mode {
 				case ModeSoftware:
 					for j := 0; j < batch; j++ {
-						f.table.TimedLookup(th, testKey((k+uint64(j))*13%f.fill), opts)
+						testKeyInto((k+uint64(j))*13%f.fill, kb[:])
+						f.table.TimedLookup(th, kb[:], opts)
 					}
 				case ModeHaloB:
 					for j := 0; j < batch; j++ {
 						p.Unit.LookupBAt(th, f.table.Base(), stage(ti, 0, (k+uint64(j))*13))
 					}
 				default:
-					qs := make([]halo.NBQuery, batch)
 					for j := 0; j < batch; j++ {
 						qs[j] = halo.NBQuery{
 							TableAddr: f.table.Base(),
 							KeyAddr:   stage(ti, j, (k+uint64(j))*13),
 						}
 					}
-					p.Unit.LookupManyNB(th, qs)
+					p.Unit.LookupManyNBInto(th, qs, rs)
 				}
 			}
 			// The updater inserts one rule per round (rule churn).
-			_ = f.table.TimedInsert(updater, testKey(writeSeq), writeSeq)
+			testKeyInto(writeSeq, wb[:])
+			_ = f.table.TimedInsert(updater, wb[:], writeSeq)
 			writeSeq++
 			sync()
 		}

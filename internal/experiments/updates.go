@@ -118,9 +118,12 @@ func runCuckooUpdates(size, ops int, snap *stats.Snapshot) float64 {
 	th := f.thread
 	seq := f.fill
 	start := th.Now
+	var ib, db [testKeyLen]byte
 	for i := 0; i < ops/2; i++ {
-		_ = f.table.TimedInsert(th, testKey(seq), seq)
-		f.table.TimedDelete(th, testKey(uint64(i*13)%f.fill))
+		testKeyInto(seq, ib[:])
+		_ = f.table.TimedInsert(th, ib[:], seq)
+		testKeyInto(uint64(i*13)%f.fill, db[:])
+		f.table.TimedDelete(th, db[:])
 		seq++
 	}
 	collectInto(snap, f.p, th)
@@ -133,8 +136,10 @@ func runTCAMUpdates(size, ops int, seed uint64, snap *stats.Snapshot) float64 {
 	for i := range care {
 		care[i] = 0xFF
 	}
+	var kb [testKeyLen]byte
 	for i := 0; i < size; i++ {
-		if err := dev.InsertExact(testKey(uint64(i)), uint64(i)); err != nil {
+		testKeyInto(uint64(i), kb[:])
+		if err := dev.InsertExact(kb[:], uint64(i)); err != nil {
 			panic(err)
 		}
 	}
@@ -143,14 +148,16 @@ func runTCAMUpdates(size, ops int, seed uint64, snap *stats.Snapshot) float64 {
 	rng := sim.NewRand(seed ^ 0x0bda7e5)
 	seq := uint64(size)
 	start := th.Now
+	var vb [testKeyLen]byte
 	for i := 0; i < ops/2; i++ {
 		// Rule updates land at random priority positions.
 		pos := rng.Intn(dev.Len() + 1)
-		if err := dev.InsertTimed(th, pos, testKey(seq), care, seq); err != nil {
+		testKeyInto(seq, kb[:])
+		if err := dev.InsertTimed(th, pos, kb[:], care, seq); err != nil {
 			panic(err)
 		}
-		victim := testKey(uint64(rng.Intn(size)))
-		dev.DeleteTimed(th, victim, care)
+		testKeyInto(uint64(rng.Intn(size)), vb[:])
+		dev.DeleteTimed(th, vb[:], care)
 		seq++
 	}
 	collectInto(snap, f.p, th)

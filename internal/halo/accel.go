@@ -102,7 +102,48 @@ type Accelerator struct {
 	// outstanding holds completion cycles of admitted queries, ascending.
 	outstanding []sim.Cycle
 
+	// txnFree recycles query transactions (see queryTxn).
+	txnFree *queryTxn
+
 	stats AccelStats
+}
+
+// maxScratchKeyLen is the largest key the recycled transaction scratch
+// covers — the cuckoo package's key-length ceiling. Larger lengths can only
+// come from corrupt metadata or oversized walk queries and fall back to a
+// fresh allocation.
+const maxScratchKeyLen = 64
+
+// queryTxn carries one query's mutable state through the walk's stages: the
+// fetched key bytes, the key-comparison buffer, and the set of lines the
+// hardware lock covers. Transactions are recycled through a per-accelerator
+// free list so the steady-state lookup path allocates nothing; the list (not
+// a single slot) matters because tree walks can re-enter the accelerator
+// through LockLine-triggered accesses.
+type queryTxn struct {
+	key    [maxScratchKeyLen]byte
+	cmp    [maxScratchKeyLen]byte
+	locked [2 + 2*cuckoo.EntriesPerBucket]mem.Addr // ≤2 buckets + ≤8 candidates each
+	nLock  int
+	next   *queryTxn
+}
+
+// acquireTxn pops a recycled transaction or allocates the pool's next one.
+func (a *Accelerator) acquireTxn() *queryTxn {
+	tx := a.txnFree
+	if tx == nil {
+		return &queryTxn{}
+	}
+	a.txnFree = tx.next
+	tx.next = nil
+	tx.nLock = 0
+	return tx
+}
+
+// releaseTxn returns a completed transaction to the free list.
+func (a *Accelerator) releaseTxn(tx *queryTxn) {
+	tx.next = a.txnFree
+	a.txnFree = tx
 }
 
 // NewAccelerator builds the accelerator for a slice.
@@ -146,20 +187,23 @@ func (a *Accelerator) OutstandingAt(at sim.Cycle) int {
 
 // admit applies scoreboard backpressure: a query arriving while
 // ScoreboardDepth queries are in flight waits for the oldest to retire.
+// Retired entries are dropped by shifting in place so the slice keeps its
+// capacity (a resliced head would force recordCompletion to regrow forever).
 func (a *Accelerator) admit(at sim.Cycle) sim.Cycle {
-	// Drop retired entries.
 	i := 0
 	for i < len(a.outstanding) && a.outstanding[i] <= at {
 		i++
 	}
-	a.outstanding = a.outstanding[i:]
 	start := at
-	for len(a.outstanding) >= a.cfg.ScoreboardDepth {
-		if a.outstanding[0] > start {
-			a.stats.QueueCycles += uint64(a.outstanding[0] - start)
-			start = a.outstanding[0]
+	for len(a.outstanding)-i >= a.cfg.ScoreboardDepth {
+		if a.outstanding[i] > start {
+			a.stats.QueueCycles += uint64(a.outstanding[i] - start)
+			start = a.outstanding[i]
 		}
-		a.outstanding = a.outstanding[1:]
+		i++
+	}
+	if i > 0 {
+		a.outstanding = a.outstanding[:copy(a.outstanding, a.outstanding[i:])]
 	}
 	return start
 }
@@ -182,6 +226,7 @@ func (a *Accelerator) access(at sim.Cycle, addr mem.Addr, write bool) cache.Acce
 // the key-value pair.
 func (a *Accelerator) Process(at sim.Cycle, q Query) QueryResult {
 	a.stats.Queries++
+	tx := a.acquireTxn()
 	t := a.admit(at)
 	issued := t
 
@@ -203,6 +248,7 @@ func (a *Accelerator) Process(at sim.Cycle, q Query) QueryResult {
 			a.stats.Faults++
 			r := QueryResult{Fault: true, Issued: issued, Done: t, Slice: a.slice}
 			a.finish(q, r)
+			a.releaseTxn(tx)
 			return r
 		}
 		if !a.cfg.MetaCacheOff {
@@ -218,7 +264,7 @@ func (a *Accelerator) Process(at sim.Cycle, q Query) QueryResult {
 		res = a.access(t, q.KeyAddr+mem.Addr(meta.KeyLen)-1, false)
 		t = res.Done
 	}
-	key := make([]byte, meta.KeyLen)
+	key := tx.keyBuf(meta.KeyLen)
 	a.space.ReadAt(q.KeyAddr, key)
 
 	// Step 2: hash (pipelined unit: occupied 1 cycle, latency HashLatency).
@@ -235,7 +281,6 @@ func (a *Accelerator) Process(at sim.Cycle, q Query) QueryResult {
 
 	// Steps 3-4: probe buckets; locked for the remainder of the query.
 	lockFrom := t
-	var lockedLines []mem.Addr
 	value, found := uint64(0), false
 	buckets := [2]uint64{b1, b2}
 	n := 2
@@ -245,7 +290,7 @@ func (a *Accelerator) Process(at sim.Cycle, q Query) QueryResult {
 	for bi := 0; bi < n && !found; bi++ {
 		bAddr := meta.BucketBase + mem.Addr(buckets[bi]*mem.LineSize)
 		if a.cfg.LockEnabled {
-			lockedLines = append(lockedLines, bAddr)
+			tx.lock(bAddr)
 		}
 		res = a.access(t, bAddr, false)
 		t = res.Done + a.cfg.CompareLatency // all 8 signatures compared in parallel
@@ -259,11 +304,11 @@ func (a *Accelerator) Process(at sim.Cycle, q Query) QueryResult {
 			idx := mem.Read32(a.space, ea+4)
 			kvAddr := meta.KVBase + mem.Addr(uint64(idx)*meta.KVSlotSize)
 			if a.cfg.LockEnabled {
-				lockedLines = append(lockedLines, kvAddr)
+				tx.lock(kvAddr)
 			}
 			res = a.access(t, kvAddr, false)
 			t = res.Done + a.cfg.CompareLatency
-			if a.keyEqual(meta, idx, key) {
+			if a.keyEqual(tx, meta, idx, key) {
 				keyAligned := (mem.Addr(meta.KeyLen) + 7) &^ 7
 				value = mem.Read64(a.space, kvAddr+keyAligned)
 				found = true
@@ -283,7 +328,7 @@ func (a *Accelerator) Process(at sim.Cycle, q Query) QueryResult {
 	// explicit-time model the release is known at lock time, so the lock
 	// bit carries its free-at cycle directly (writers arriving earlier
 	// observe a snoop miss and retry until then, paper §4.4).
-	for _, la := range lockedLines {
+	for _, la := range tx.locked[:tx.nLock] {
 		a.hier.LockLine(lockFrom, a.slice, la, t)
 	}
 
@@ -294,6 +339,7 @@ func (a *Accelerator) Process(at sim.Cycle, q Query) QueryResult {
 	}
 	r := QueryResult{Value: value, Found: found, Issued: issued, Done: t, Slice: a.slice}
 	a.finish(q, r)
+	a.releaseTxn(tx)
 	return r
 }
 
@@ -301,9 +347,29 @@ func (a *Accelerator) finish(q Query, r QueryResult) {
 	a.recordCompletion(r.Done)
 }
 
-func (a *Accelerator) keyEqual(meta TableMeta, idx uint32, key []byte) bool {
+// keyBuf returns the transaction's key scratch sized for n bytes, falling
+// back to a fresh slice for lengths beyond the scratch (possible only with
+// corrupt metadata or oversized walk keys).
+func (tx *queryTxn) keyBuf(n int) []byte {
+	if n >= 0 && n <= maxScratchKeyLen {
+		return tx.key[:n]
+	}
+	return make([]byte, n)
+}
+
+// lock records a line address in the transaction's locked set. The set is
+// bounded by construction (two buckets plus their candidate key-value lines).
+func (tx *queryTxn) lock(addr mem.Addr) {
+	tx.locked[tx.nLock] = addr
+	tx.nLock++
+}
+
+func (a *Accelerator) keyEqual(tx *queryTxn, meta TableMeta, idx uint32, key []byte) bool {
 	kvAddr := meta.KVBase + mem.Addr(uint64(idx)*meta.KVSlotSize)
-	buf := make([]byte, meta.KeyLen)
+	buf := tx.cmp[:len(key)]
+	if len(key) > maxScratchKeyLen {
+		buf = make([]byte, len(key))
+	}
 	a.space.ReadAt(kvAddr, buf)
 	for i := range buf {
 		if buf[i] != key[i] {

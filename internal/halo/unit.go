@@ -79,7 +79,12 @@ type Unit struct {
 
 	keyBuf    []mem.Addr // per-core key staging buffer (one line)
 	resultBuf []mem.Addr // per-core result line
+
+	lineDone []sim.Cycle // poll-deadline scratch, one slot per window line
 }
+
+// zeroLine clears result lines; it is never written.
+var zeroLine [mem.LineSize]byte
 
 // NewUnit installs HALO onto an existing platform. The allocator provides
 // the per-core staging buffers in simulated memory.
@@ -250,6 +255,14 @@ type NBResult struct {
 // advances to the cycle the last result was observed.
 func (u *Unit) LookupManyNB(th *cpu.Thread, queries []NBQuery) []NBResult {
 	results := make([]NBResult, len(queries))
+	u.LookupManyNBInto(th, queries, results)
+	return results
+}
+
+// LookupManyNBInto is LookupManyNB writing into a caller-provided results
+// slice (len(results) must cover len(queries)), letting steady-state callers
+// reuse their buffers. Neither slice is retained after the call returns.
+func (u *Unit) LookupManyNBInto(th *cpu.Thread, queries []NBQuery, results []NBResult) {
 	window := u.cfg.BatchSize * u.cfg.WindowLines
 	for base := 0; base < len(queries); base += window {
 		end := base + window
@@ -258,7 +271,6 @@ func (u *Unit) LookupManyNB(th *cpu.Thread, queries []NBQuery) []NBResult {
 		}
 		u.lookupWindowNB(th, queries[base:end], results[base:end])
 	}
-	return results
 }
 
 func (u *Unit) lookupWindowNB(th *cpu.Thread, queries []NBQuery, results []NBResult) {
@@ -266,14 +278,19 @@ func (u *Unit) lookupWindowNB(th *cpu.Thread, queries []NBQuery, results []NBRes
 	resultBase := u.resultBuf[th.Core]
 	lines := (len(queries) + u.cfg.BatchSize - 1) / u.cfg.BatchSize
 	// Zero the result lines so "non-zero" means done.
-	zero := make([]byte, mem.LineSize)
 	for li := 0; li < lines; li++ {
-		u.space.WriteAt(resultBase+mem.Addr(li)*mem.LineSize, zero)
+		u.space.WriteAt(resultBase+mem.Addr(li)*mem.LineSize, zeroLine[:])
 		th.LocalStore(1) // one vector store clears a line
 	}
 
 	keyLine := u.keyBuf[th.Core]
-	lineDone := make([]sim.Cycle, lines)
+	if cap(u.lineDone) < lines {
+		u.lineDone = make([]sim.Cycle, lines)
+	}
+	lineDone := u.lineDone[:lines]
+	for li := range lineDone {
+		lineDone[li] = 0
+	}
 	for i, q := range queries {
 		keyAddr := q.KeyAddr
 		if q.Key != nil {

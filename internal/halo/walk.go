@@ -96,6 +96,7 @@ type WalkResult struct {
 // walk holds no locks (trees here are read-mostly; updates rebuild).
 func (a *Accelerator) ProcessWalk(at sim.Cycle, q WalkQuery) WalkResult {
 	a.stats.Queries++
+	tx := a.acquireTxn()
 	t := a.admit(at)
 	issued := t
 
@@ -105,7 +106,7 @@ func (a *Accelerator) ProcessWalk(at sim.Cycle, q WalkQuery) WalkResult {
 		res = a.access(t, q.KeyAddr+mem.Addr(q.KeyLen)-1, false)
 		t = res.Done
 	}
-	key := make([]byte, q.KeyLen)
+	key := tx.keyBuf(q.KeyLen)
 	a.space.ReadAt(q.KeyAddr, key)
 
 	maxDepth := q.MaxDepth
@@ -126,15 +127,16 @@ func (a *Accelerator) ProcessWalk(at sim.Cycle, q WalkQuery) WalkResult {
 			r.Fault = true
 			break
 		}
-		var hdr [2]byte
-		a.space.ReadAt(node+walkOffKind, hdr[:])
-		if hdr[0] == WalkLeaf {
+		// Kind and field selector share a little-endian 16-bit load so the
+		// hot walk loop stays on the allocation-free scalar path.
+		hdr := mem.Read16(a.space, node+walkOffKind)
+		if uint8(hdr) == WalkLeaf {
 			r.Value = mem.Read64(a.space, node+walkOffLeft)
 			r.Found = mem.Read64(a.space, node+walkOffRight) != 0
 			r.Depth = depth
 			break
 		}
-		field := int(hdr[1])
+		field := int(hdr >> 8)
 		width := int(mem.Read16(a.space, node+walkOffWidth))
 		split := mem.Read64(a.space, node+walkOffSplit)
 		v := fieldValue(key, field, width)
@@ -155,6 +157,7 @@ func (a *Accelerator) ProcessWalk(at sim.Cycle, q WalkQuery) WalkResult {
 	}
 	r.Done = t
 	a.recordCompletion(t)
+	a.releaseTxn(tx)
 	return r
 }
 

@@ -34,8 +34,17 @@ const pageSize = 1 << pageBits
 
 // Memory is a sparse, page-granular physical memory. The zero value is
 // usable and empty; unwritten bytes read as zero.
+//
+// Memory is not safe for concurrent use: the one-entry page cache mutates
+// on reads. Every simulated platform owns its memory exclusively, matching
+// how the worker pool shards experiment points.
 type Memory struct {
 	pages map[Addr]*[pageSize]byte
+
+	// One-entry page cache: table walks and bucket probes hit the same page
+	// repeatedly, and the map lookup dominates access cost without it.
+	lastBase Addr
+	lastPage *[pageSize]byte
 }
 
 // NewMemory returns an empty memory.
@@ -45,10 +54,16 @@ func NewMemory() *Memory {
 
 func (m *Memory) page(addr Addr, create bool) *[pageSize]byte {
 	base := addr >> pageBits
+	if m.lastPage != nil && m.lastBase == base {
+		return m.lastPage
+	}
 	p := m.pages[base]
 	if p == nil && create {
 		p = new([pageSize]byte)
 		m.pages[base] = p
+	}
+	if p != nil {
+		m.lastBase, m.lastPage = base, p
 	}
 	return p
 }
@@ -93,8 +108,99 @@ func (m *Memory) FootprintBytes() uint64 {
 	return uint64(len(m.pages)) * pageSize
 }
 
+// The LoadN/StoreN methods are the allocation-free fast path for scalar
+// access: they index the page directly instead of copying through a caller
+// buffer, falling back to ReadAt/WriteAt only when the value straddles a
+// page boundary. The generic ReadN/WriteN helpers dispatch here, keeping
+// every call site on the zero-allocation path without interface-induced
+// buffer escapes.
+
+// Load16 loads a little-endian uint16 at addr.
+func (m *Memory) Load16(addr Addr) uint16 {
+	off := int(addr & (pageSize - 1))
+	if off+2 <= pageSize {
+		p := m.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		return binary.LittleEndian.Uint16(p[off:])
+	}
+	var buf [2]byte
+	m.ReadAt(addr, buf[:])
+	return binary.LittleEndian.Uint16(buf[:])
+}
+
+// Load32 loads a little-endian uint32 at addr.
+func (m *Memory) Load32(addr Addr) uint32 {
+	off := int(addr & (pageSize - 1))
+	if off+4 <= pageSize {
+		p := m.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		return binary.LittleEndian.Uint32(p[off:])
+	}
+	var buf [4]byte
+	m.ReadAt(addr, buf[:])
+	return binary.LittleEndian.Uint32(buf[:])
+}
+
+// Load64 loads a little-endian uint64 at addr.
+func (m *Memory) Load64(addr Addr) uint64 {
+	off := int(addr & (pageSize - 1))
+	if off+8 <= pageSize {
+		p := m.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		return binary.LittleEndian.Uint64(p[off:])
+	}
+	var buf [8]byte
+	m.ReadAt(addr, buf[:])
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+// Store16 stores a little-endian uint16 at addr.
+func (m *Memory) Store16(addr Addr, v uint16) {
+	off := int(addr & (pageSize - 1))
+	if off+2 <= pageSize {
+		binary.LittleEndian.PutUint16(m.page(addr, true)[off:], v)
+		return
+	}
+	var buf [2]byte
+	binary.LittleEndian.PutUint16(buf[:], v)
+	m.WriteAt(addr, buf[:])
+}
+
+// Store32 stores a little-endian uint32 at addr.
+func (m *Memory) Store32(addr Addr, v uint32) {
+	off := int(addr & (pageSize - 1))
+	if off+4 <= pageSize {
+		binary.LittleEndian.PutUint32(m.page(addr, true)[off:], v)
+		return
+	}
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	m.WriteAt(addr, buf[:])
+}
+
+// Store64 stores a little-endian uint64 at addr.
+func (m *Memory) Store64(addr Addr, v uint64) {
+	off := int(addr & (pageSize - 1))
+	if off+8 <= pageSize {
+		binary.LittleEndian.PutUint64(m.page(addr, true)[off:], v)
+		return
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	m.WriteAt(addr, buf[:])
+}
+
 // Read64 loads a little-endian uint64 from s at addr.
 func Read64(s Space, addr Addr) uint64 {
+	if m, ok := s.(*Memory); ok {
+		return m.Load64(addr)
+	}
 	var buf [8]byte
 	s.ReadAt(addr, buf[:])
 	return binary.LittleEndian.Uint64(buf[:])
@@ -102,6 +208,10 @@ func Read64(s Space, addr Addr) uint64 {
 
 // Write64 stores a little-endian uint64 to s at addr.
 func Write64(s Space, addr Addr, v uint64) {
+	if m, ok := s.(*Memory); ok {
+		m.Store64(addr, v)
+		return
+	}
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], v)
 	s.WriteAt(addr, buf[:])
@@ -109,6 +219,9 @@ func Write64(s Space, addr Addr, v uint64) {
 
 // Read32 loads a little-endian uint32 from s at addr.
 func Read32(s Space, addr Addr) uint32 {
+	if m, ok := s.(*Memory); ok {
+		return m.Load32(addr)
+	}
 	var buf [4]byte
 	s.ReadAt(addr, buf[:])
 	return binary.LittleEndian.Uint32(buf[:])
@@ -116,6 +229,10 @@ func Read32(s Space, addr Addr) uint32 {
 
 // Write32 stores a little-endian uint32 to s at addr.
 func Write32(s Space, addr Addr, v uint32) {
+	if m, ok := s.(*Memory); ok {
+		m.Store32(addr, v)
+		return
+	}
 	var buf [4]byte
 	binary.LittleEndian.PutUint32(buf[:], v)
 	s.WriteAt(addr, buf[:])
@@ -123,6 +240,9 @@ func Write32(s Space, addr Addr, v uint32) {
 
 // Read16 loads a little-endian uint16 from s at addr.
 func Read16(s Space, addr Addr) uint16 {
+	if m, ok := s.(*Memory); ok {
+		return m.Load16(addr)
+	}
 	var buf [2]byte
 	s.ReadAt(addr, buf[:])
 	return binary.LittleEndian.Uint16(buf[:])
@@ -130,6 +250,10 @@ func Read16(s Space, addr Addr) uint16 {
 
 // Write16 stores a little-endian uint16 to s at addr.
 func Write16(s Space, addr Addr, v uint16) {
+	if m, ok := s.(*Memory); ok {
+		m.Store16(addr, v)
+		return
+	}
 	var buf [2]byte
 	binary.LittleEndian.PutUint16(buf[:], v)
 	s.WriteAt(addr, buf[:])

@@ -22,6 +22,8 @@ type Filter struct {
 	Default Verdict
 
 	dropped uint64
+
+	keyBuf [packet.HeaderKeyLen]byte // per-packet key scratch (table copies)
 }
 
 // Filter rule values.
@@ -69,7 +71,8 @@ func (f *Filter) ProcessPacket(th *cpu.Thread, pkt *packet.Packet) Verdict {
 	case EngineHalo:
 		v, ok = f.p.Unit.LookupBAt(th, f.table.Base(), headerKeyAddr(bufAddr))
 	default:
-		v, ok = f.table.TimedLookup(th, pkt.Key().HeaderKey(), cuckoo.DefaultLookupOptions())
+		pkt.Key().PutHeaderKey(f.keyBuf[:])
+		v, ok = f.table.TimedLookup(th, f.keyBuf[:], cuckoo.DefaultLookupOptions())
 	}
 	th.Other(4)
 	verdict := f.Default

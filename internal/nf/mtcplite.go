@@ -26,6 +26,8 @@ type MTCPLite struct {
 
 	established uint64
 	segments    uint64
+
+	keyBuf [packet.KeyBytes]byte // per-packet key scratch (table copies)
 }
 
 // TCP state values stored in the TCB.
@@ -78,7 +80,8 @@ func (m *MTCPLite) ProcessPacket(th *cpu.Thread, pkt *packet.Packet) Verdict {
 		m.Stats.record(VerdictDrop)
 		return VerdictDrop
 	}
-	key := pkt.Key().Packed()
+	key := m.keyBuf[:]
+	pkt.Key().Pack(key)
 	tcb, ok := m.table.TimedLookup(th, key, cuckoo.DefaultLookupOptions())
 	if !ok {
 		// New connection: allocate a TCB (SYN handling).

@@ -25,6 +25,8 @@ type NAT struct {
 	nextPort uint16
 
 	hits, misses uint64
+
+	keyBuf [packet.HeaderKeyLen]byte // per-packet key scratch (table copies)
 }
 
 // NewNAT builds a NAT whose binding table holds `entries` flows.
@@ -84,7 +86,8 @@ func (n *NAT) ProcessPacket(th *cpu.Thread, pkt *packet.Packet) Verdict {
 	case EngineHalo:
 		binding, ok = n.p.Unit.LookupBAt(th, n.table.Base(), headerKeyAddr(bufAddr))
 	default:
-		binding, ok = n.table.TimedLookup(th, pkt.Key().HeaderKey(), cuckoo.DefaultLookupOptions())
+		pkt.Key().PutHeaderKey(n.keyBuf[:])
+		binding, ok = n.table.TimedLookup(th, n.keyBuf[:], cuckoo.DefaultLookupOptions())
 	}
 	if !ok {
 		n.misses++
@@ -92,7 +95,8 @@ func (n *NAT) ProcessPacket(th *cpu.Thread, pkt *packet.Packet) Verdict {
 		// Allocation path: pick a free port, insert the binding.
 		th.ALU(10)
 		th.Other(8)
-		if err := n.table.TimedInsert(th, pkt.Key().HeaderKey(), binding); err != nil {
+		pkt.Key().PutHeaderKey(n.keyBuf[:])
+		if err := n.table.TimedInsert(th, n.keyBuf[:], binding); err != nil {
 			n.Stats.record(VerdictDrop)
 			return VerdictDrop
 		}

@@ -31,6 +31,9 @@ type SnortLite struct {
 
 	alerts uint64
 	rng    *sim.Rand
+
+	keyBuf     [packet.KeyBytes]byte // per-packet key scratch
+	payloadBuf [256]byte             // synthetic-payload scratch (Scan only reads)
 }
 
 // NewSnortLite builds the detector from a pattern set. Patterns are matched
@@ -172,8 +175,9 @@ func (s *SnortLite) syntheticPayload(pkt *packet.Packet) []byte {
 	if n > 256 {
 		n = 256
 	}
-	rng := sim.NewRand(hashfn.Hash(hashfn.SeedFlowReg, pkt.Key().Packed()))
-	buf := make([]byte, n)
+	pkt.Key().Pack(s.keyBuf[:])
+	rng := sim.NewRand(hashfn.Hash(hashfn.SeedFlowReg, s.keyBuf[:]))
+	buf := s.payloadBuf[:n]
 	for i := range buf {
 		buf[i] = byte(rng.Uint32() >> 8)
 	}

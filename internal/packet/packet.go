@@ -127,16 +127,28 @@ const (
 	HeaderKeyLen = 20
 )
 
-// HeaderKey returns the canonical raw-header key for a five-tuple: the
-// HeaderKeyLen bytes a marshalled packet with this tuple carries at
-// HeaderKeyOff.
+// PutHeaderKey writes the canonical raw-header key for a five-tuple into buf
+// (at least HeaderKeyLen long): the exact HeaderKeyLen bytes a marshalled
+// packet with this tuple carries at HeaderKeyOff. Hot paths use this with a
+// reused buffer; HeaderKey wraps it when a fresh slice is wanted.
+func (t FiveTuple) PutHeaderKey(buf []byte) {
+	_ = buf[HeaderKeyLen-1]
+	binary.BigEndian.PutUint32(buf[0:], 0) // IP identification + flags/fragment
+	buf[4] = 64                            // TTL
+	buf[5] = t.Proto
+	binary.BigEndian.PutUint16(buf[6:], 0) // checksum (offloaded)
+	binary.BigEndian.PutUint32(buf[8:], t.SrcIP)
+	binary.BigEndian.PutUint32(buf[12:], t.DstIP)
+	binary.BigEndian.PutUint16(buf[16:], t.SrcPort)
+	binary.BigEndian.PutUint16(buf[18:], t.DstPort)
+}
+
+// HeaderKey returns the canonical raw-header key for a five-tuple as a fresh
+// slice.
 func (t FiveTuple) HeaderKey() []byte {
-	p := Packet{SrcIP: t.SrcIP, DstIP: t.DstIP, SrcPort: t.SrcPort, DstPort: t.DstPort, Proto: t.Proto}
-	var buf [HeaderBytes]byte
-	if err := p.Marshal(buf[:]); err != nil {
-		panic("packet: marshalling canonical header: " + err.Error())
-	}
-	return append([]byte(nil), buf[HeaderKeyOff:HeaderKeyOff+HeaderKeyLen]...)
+	buf := make([]byte, HeaderKeyLen)
+	t.PutHeaderKey(buf)
+	return buf
 }
 
 // Parse errors.

@@ -107,6 +107,32 @@ func TestKeyExtraction(t *testing.T) {
 	}
 }
 
+func TestPutHeaderKeyMatchesMarshalWindow(t *testing.T) {
+	check := func(srcIP, dstIP uint32, srcPort, dstPort uint16, tcp bool) bool {
+		tup := FiveTuple{SrcIP: srcIP, DstIP: dstIP, SrcPort: srcPort, DstPort: dstPort, Proto: ProtoUDP}
+		if tcp {
+			tup.Proto = ProtoTCP
+		}
+		p := Packet{SrcIP: tup.SrcIP, DstIP: tup.DstIP, SrcPort: tup.SrcPort, DstPort: tup.DstPort, Proto: tup.Proto}
+		var wire [HeaderBytes]byte
+		if err := p.Marshal(wire[:]); err != nil {
+			return false
+		}
+		var got [HeaderKeyLen]byte
+		tup.PutHeaderKey(got[:])
+		want := wire[HeaderKeyOff : HeaderKeyOff+HeaderKeyLen]
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestFiveTupleString(t *testing.T) {
 	tup := FiveTuple{SrcIP: 0x0a000001, DstIP: 0xc0a80101, SrcPort: 1234, DstPort: 80, Proto: 6}
 	want := "10.0.0.1:1234->192.168.1.1:80/6"

@@ -104,3 +104,123 @@ func TestCalendarUtilisation(t *testing.T) {
 		t.Fatalf("BusyUntil = %d", c.BusyUntil())
 	}
 }
+
+// refCalendar is the pre-optimisation reference implementation: linear scan
+// in Claim and a full merge/fold pass per claim. The binary-search Claim
+// must reproduce its results — start cycles, floor and interval window —
+// exactly, including horizon folding behaviour.
+type refCalendar struct {
+	intervals []interval
+	floor     Cycle
+	horizon   Cycle
+}
+
+func (c *refCalendar) claim(at Cycle, occupancy Cycle) (start Cycle) {
+	if occupancy == 0 {
+		occupancy = 1
+	}
+	if at < c.floor {
+		at = c.floor
+	}
+	start = at
+	idx := len(c.intervals)
+	for i, iv := range c.intervals {
+		if iv.end <= start {
+			continue
+		}
+		if iv.start >= start+occupancy {
+			idx = i
+			break
+		}
+		start = iv.end
+		idx = i + 1
+	}
+	iv := interval{start, start + occupancy}
+	c.intervals = append(c.intervals, interval{})
+	copy(c.intervals[idx+1:], c.intervals[idx:])
+	c.intervals[idx] = iv
+	cutoff := Cycle(0)
+	if start > c.horizon {
+		cutoff = start - c.horizon
+	}
+	out := c.intervals[:0]
+	for _, iv := range c.intervals {
+		if iv.end <= cutoff {
+			if iv.end > c.floor {
+				c.floor = iv.end
+			}
+			continue
+		}
+		if n := len(out); n > 0 && iv.start <= out[n-1].end {
+			if iv.end > out[n-1].end {
+				out[n-1].end = iv.end
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	c.intervals = out
+	return start
+}
+
+// TestCalendarMatchesReferenceModel drives the optimised calendar and the
+// reference side by side over randomized claim streams with deep
+// out-of-order windows, including patterns that trigger horizon folding and
+// neighbour merging on both sides of an insertion.
+func TestCalendarMatchesReferenceModel(t *testing.T) {
+	for _, horizon := range []Cycle{0, 64, 4096} {
+		rng := NewRand(0xCA1 + uint64(horizon))
+		c := NewCalendarResource(horizon)
+		ref := &refCalendar{horizon: c.horizon}
+		base := Cycle(0)
+		for i := 0; i < 5000; i++ {
+			// A slowly advancing base with a deep out-of-order window behind
+			// it: claims land up to 2000 cycles in the past, and occasionally
+			// far in the future.
+			base += Cycle(rng.Intn(8))
+			at := base
+			if back := Cycle(rng.Intn(2000)); back < at {
+				at -= back
+			} else {
+				at = 0
+			}
+			if rng.Intn(50) == 0 {
+				at = base + Cycle(rng.Intn(10000))
+			}
+			occ := Cycle(rng.Intn(16)) // includes 0 (treated as 1)
+			got, want := c.Claim(at, occ), ref.claim(at, occ)
+			if got != want {
+				t.Fatalf("claim %d (at=%d occ=%d): start %d, reference %d", i, at, occ, got, want)
+			}
+			if c.floor != ref.floor {
+				t.Fatalf("claim %d: floor %d, reference %d", i, c.floor, ref.floor)
+			}
+			if len(c.intervals) != len(ref.intervals) {
+				t.Fatalf("claim %d: %d intervals, reference %d\n%v\n%v",
+					i, len(c.intervals), len(ref.intervals), c.intervals, ref.intervals)
+			}
+			for j := range c.intervals {
+				if c.intervals[j] != ref.intervals[j] {
+					t.Fatalf("claim %d: interval %d = %v, reference %v", i, j, c.intervals[j], ref.intervals[j])
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkCalendarClaim measures Claim with a deep out-of-order window:
+// sixteen interleaved timelines, each claiming monotonically but far apart
+// from one another, the access pattern LLC ports see under the worker pool.
+func BenchmarkCalendarClaim(b *testing.B) {
+	c := NewCalendarResource(1 << 16)
+	var lanes [16]Cycle
+	for i := range lanes {
+		lanes[i] = Cycle(i * 3000)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lane := i & 15
+		lanes[lane] = c.Claim(lanes[lane]+2, 2) + 2
+	}
+}

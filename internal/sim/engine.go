@@ -6,11 +6,20 @@
 // CPU cycles. Events scheduled for the same cycle fire in FIFO order of
 // scheduling, which makes every simulation in this repository fully
 // deterministic: the same inputs always produce the same cycle counts.
+//
+// The event queue is built for zero steady-state allocation: a bucketed
+// near-future calendar (the "ladder") absorbs the common short-delay
+// schedule with O(1) push/pop, and a hand-rolled value-typed 4-ary heap
+// holds the far future. Events are stored by value — no per-event boxing
+// through interfaces, no heap-index bookkeeping — so scheduling touches
+// only pre-allocated memory once the queue has warmed up.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math/bits"
+
+	"halo/internal/stats"
 )
 
 // Cycle is a point in simulated time, measured in CPU clock cycles.
@@ -19,43 +28,38 @@ type Cycle uint64
 // Event is a callback scheduled to run at a particular cycle.
 type Event func(now Cycle)
 
+// scheduledEvent is one queued callback. It is held by value in the ladder
+// buckets and the overflow heap; seq breaks same-cycle ties FIFO.
 type scheduledEvent struct {
-	at    Cycle
-	seq   uint64 // tie-break: FIFO among events at the same cycle
-	fn    Event
-	index int // heap index
+	at  Cycle
+	seq uint64
+	fn  Event
 }
 
-type eventQueue []*scheduledEvent
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// eventLess orders events by (at, seq): time first, FIFO within a cycle.
+func eventLess(a, b *scheduledEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
+// Ladder geometry: one bucket per cycle for the next ladderSpan cycles.
+// Nearly every delay in this repository (cache latencies, NoC hops, DRAM
+// service times) is far below the span, so the heap only sees pathological
+// long timers.
+const (
+	ladderBits = 10
+	ladderSpan = 1 << ladderBits // cycles covered by the calendar
+	ladderMask = ladderSpan - 1
+)
 
-func (q *eventQueue) Push(x any) {
-	ev := x.(*scheduledEvent)
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
+// bucket is one calendar slot: a FIFO of same-cycle events. The slice is
+// recycled in place (head chases len, then both reset), so a warmed bucket
+// never reallocates.
+type bucket struct {
+	events []scheduledEvent
+	head   int
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable; create
@@ -63,15 +67,29 @@ func (q *eventQueue) Pop() any {
 type Engine struct {
 	now    Cycle
 	seq    uint64
-	queue  eventQueue
 	fired  uint64
 	limit  uint64 // safety valve: max events per Run (0 = unlimited)
 	halted bool
+
+	// Near-future calendar: bucket i holds events for the unique cycle c in
+	// [now, now+ladderSpan) with c&ladderMask == i. occupied mirrors which
+	// buckets are non-empty, one bit per bucket, for word-at-a-time scans.
+	buckets     []bucket
+	occupied    [ladderSpan / 64]uint64
+	ladderCount int
+
+	// Far-future overflow: value-typed 4-ary min-heap on (at, seq).
+	heap []scheduledEvent
+
+	// Observability counters (CollectInto).
+	maxDepth     int
+	ladderPushes uint64
+	heapPushes   uint64
 }
 
 // NewEngine returns an empty engine positioned at cycle 0.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{buckets: make([]bucket, ladderSpan)}
 }
 
 // Now returns the current simulated cycle.
@@ -100,22 +118,118 @@ func (e *Engine) At(at Cycle, fn Event) {
 		panic("sim: scheduling nil event")
 	}
 	e.seq++
-	heap.Push(&e.queue, &scheduledEvent{at: at, seq: e.seq, fn: fn})
+	ev := scheduledEvent{at: at, seq: e.seq, fn: fn}
+	if at-e.now < ladderSpan {
+		// Near future: append to the cycle's bucket. Appends arrive in seq
+		// order, so bucket order is FIFO order by construction.
+		idx := int(at & ladderMask)
+		b := &e.buckets[idx]
+		b.events = append(b.events, ev)
+		e.occupied[idx>>6] |= 1 << (idx & 63)
+		e.ladderCount++
+		e.ladderPushes++
+	} else {
+		e.heapPush(ev)
+		e.heapPushes++
+	}
+	if d := e.Pending(); d > e.maxDepth {
+		e.maxDepth = d
+	}
 }
 
 // Halt stops the current Run after the in-flight event returns.
 func (e *Engine) Halt() { e.halted = true }
 
 // Pending reports the number of queued events.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.ladderCount + len(e.heap) }
+
+// QueueMaxDepth reports the high-water mark of queued events.
+func (e *Engine) QueueMaxDepth() int { return e.maxDepth }
+
+// ladderMinCycle returns the earliest cycle with a pending ladder event.
+// Only valid when ladderCount > 0.
+func (e *Engine) ladderMinCycle() Cycle {
+	// Scan the occupancy bitmap from the bucket now maps to, wrapping once.
+	// The first set bit at or after now's position is the minimum cycle,
+	// because bucket position encodes (cycle - now) mod ladderSpan and all
+	// pending cycles lie within one span of now.
+	start := int(e.now & ladderMask)
+	word, bit := start>>6, start&63
+	// First word: ignore bits below the start position.
+	if w := e.occupied[word] >> bit; w != 0 {
+		return e.now + Cycle(bits.TrailingZeros64(w))
+	}
+	dist := 64 - bit
+	for i := 1; i <= len(e.occupied); i++ {
+		w := e.occupied[(word+i)&(len(e.occupied)-1)]
+		if w != 0 {
+			return e.now + Cycle(dist+bits.TrailingZeros64(w))
+		}
+		dist += 64
+	}
+	panic("sim: ladderMinCycle called with empty ladder")
+}
+
+// nextAt returns the timestamp of the earliest pending event.
+func (e *Engine) nextAt() (Cycle, bool) {
+	switch {
+	case e.ladderCount == 0 && len(e.heap) == 0:
+		return 0, false
+	case e.ladderCount == 0:
+		return e.heap[0].at, true
+	case len(e.heap) == 0:
+		return e.ladderMinCycle(), true
+	}
+	lAt, hAt := e.ladderMinCycle(), e.heap[0].at
+	if hAt < lAt {
+		return hAt, true
+	}
+	return lAt, true
+}
+
+// popNext removes and returns the earliest pending event. An event can sit
+// in both structures for the same cycle only transiently; any heap event at
+// cycle c was necessarily scheduled before any ladder event at c (once c is
+// within the span, pushes go to the ladder and the clock never rewinds), so
+// on a timestamp tie the heap side pops first to preserve FIFO order.
+func (e *Engine) popNext() (scheduledEvent, bool) {
+	useHeap := false
+	var lAt Cycle
+	switch {
+	case e.ladderCount == 0 && len(e.heap) == 0:
+		return scheduledEvent{}, false
+	case e.ladderCount == 0:
+		useHeap = true
+	case len(e.heap) == 0:
+		lAt = e.ladderMinCycle()
+	default:
+		lAt = e.ladderMinCycle()
+		useHeap = e.heap[0].at <= lAt
+	}
+	if useHeap {
+		return e.heapPop(), true
+	}
+	idx := int(lAt & ladderMask)
+	b := &e.buckets[idx]
+	ev := b.events[b.head]
+	b.events[b.head].fn = nil // release the closure for GC
+	b.head++
+	if b.head == len(b.events) {
+		b.events = b.events[:0]
+		b.head = 0
+		e.occupied[idx>>6] &^= 1 << (idx & 63)
+	}
+	e.ladderCount--
+	return ev, true
+}
 
 // Step fires the single next event, advancing the clock to its cycle.
 // It reports whether an event was available.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	ev, ok := e.popNext()
+	if !ok {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*scheduledEvent)
 	e.now = ev.at
 	e.fired++
 	ev.fn(e.now)
@@ -139,11 +253,74 @@ func (e *Engine) Run() Cycle {
 // exactly deadline even if the queue drains earlier.
 func (e *Engine) RunUntil(deadline Cycle) Cycle {
 	e.halted = false
-	for !e.halted && len(e.queue) > 0 && e.queue[0].at <= deadline {
+	for !e.halted {
+		at, ok := e.nextAt()
+		if !ok || at > deadline {
+			break
+		}
 		e.Step()
 	}
 	if e.now < deadline {
 		e.now = deadline
 	}
 	return e.now
+}
+
+// CollectInto publishes the engine's counters into a snapshot under the
+// sim.* names: events fired, the queue's high-water mark, and how many
+// pushes took the allocation-free ladder path versus the overflow heap.
+func (e *Engine) CollectInto(s *stats.Snapshot) {
+	s.Add("sim.events.fired", e.fired)
+	s.Add("sim.queue.max_depth", uint64(e.maxDepth))
+	s.Add("sim.queue.ladder_pushes", e.ladderPushes)
+	s.Add("sim.queue.heap_pushes", e.heapPushes)
+}
+
+// heapPush inserts an event into the 4-ary overflow heap.
+func (e *Engine) heapPush(ev scheduledEvent) {
+	e.heap = append(e.heap, ev)
+	i := len(e.heap) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !eventLess(&e.heap[i], &e.heap[p]) {
+			break
+		}
+		e.heap[i], e.heap[p] = e.heap[p], e.heap[i]
+		i = p
+	}
+}
+
+// heapPop removes the minimum event from the 4-ary overflow heap.
+func (e *Engine) heapPop() scheduledEvent {
+	h := e.heap
+	root := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n].fn = nil // release the closure for GC
+	h = h[:n]
+	e.heap = h
+	// Sift down: move the smallest of up to four children up.
+	i := 0
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if eventLess(&h[c], &h[min]) {
+				min = c
+			}
+		}
+		if !eventLess(&h[min], &h[i]) {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	return root
 }

@@ -1,0 +1,246 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+
+	"halo/internal/stats"
+)
+
+// refQueue is the reference model for the event queue: a plain slice kept in
+// (at, seq) order by stable sort. Everything the ladder/heap queue does must
+// match this model exactly.
+type refQueue struct {
+	events []scheduledEvent
+	seq    uint64
+}
+
+func (r *refQueue) push(at Cycle, id uint64) {
+	r.seq++
+	r.events = append(r.events, scheduledEvent{at: at, seq: id})
+	sort.SliceStable(r.events, func(i, j int) bool {
+		return eventLess(&r.events[i], &r.events[j])
+	})
+}
+
+func (r *refQueue) pop() (scheduledEvent, bool) {
+	if len(r.events) == 0 {
+		return scheduledEvent{}, false
+	}
+	ev := r.events[0]
+	r.events = r.events[1:]
+	return ev, true
+}
+
+// TestEngineMatchesReferenceModel drives the engine and the reference model
+// through randomized schedule/pop interleavings — short delays that stay in
+// the ladder, long delays that overflow to the heap, same-cycle bursts that
+// exercise FIFO ties — and requires identical pop order throughout.
+func TestEngineMatchesReferenceModel(t *testing.T) {
+	rng := NewRand(0xE4E27)
+	for trial := 0; trial < 50; trial++ {
+		e := NewEngine()
+		ref := refQueue{}
+		var fired []uint64
+		nextID := uint64(0)
+
+		schedule := func() {
+			var d Cycle
+			switch rng.Intn(4) {
+			case 0:
+				d = 0 // same-cycle burst
+			case 1:
+				d = Cycle(rng.Intn(16)) // ladder, short
+			case 2:
+				d = Cycle(rng.Intn(ladderSpan)) // ladder, anywhere in span
+			default:
+				d = Cycle(ladderSpan + rng.Intn(8*ladderSpan)) // heap
+			}
+			id := nextID
+			nextID++
+			e.Schedule(d, func(now Cycle) {
+				fired = append(fired, id)
+				// Nested scheduling from inside an event, like components do.
+				if rng.Intn(3) == 0 {
+					nid := nextID
+					nextID++
+					nd := Cycle(rng.Intn(2 * ladderSpan))
+					e.Schedule(nd, func(Cycle) { fired = append(fired, nid) })
+					ref.push(now+nd, nid)
+				}
+			})
+			ref.push(e.Now()+d, id)
+		}
+
+		for op := 0; op < 400; op++ {
+			if rng.Intn(3) != 0 || e.Pending() == 0 {
+				schedule()
+				continue
+			}
+			want, _ := ref.pop()
+			if !e.Step() {
+				t.Fatalf("trial %d: engine empty, reference has %d events", trial, len(ref.events)+1)
+			}
+			if e.Now() != want.at {
+				t.Fatalf("trial %d: popped cycle %d, reference says %d", trial, e.Now(), want.at)
+			}
+			if got := fired[len(fired)-1]; got != want.seq {
+				t.Fatalf("trial %d: popped event %d, reference says %d", trial, got, want.seq)
+			}
+		}
+		// Drain both and compare the tail.
+		for {
+			want, ok := ref.pop()
+			if !ok {
+				break
+			}
+			n := len(fired)
+			if !e.Step() {
+				t.Fatalf("trial %d: engine drained before reference", trial)
+			}
+			if e.Now() != want.at || fired[n] != want.seq {
+				t.Fatalf("trial %d: drain popped (%d, %d), reference says (%d, %d)",
+					trial, e.Now(), fired[n], want.at, want.seq)
+			}
+		}
+		if e.Step() {
+			t.Fatalf("trial %d: engine still has events after reference drained", trial)
+		}
+	}
+}
+
+// TestEngineRunUntilBoundaries covers RunUntil deadlines that fall exactly
+// on, just before and just after event timestamps, including events exactly
+// one ladder span away and heap events that migrate into range as the clock
+// advances.
+func TestEngineRunUntilBoundaries(t *testing.T) {
+	e := NewEngine()
+	var fired []Cycle
+	record := func(now Cycle) { fired = append(fired, now) }
+	for _, at := range []Cycle{5, 10, 10, ladderSpan, ladderSpan + 1, 3 * ladderSpan} {
+		e.At(at, record)
+	}
+
+	if now := e.RunUntil(4); now != 4 || len(fired) != 0 {
+		t.Fatalf("RunUntil(4) = %d with %d fired, want 4 with 0", now, len(fired))
+	}
+	if now := e.RunUntil(10); now != 10 || len(fired) != 3 {
+		t.Fatalf("RunUntil(10) = %d with %d fired, want 10 with 3 (deadline on the timestamp)", now, len(fired))
+	}
+	if now := e.RunUntil(ladderSpan - 1); now != ladderSpan-1 || len(fired) != 3 {
+		t.Fatalf("RunUntil(span-1) fired %d, want 3", len(fired))
+	}
+	if now := e.RunUntil(ladderSpan + 1); now != ladderSpan+1 || len(fired) != 5 {
+		t.Fatalf("RunUntil(span+1) = %d with %d fired, want span+1 with 5", now, len(fired))
+	}
+	// Queue holds one far event; deadline beyond it drains and pins the clock.
+	if now := e.RunUntil(4 * ladderSpan); now != 4*ladderSpan || len(fired) != 6 {
+		t.Fatalf("RunUntil(4*span) = %d with %d fired, want 4*span with 6", now, len(fired))
+	}
+	want := []Cycle{5, 10, 10, ladderSpan, ladderSpan + 1, 3 * ladderSpan}
+	for i, c := range want {
+		if fired[i] != c {
+			t.Fatalf("fired = %v, want %v", fired, want)
+		}
+	}
+}
+
+// TestEngineHeapLadderTieFIFO pins the subtle tie case: an event scheduled
+// far ahead (heap) and an event scheduled later for the same cycle once it
+// is near (ladder) must fire in scheduling order.
+func TestEngineHeapLadderTieFIFO(t *testing.T) {
+	e := NewEngine()
+	target := Cycle(2 * ladderSpan)
+	var order []int
+	e.At(target, func(Cycle) { order = append(order, 1) }) // goes to the heap
+	e.At(target-ladderSpan+1, func(Cycle) {
+		// Now `target` is inside the ladder span: this push takes the
+		// ladder path but was scheduled after the heap event.
+		e.At(target, func(Cycle) { order = append(order, 2) })
+	})
+	e.Run()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("same-cycle heap/ladder events fired as %v, want [1 2]", order)
+	}
+}
+
+// TestEngineScheduleSteadyStateAllocs proves the schedule/pop cycle is
+// allocation-free once bucket and heap capacities have warmed up.
+func TestEngineScheduleSteadyStateAllocs(t *testing.T) {
+	e := NewEngine()
+	fn := func(Cycle) {}
+	// Warm bucket and heap capacities.
+	for i := 0; i < 64; i++ {
+		e.Schedule(Cycle(i%7), fn)
+		e.Schedule(Cycle(ladderSpan+i), fn)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.Schedule(3, fn)
+		e.Schedule(ladderSpan+5, fn)
+		e.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state schedule/run allocates %.1f objects per op, want 0", allocs)
+	}
+}
+
+// TestEngineCollectInto checks the observability counters.
+func TestEngineCollectInto(t *testing.T) {
+	e := NewEngine()
+	fn := func(Cycle) {}
+	e.Schedule(1, fn)
+	e.Schedule(2, fn)
+	e.Schedule(ladderSpan+99, fn)
+	e.Run()
+	snap := stats.NewSnapshot()
+	e.CollectInto(snap)
+	if got := snap.Counter("sim.events.fired"); got != 3 {
+		t.Fatalf("sim.events.fired = %d, want 3", got)
+	}
+	if got := snap.Counter("sim.queue.max_depth"); got != 3 {
+		t.Fatalf("sim.queue.max_depth = %d, want 3", got)
+	}
+	if got := snap.Counter("sim.queue.ladder_pushes"); got != 2 {
+		t.Fatalf("sim.queue.ladder_pushes = %d, want 2", got)
+	}
+	if got := snap.Counter("sim.queue.heap_pushes"); got != 1 {
+		t.Fatalf("sim.queue.heap_pushes = %d, want 1", got)
+	}
+}
+
+// BenchmarkEngineSchedule measures the steady-state schedule/fire cycle: a
+// self-rescheduling event population with the delay mix of a cache access
+// chain. The headline number is allocs/op, which must be 0.
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := NewEngine()
+	fn := func(Cycle) {}
+	// Warm: populate and drain once so every bucket/heap slice has capacity.
+	for i := 0; i < 256; i++ {
+		e.Schedule(Cycle(i%61), fn)
+	}
+	e.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Cycle(i%61), fn)
+		e.Step()
+	}
+}
+
+// BenchmarkEngineScheduleFar measures the heap path (delays beyond the
+// ladder span).
+func BenchmarkEngineScheduleFar(b *testing.B) {
+	e := NewEngine()
+	fn := func(Cycle) {}
+	for i := 0; i < 256; i++ {
+		e.Schedule(Cycle(ladderSpan+i), fn)
+	}
+	e.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(ladderSpan+Cycle(i%1021), fn)
+		e.Step()
+	}
+}

@@ -145,6 +145,11 @@ type Switch struct {
 	megaHits   uint64
 	megaMisses uint64
 	openHits   uint64
+
+	// hdrKeyBuf is the per-packet header-key scratch; every consumer of the
+	// key (EMC/hybrid/MegaFlow lookups, LearnRaw) copies what it retains, so
+	// one buffer per switch is safe.
+	hdrKeyBuf [hdrKeyLen]byte
 }
 
 // New builds a switch on a platform. The MegaFlow layer uses first-match
@@ -288,7 +293,7 @@ func (sw *Switch) ProcessPacket(th *cpu.Thread, pkt *packet.Packet) (classify.Ma
 	t0 = th.Now
 	var m classify.Match
 	var ok bool
-	hdrKey := make([]byte, hdrKeyLen)
+	hdrKey := sw.hdrKeyBuf[:]
 	sw.p.Space.ReadAt(bufAddr+hdrKeyOff, hdrKey)
 	switch sw.cfg.Engine {
 	case EngineHalo:

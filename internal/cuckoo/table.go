@@ -90,6 +90,11 @@ type Table struct {
 
 	stats TableStats
 
+	// probeHook, when non-nil, runs after each timed probe and before the
+	// optimistic-lock re-read; tests install it to emulate a concurrent
+	// writer moving the version counter mid-lookup.
+	probeHook func()
+
 	// Scratch state reused across operations so the steady-state lookup and
 	// insert paths allocate nothing. Table handles were never safe for
 	// concurrent use (the stats counters race); the scratch buffers lean on
@@ -111,6 +116,13 @@ type TableStats struct {
 	Deletes       uint64
 	Updates       uint64
 	Displacements uint64
+	// Retries counts timed-lookup re-probes forced by a moving version
+	// counter (the optimistic-lock protocol observed a writer and probed
+	// again); RetryExhausted counts lookups that hit the retry bound and
+	// returned the last probe's result anyway. See
+	// LookupOptions.OptimisticLock for the give-up semantics.
+	Retries        uint64
+	RetryExhausted uint64
 }
 
 // Stats returns a copy of the operation counters.
@@ -128,6 +140,8 @@ func (s TableStats) CollectInto(snap *stats.Snapshot) {
 	snap.Add("cuckoo.deletes", s.Deletes)
 	snap.Add("cuckoo.updates", s.Updates)
 	snap.Add("cuckoo.displacements", s.Displacements)
+	snap.Add("cuckoo.lookup.retries", s.Retries)
+	snap.Add("cuckoo.lookup.retry_exhausted", s.RetryExhausted)
 }
 
 // kvSlotSize returns the aligned key-value slot size for a key length:
@@ -345,12 +359,15 @@ func (t *Table) Hashes(key []byte) (h uint64, sig uint16, b1, b2 uint64) {
 	return
 }
 
-// Lookup finds a key functionally (no timing) and returns its value.
+// Lookup finds a key functionally (no timing) and returns its value. A
+// mismatched key length is a miss, and it still counts as a lookup so the
+// hit rate reflects every probe the caller issued — TimedLookup accounts the
+// same way (and additionally charges the early exit).
 func (t *Table) Lookup(key []byte) (value uint64, ok bool) {
+	t.stats.Lookups++
 	if len(key) != t.keyLen {
 		return 0, false
 	}
-	t.stats.Lookups++
 	_, sig, b1, b2 := t.Hashes(key)
 	for _, b := range [2]uint64{b1, b2} {
 		for e := 0; e < EntriesPerBucket; e++ {

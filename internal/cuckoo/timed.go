@@ -18,11 +18,24 @@ func altOf(bucket uint64, sig uint16, bucketCount uint64) uint64 {
 // per lookup: 36.2% loads, 11.8% stores, 21.0% arithmetic, 30.9% other) and
 // validated by tests and the table1 experiment.
 
+// maxLookupRetries bounds the optimistic-lock retry loop: after this many
+// re-probes under a still-moving version counter the lookup gives up.
+const maxLookupRetries = 3
+
 // LookupOptions controls the timed lookup path.
 type LookupOptions struct {
 	// OptimisticLock enables the DPDK-style version-counter protocol
 	// around the probe (read counter, probe, re-read, retry on change).
 	// The paper measures this at ~13.1% of lookup time (§3.4).
+	//
+	// Give-up semantics: unlike rte_hash, which spins until the counter
+	// settles, the simulated loop re-probes at most maxLookupRetries times
+	// and then returns the final probe's result even though it may be torn
+	// (a bounded tail beats an unbounded spin in a cycle-accurate model).
+	// Every re-probe increments TableStats.Retries and every give-up
+	// increments TableStats.RetryExhausted — surfaced in the stats snapshot
+	// as cuckoo.lookup.retries and cuckoo.lookup.retry_exhausted — so an
+	// exhausted retry loop is never silent.
 	OptimisticLock bool
 	// Prefetch issues software prefetches for both candidate buckets right
 	// after hashing, as rte_hash's bulk lookup does.
@@ -35,11 +48,11 @@ func DefaultLookupOptions() LookupOptions {
 }
 
 // TimedLookup performs a software flow-rule lookup, charging th for the work
-// and returning the value. The functional result always matches Lookup.
+// and returning the value. The functional result always matches Lookup, and
+// so does the stats accounting: a mismatched key length is a counted miss on
+// both paths (here it additionally charges the prologue and the early
+// return, since the compiled code would retire those instructions too).
 func (t *Table) TimedLookup(th *cpu.Thread, key []byte, opts LookupOptions) (value uint64, ok bool) {
-	if len(key) != t.keyLen {
-		return 0, false
-	}
 	t.stats.Lookups++
 	start := th.Now
 
@@ -51,6 +64,15 @@ func (t *Table) TimedLookup(th *cpu.Thread, key []byte, opts LookupOptions) (val
 	th.Other(26)
 	th.LocalStore(15)
 	th.LocalLoad(20)
+
+	if len(key) != t.keyLen {
+		// Length check + immediate unwind of the call chain.
+		th.ALU(2)
+		th.LocalLoad(4)
+		th.Other(6)
+		th.Record("lat.lookup.software", th.Now-start)
+		return 0, false
+	}
 
 	// Load table handle fields (bucket base, counts, seeds — hot in L1).
 	th.LocalLoad(5)
@@ -84,6 +106,9 @@ func (t *Table) TimedLookup(th *cpu.Thread, key []byte, opts LookupOptions) (val
 		}
 
 		value, ok = t.timedProbe(th, key, sig, b1, b2)
+		if t.probeHook != nil {
+			t.probeHook()
+		}
 
 		if !opts.OptimisticLock {
 			break
@@ -92,9 +117,16 @@ func (t *Table) TimedLookup(th *cpu.Thread, key []byte, opts LookupOptions) (val
 		th.Load(t.VersionAddr())
 		th.ALU(2)
 		th.Other(1)
-		if t.Version() == verBefore || attempt >= 3 {
+		if t.Version() == verBefore {
 			break
 		}
+		if attempt >= maxLookupRetries {
+			// Give up and return the last probe's (possibly torn) result;
+			// see LookupOptions.OptimisticLock.
+			t.stats.RetryExhausted++
+			break
+		}
+		t.stats.Retries++
 	}
 
 	// Epilogue: restore spills, unwind the call chain, return.

@@ -1,0 +1,118 @@
+package cuckoo
+
+import (
+	"testing"
+
+	"halo/internal/stats"
+)
+
+// TestLookupKeyLenMismatchPathsAgree pins the fix for the timed/functional
+// divergence on mismatched key lengths: both paths return a miss, both count
+// the lookup (so hit rates computed from either path match), and the timed
+// path charges the prologue and early exit instead of returning for free.
+func TestLookupKeyLenMismatchPathsAgree(t *testing.T) {
+	tbl, th := timedFixture(t, Config{Entries: 256, KeyLen: 16})
+	if err := tbl.Insert(key16(1), 10); err != nil {
+		t.Fatal(err)
+	}
+	base := tbl.Stats()
+
+	short := make([]byte, 7) // wrong length for a 16-byte-key table
+	fv, fok := tbl.Lookup(short)
+	if fok || fv != 0 {
+		t.Fatalf("functional Lookup(short key) = (%d,%v), want (0,false)", fv, fok)
+	}
+	instrBefore := th.Counts.Total()
+	nowBefore := th.Now
+	tv, tok := tbl.TimedLookup(th, short, DefaultLookupOptions())
+	if tok || tv != 0 {
+		t.Fatalf("TimedLookup(short key) = (%d,%v), want (0,false)", tv, tok)
+	}
+
+	s := tbl.Stats()
+	if got := s.Lookups - base.Lookups; got != 2 {
+		t.Fatalf("mismatched-length lookups counted %d times, want 2 (one per path)", got)
+	}
+	if s.Hits != base.Hits {
+		t.Fatalf("mismatched-length lookup counted as a hit")
+	}
+	if charged := th.Counts.Total() - instrBefore; charged == 0 {
+		t.Fatal("timed early exit charged no instructions")
+	} else if charged > 100 {
+		t.Fatalf("timed early exit charged %d instructions, want a short prologue+return", charged)
+	}
+	if th.Now == nowBefore {
+		t.Fatal("timed early exit consumed no cycles")
+	}
+	if h := th.Hist("lat.lookup.software"); h == nil || h.Count() == 0 {
+		t.Fatal("timed early exit not recorded in the software-lookup latency histogram")
+	}
+}
+
+// TestTimedLookupRetryAccounting pins the optimistic-lock retry counters: a
+// version counter that keeps moving forces re-probes, and exhausting the
+// bound is traced in RetryExhausted rather than silently returning.
+func TestTimedLookupRetryAccounting(t *testing.T) {
+	tbl, th := timedFixture(t, Config{Entries: 256, KeyLen: 16})
+	for i := uint64(0); i < 100; i++ {
+		if err := tbl.Insert(key16(i), i*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A writer that interleaves with exactly one probe: one retry, no
+	// exhaustion, and the lookup still returns the right value.
+	bumps := 1
+	tbl.probeHook = func() {
+		if bumps > 0 {
+			bumps--
+			tbl.bumpVersion()
+		}
+	}
+	v, ok := tbl.TimedLookup(th, key16(5), DefaultLookupOptions())
+	if !ok || v != 15 {
+		t.Fatalf("lookup under one interleaved write = (%d,%v), want (15,true)", v, ok)
+	}
+	s := tbl.Stats()
+	if s.Retries != 1 || s.RetryExhausted != 0 {
+		t.Fatalf("one interleaved write: Retries=%d RetryExhausted=%d, want 1,0", s.Retries, s.RetryExhausted)
+	}
+
+	// A writer that never stops: the loop re-probes maxLookupRetries times,
+	// then gives up and records the exhaustion.
+	tbl.probeHook = func() { tbl.bumpVersion() }
+	v, ok = tbl.TimedLookup(th, key16(7), DefaultLookupOptions())
+	if !ok || v != 21 {
+		t.Fatalf("lookup under a write storm = (%d,%v), want (21,true)", v, ok)
+	}
+	s = tbl.Stats()
+	if s.Retries != 1+maxLookupRetries || s.RetryExhausted != 1 {
+		t.Fatalf("write storm: Retries=%d RetryExhausted=%d, want %d,1",
+			s.Retries, s.RetryExhausted, 1+maxLookupRetries)
+	}
+	tbl.probeHook = nil
+
+	// Without the optimistic lock there is no retry protocol to count.
+	before := tbl.Stats()
+	tbl.probeHook = func() { tbl.bumpVersion() }
+	if _, ok := tbl.TimedLookup(th, key16(9), LookupOptions{OptimisticLock: false, Prefetch: true}); !ok {
+		t.Fatal("lock-free lookup missed a present key")
+	}
+	s = tbl.Stats()
+	if s.Retries != before.Retries || s.RetryExhausted != before.RetryExhausted {
+		t.Fatal("lock-free lookup moved the retry counters")
+	}
+	tbl.probeHook = nil
+
+	// The counters surface in the stats snapshot under their dotted names.
+	snap := stats.NewSnapshot()
+	tbl.Stats().CollectInto(snap)
+	if snap.Counter("cuckoo.lookup.retries") != s.Retries {
+		t.Fatalf("snapshot cuckoo.lookup.retries = %d, want %d",
+			snap.Counter("cuckoo.lookup.retries"), s.Retries)
+	}
+	if snap.Counter("cuckoo.lookup.retry_exhausted") != s.RetryExhausted {
+		t.Fatalf("snapshot cuckoo.lookup.retry_exhausted = %d, want %d",
+			snap.Counter("cuckoo.lookup.retry_exhausted"), s.RetryExhausted)
+	}
+}

@@ -1,0 +1,167 @@
+package flowserve
+
+import (
+	"runtime"
+
+	"halo/internal/hashfn"
+)
+
+// Batch is reusable scratch for LookupMany. Like HALO's non-blocking lookup
+// window, a batch belongs to one issuing context: a Batch is NOT safe for
+// concurrent use, but any number of goroutines may run their own batches
+// against the same table concurrently.
+type Batch struct {
+	t *Table
+
+	kw    [][maxKeyWords]uint64
+	sig   []uint16
+	b1    []uint64
+	b2    []uint64
+	shard []uint32
+
+	count []uint32 // per-shard key count, then prefix-summed into offsets
+	order []uint32 // key indices grouped by shard
+}
+
+// NewBatch returns an empty batch for the table.
+func (t *Table) NewBatch() *Batch {
+	return &Batch{t: t, count: make([]uint32, len(t.shards)+1)}
+}
+
+// grow sizes the scratch for n keys.
+func (b *Batch) grow(n int) {
+	if cap(b.kw) < n {
+		b.kw = make([][maxKeyWords]uint64, n)
+		b.sig = make([]uint16, n)
+		b.b1 = make([]uint64, n)
+		b.b2 = make([]uint64, n)
+		b.shard = make([]uint32, n)
+		b.order = make([]uint32, n)
+	}
+	b.kw = b.kw[:n]
+	b.sig = b.sig[:n]
+	b.b1 = b.b1[:n]
+	b.b2 = b.b2[:n]
+	b.shard = b.shard[:n]
+	b.order = b.order[:n]
+}
+
+// LookupMany looks up all keys, writing values[i], oks[i] for each, and
+// returns the number of hits. It is the software analogue of issuing
+// LOOKUP_NB per key and polling completions with SNAPSHOT_READ: an issue
+// pass hashes and routes every key, then each shard's group of keys is
+// probed under a single seqlock window, amortising the read protocol (and
+// its cache-line traffic) over the group.
+//
+// Keys of the wrong length are counted misses, as in Lookup. values and oks
+// must be at least len(keys) long.
+func (b *Batch) LookupMany(keys [][]byte, values []uint64, oks []bool) int {
+	t := b.t
+	n := len(keys)
+	_ = values[:n]
+	_ = oks[:n]
+	b.grow(n)
+
+	// Issue pass: hash, signature, shard and candidate buckets per key.
+	badLen := uint64(0)
+	for i, key := range keys {
+		if len(key) != t.keyLen {
+			b.shard[i] = uint32(len(t.shards)) // route to the overflow group
+			badLen++
+			continue
+		}
+		keyToWords(key, &b.kw[i])
+		h := hashfn.Hash(hashfn.SeedPrimary, key)
+		b.sig[i] = hashfn.Signature(h)
+		si := hashfn.ShardIndex(h, uint64(len(t.shards)))
+		b.shard[i] = uint32(si)
+		sh := t.shards[si]
+		b.b1[i], b.b2[i] = hashfn.BucketPair(h, sh.bucketCount)
+	}
+
+	// Group keys by shard with a counting sort (stable, allocation-free).
+	for i := range b.count {
+		b.count[i] = 0
+	}
+	for _, si := range b.shard {
+		if si < uint32(len(t.shards)) {
+			b.count[si]++
+		}
+	}
+	var off uint32
+	for i := range b.count {
+		c := b.count[i]
+		b.count[i] = off
+		off += c
+	}
+	order := b.order[:off]
+	for i, si := range b.shard {
+		if si < uint32(len(t.shards)) {
+			order[b.count[si]] = uint32(i)
+			b.count[si]++
+		}
+	}
+	// b.count[si] is now the end offset of shard si's group.
+
+	hits := 0
+	start := uint32(0)
+	for si := 0; si < len(t.shards); si++ {
+		end := b.count[si]
+		if end == start {
+			continue
+		}
+		hits += b.lookupGroup(t.shards[si], order[start:end], values, oks)
+		start = end
+	}
+	if badLen > 0 {
+		t.shards[0].c.lookups.Add(badLen)
+		for i, key := range keys {
+			if len(key) != t.keyLen {
+				values[i], oks[i] = 0, false
+			}
+		}
+	}
+	return hits
+}
+
+// lookupGroup probes one shard's group of keys under a shared seqlock
+// window. If a writer invalidates the window, the whole group re-probes;
+// after maxOptimistic attempts it runs once under the writer lock.
+func (b *Batch) lookupGroup(sh *shard, group []uint32, values []uint64, oks []bool) int {
+	nw := b.t.keyWords
+	sh.c.batches.Add(1)
+	sh.c.batchKeys.Add(uint64(len(group)))
+	sh.c.lookups.Add(uint64(len(group)))
+
+	hits := 0
+	probeAll := func() {
+		hits = 0
+		for _, i := range group {
+			v, ok := sh.probe(&b.kw[i], nw, b.sig[i], b.b1[i], b.b2[i])
+			values[i], oks[i] = v, ok
+			if ok {
+				hits++
+			}
+		}
+	}
+	for attempt := 0; attempt < maxOptimistic; attempt++ {
+		s1 := sh.seq.Load()
+		if s1&1 != 0 {
+			sh.c.retries.Add(1)
+			runtime.Gosched()
+			continue
+		}
+		probeAll()
+		if sh.seq.Load() == s1 {
+			sh.c.hits.Add(uint64(hits))
+			return hits
+		}
+		sh.c.retries.Add(1)
+	}
+	sh.c.fallbacks.Add(1)
+	sh.mu.Lock()
+	probeAll()
+	sh.mu.Unlock()
+	sh.c.hits.Add(uint64(hits))
+	return hits
+}

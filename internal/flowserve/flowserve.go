@@ -1,0 +1,580 @@
+// Package flowserve is the concurrent flow-serving runtime: the repository's
+// cuckoo flow-table algorithms rebuilt over native Go memory and real
+// goroutines instead of simulated memory and modelled cycles. It is the
+// first layer of the codebase whose concurrency `go test -race` can
+// meaningfully exercise.
+//
+// The design transposes the paper's hardware mechanisms into software:
+//
+//   - The table is split into N shards selected by disjoint bits of the
+//     primary hash (hashfn.ShardIndex), mirroring HALO's one-accelerator-
+//     per-LLC-slice partitioning: independent shards never contend.
+//   - Each shard guards its buckets with a seqlock — an atomic sequence
+//     counter that is odd while a writer mutates and revalidated by readers
+//     after every probe. This is the software analogue of the hardware lock
+//     bit + SNAPSHOT_READ (paper §4.2): readers run without locks and a
+//     conflicting write is detected, not prevented. Unlike the simulated
+//     cuckoo table's bounded optimistic protocol, a reader here never
+//     returns a torn probe: after maxOptimistic failed attempts it takes
+//     the writer lock and probes exclusively.
+//   - Mutations (insert, delete, displacement) take a per-shard mutex, so
+//     each shard is single-writer — DPDK's rte_hash makes the same
+//     single-writer/multi-reader assumption.
+//   - Batch lookups group keys per shard and validate one sequence window
+//     per group (see batch.go), the software analogue of issuing LOOKUP_NB
+//     for a batch and polling the results with SNAPSHOT_READ.
+//
+// Layout per shard mirrors rte_hash (and the simulated cuckoo.Table): an
+// array of 8-entry buckets holding packed {signature, slot} words, plus a
+// key-value array of 8-byte words. Every word readers can observe is an
+// atomic.Uint64, which makes the seqlock race-detector-clean and bounds
+// tearing at word granularity (the seqlock then rules out cross-word mixes).
+package flowserve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"halo/internal/hashfn"
+)
+
+// EntriesPerBucket matches the simulated table and rte_hash: eight entries
+// per bucket.
+const EntriesPerBucket = 8
+
+// maxOptimistic bounds seqlock probe attempts before a reader falls back to
+// the writer lock. Retries are counted in flowserve.lookup.retries; the
+// fallback in flowserve.lookup.lock_fallbacks.
+const maxOptimistic = 8
+
+// maxDisplacements bounds the BFS cuckoo search, as in the simulated table.
+const maxDisplacements = 128
+
+// MaxKeyLen is the largest supported fixed key length in bytes.
+const MaxKeyLen = 64
+
+// maxKeyWords is MaxKeyLen in 8-byte words; probe scratch is sized to it.
+const maxKeyWords = MaxKeyLen / 8
+
+// Common errors.
+var (
+	ErrTableFull = errors.New("flowserve: shard full (displacement path exhausted)")
+	ErrKeyLen    = errors.New("flowserve: key length does not match table")
+	ErrKeyExists = errors.New("flowserve: key already present")
+)
+
+// Config parametrises table creation.
+type Config struct {
+	// Shards is the number of independent sub-tables (power of two, 1..4096).
+	Shards int
+	// Entries is the total key-value capacity, split evenly across shards.
+	// Shard assignment is by hash, so a shard can fill slightly before the
+	// whole table does; size headroom (~10–20% at high shard counts) keeps
+	// ErrTableFull away.
+	Entries uint64
+	// KeyLen is the fixed key size in bytes (1..MaxKeyLen).
+	KeyLen int
+}
+
+// Table is a sharded concurrent flow table. Lookups are safe from any number
+// of goroutines concurrently with mutations; mutations themselves serialise
+// per shard on an internal mutex.
+type Table struct {
+	shards   []*shard
+	keyLen   int
+	keyWords int
+}
+
+// New creates an empty table.
+func New(cfg Config) (*Table, error) {
+	if cfg.KeyLen <= 0 || cfg.KeyLen > MaxKeyLen {
+		return nil, fmt.Errorf("flowserve: key length %d out of range 1..%d", cfg.KeyLen, MaxKeyLen)
+	}
+	if cfg.Shards <= 0 || cfg.Shards > 4096 || cfg.Shards&(cfg.Shards-1) != 0 {
+		return nil, fmt.Errorf("flowserve: shard count %d not a power of two in 1..4096", cfg.Shards)
+	}
+	if cfg.Entries == 0 {
+		return nil, errors.New("flowserve: zero capacity")
+	}
+	perShard := (cfg.Entries + uint64(cfg.Shards) - 1) / uint64(cfg.Shards)
+	if perShard > 1<<32 {
+		return nil, fmt.Errorf("flowserve: %d entries per shard exceeds slot index width", perShard)
+	}
+	t := &Table{
+		shards:   make([]*shard, cfg.Shards),
+		keyLen:   cfg.KeyLen,
+		keyWords: (cfg.KeyLen + 7) / 8,
+	}
+	for i := range t.shards {
+		t.shards[i] = newShard(perShard, t.keyWords)
+	}
+	return t, nil
+}
+
+// KeyLen returns the table's fixed key length.
+func (t *Table) KeyLen() int { return t.keyLen }
+
+// Shards returns the number of shards.
+func (t *Table) Shards() int { return len(t.shards) }
+
+// Capacity returns the total key-value capacity.
+func (t *Table) Capacity() uint64 {
+	var c uint64
+	for _, sh := range t.shards {
+		c += uint64(sh.capacity)
+	}
+	return c
+}
+
+// Size returns the number of live entries (a racy sum under concurrent
+// writes, exact when quiescent).
+func (t *Table) Size() uint64 {
+	var n uint64
+	for _, sh := range t.shards {
+		n += sh.size.Load()
+	}
+	return n
+}
+
+// route hashes a key and resolves the owning shard and probe coordinates.
+func (t *Table) route(key []byte, kw *[maxKeyWords]uint64) (sh *shard, sig uint16, b1, b2 uint64) {
+	keyToWords(key, kw)
+	h := hashfn.Hash(hashfn.SeedPrimary, key)
+	sig = hashfn.Signature(h)
+	sh = t.shards[hashfn.ShardIndex(h, uint64(len(t.shards)))]
+	b1, b2 = hashfn.BucketPair(h, sh.bucketCount)
+	return
+}
+
+// Lookup finds a key and returns its value. Safe for unbounded concurrency.
+// A mismatched key length is a counted miss, matching the simulated table's
+// accounting.
+func (t *Table) Lookup(key []byte) (value uint64, ok bool) {
+	if len(key) != t.keyLen {
+		t.shards[0].c.lookups.Add(1)
+		return 0, false
+	}
+	var kw [maxKeyWords]uint64
+	sh, sig, b1, b2 := t.route(key, &kw)
+	return sh.lookup(&kw, t.keyWords, sig, b1, b2)
+}
+
+// Insert adds a key-value pair. Inserting an existing key returns
+// ErrKeyExists (use Update to change a value).
+func (t *Table) Insert(key []byte, value uint64) error {
+	if len(key) != t.keyLen {
+		return ErrKeyLen
+	}
+	var kw [maxKeyWords]uint64
+	sh, sig, b1, b2 := t.route(key, &kw)
+	return sh.insert(&kw, t.keyWords, sig, b1, b2, value)
+}
+
+// Update changes the value of an existing key, reporting whether it was
+// present.
+func (t *Table) Update(key []byte, value uint64) bool {
+	if len(key) != t.keyLen {
+		return false
+	}
+	var kw [maxKeyWords]uint64
+	sh, sig, b1, b2 := t.route(key, &kw)
+	return sh.update(&kw, t.keyWords, sig, b1, b2, value)
+}
+
+// Delete removes a key, reporting whether it was present.
+func (t *Table) Delete(key []byte) bool {
+	if len(key) != t.keyLen {
+		return false
+	}
+	var kw [maxKeyWords]uint64
+	sh, sig, b1, b2 := t.route(key, &kw)
+	return sh.delete(&kw, t.keyWords, sig, b1, b2)
+}
+
+// keyToWords packs a key into little-endian 8-byte words, zero-padding the
+// tail — the in-memory key representation (word-wise atomic loads are what
+// keep the read path race-free).
+func keyToWords(key []byte, kw *[maxKeyWords]uint64) {
+	w := 0
+	for len(key) >= 8 {
+		kw[w] = uint64(key[0]) | uint64(key[1])<<8 | uint64(key[2])<<16 | uint64(key[3])<<24 |
+			uint64(key[4])<<32 | uint64(key[5])<<40 | uint64(key[6])<<48 | uint64(key[7])<<56
+		key = key[8:]
+		w++
+	}
+	if len(key) > 0 {
+		var last uint64
+		for i, b := range key {
+			last |= uint64(b) << (8 * i)
+		}
+		kw[w] = last
+	}
+}
+
+// shard is one independent sub-table: an 8-entry-bucket cuckoo table whose
+// reader-visible words are all atomics, guarded by a seqlock for readers and
+// a mutex for writers.
+type shard struct {
+	bucketCount uint64
+	capacity    uint32
+	kvStride    int // keyWords + 1 value word
+
+	// seq is the seqlock generation: odd while a writer is mutating. Readers
+	// snapshot it before probing and revalidate after.
+	seq atomic.Uint64
+
+	// entries holds bucketCount*EntriesPerBucket packed bucket entries:
+	// slot<<16 | signature, zero when empty (signatures are never zero).
+	entries []atomic.Uint64
+
+	// kv holds capacity*kvStride words: each slot is keyWords key words
+	// followed by one value word.
+	kv []atomic.Uint64
+
+	size atomic.Uint64
+	c    shardCounters
+
+	mu   sync.Mutex // serialises writers; also the reader fallback path
+	free []uint32   // free slots (writer-owned)
+
+	// BFS displacement scratch (writer-owned, guarded by mu).
+	bfsNodes   []pathNode
+	bfsQueue   []frontierItem
+	bfsPath    []pathNode
+	bfsVisited map[uint64]bool
+}
+
+// shardCounters are per-shard operation counters. Reader-side counters are
+// atomics because lookups run concurrently; keeping them per shard spreads
+// the cache-line traffic that a single shared counter block would serialise.
+type shardCounters struct {
+	lookups   atomic.Uint64
+	hits      atomic.Uint64
+	retries   atomic.Uint64 // seqlock revalidation failures (re-probes)
+	fallbacks atomic.Uint64 // optimistic attempts exhausted → locked probe
+
+	inserts       atomic.Uint64
+	insertExists  atomic.Uint64
+	insertFull    atomic.Uint64
+	updates       atomic.Uint64
+	deletes       atomic.Uint64
+	displacements atomic.Uint64
+
+	batches   atomic.Uint64 // per-shard groups served by LookupMany
+	batchKeys atomic.Uint64
+}
+
+func newShard(entries uint64, keyWords int) *shard {
+	want := entries / EntriesPerBucket
+	bc := uint64(2)
+	for bc < want {
+		bc <<= 1
+	}
+	sh := &shard{
+		bucketCount: bc,
+		capacity:    uint32(entries),
+		kvStride:    keyWords + 1,
+		entries:     make([]atomic.Uint64, bc*EntriesPerBucket),
+		kv:          make([]atomic.Uint64, entries*uint64(keyWords+1)),
+	}
+	sh.free = make([]uint32, 0, entries)
+	for i := int64(entries) - 1; i >= 0; i-- {
+		sh.free = append(sh.free, uint32(i))
+	}
+	return sh
+}
+
+// packEntry encodes a live bucket entry; sig is never zero, so a zero word
+// means empty.
+func packEntry(sig uint16, slot uint32) uint64 {
+	return uint64(slot)<<16 | uint64(sig)
+}
+
+// beginWrite/endWrite bracket every mutation of reader-visible words. The
+// caller must hold mu.
+func (sh *shard) beginWrite() { sh.seq.Add(1) } // even → odd
+func (sh *shard) endWrite()   { sh.seq.Add(1) } // odd → even
+
+// keyEqual compares slot's stored key words against kw. Word loads are
+// atomic; consistency across words is the seqlock's job.
+func (sh *shard) keyEqual(slot uint32, kw *[maxKeyWords]uint64, nw int) bool {
+	base := int(slot) * sh.kvStride
+	for i := 0; i < nw; i++ {
+		if sh.kv[base+i].Load() != kw[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// probe scans both candidate buckets for the key. It may run concurrently
+// with a writer; callers must validate the sequence window before trusting
+// the result (or hold mu).
+func (sh *shard) probe(kw *[maxKeyWords]uint64, nw int, sig uint16, b1, b2 uint64) (uint64, bool) {
+	for _, b := range [2]uint64{b1, b2} {
+		base := b * EntriesPerBucket
+		for e := uint64(0); e < EntriesPerBucket; e++ {
+			ent := sh.entries[base+e].Load()
+			if uint16(ent) != sig {
+				continue
+			}
+			slot := uint32(ent >> 16)
+			if sh.keyEqual(slot, kw, nw) {
+				return sh.kv[int(slot)*sh.kvStride+nw].Load(), true
+			}
+		}
+	}
+	return 0, false
+}
+
+// lookup runs the seqlock read protocol: snapshot the sequence, probe,
+// revalidate. A probe raced by a writer is discarded and retried; after
+// maxOptimistic attempts the reader takes the writer lock, so — unlike the
+// simulated table's give-up path — a torn result is never returned.
+func (sh *shard) lookup(kw *[maxKeyWords]uint64, nw int, sig uint16, b1, b2 uint64) (uint64, bool) {
+	sh.c.lookups.Add(1)
+	for attempt := 0; attempt < maxOptimistic; attempt++ {
+		s1 := sh.seq.Load()
+		if s1&1 != 0 {
+			// A writer is mid-mutation; yield rather than spin-read.
+			sh.c.retries.Add(1)
+			runtime.Gosched()
+			continue
+		}
+		v, ok := sh.probe(kw, nw, sig, b1, b2)
+		if sh.seq.Load() == s1 {
+			if ok {
+				sh.c.hits.Add(1)
+			}
+			return v, ok
+		}
+		sh.c.retries.Add(1)
+	}
+	// Writer storm: one exclusive probe settles it.
+	sh.c.fallbacks.Add(1)
+	sh.mu.Lock()
+	v, ok := sh.probe(kw, nw, sig, b1, b2)
+	sh.mu.Unlock()
+	if ok {
+		sh.c.hits.Add(1)
+	}
+	return v, ok
+}
+
+// locate finds the bucket entry holding the key. Caller must hold mu.
+func (sh *shard) locate(kw *[maxKeyWords]uint64, nw int, sig uint16, b1, b2 uint64) (entIdx uint64, slot uint32, found bool) {
+	for _, b := range [2]uint64{b1, b2} {
+		base := b * EntriesPerBucket
+		for e := uint64(0); e < EntriesPerBucket; e++ {
+			ent := sh.entries[base+e].Load()
+			if uint16(ent) != sig {
+				continue
+			}
+			s := uint32(ent >> 16)
+			if sh.keyEqual(s, kw, nw) {
+				return base + e, s, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// writeKV stores a slot's key words and value. The slot is free (no bucket
+// entry points to it), so this runs outside the seqlock window; the entry
+// store that publishes it orders after these writes.
+func (sh *shard) writeKV(slot uint32, kw *[maxKeyWords]uint64, nw int, value uint64) {
+	base := int(slot) * sh.kvStride
+	for i := 0; i < nw; i++ {
+		sh.kv[base+i].Store(kw[i])
+	}
+	sh.kv[base+nw].Store(value)
+}
+
+func (sh *shard) insert(kw *[maxKeyWords]uint64, nw int, sig uint16, b1, b2 uint64, value uint64) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, _, exists := sh.locate(kw, nw, sig, b1, b2); exists {
+		sh.c.insertExists.Add(1)
+		return ErrKeyExists
+	}
+	if len(sh.free) == 0 {
+		sh.c.insertFull.Add(1)
+		return ErrTableFull
+	}
+
+	// Direct placement into a free entry of either candidate bucket.
+	if entIdx, ok := sh.freeEntry(b1, b2); ok {
+		slot := sh.free[len(sh.free)-1]
+		sh.free = sh.free[:len(sh.free)-1]
+		sh.writeKV(slot, kw, nw, value)
+		// Publishing one empty→live entry is atomic on its own, but the
+		// slot may be recycled: a reader that captured the old entry before
+		// the slot was freed could mix old and new key words into a phantom
+		// match. The seqlock window forces such readers to re-probe.
+		sh.beginWrite()
+		sh.entries[entIdx].Store(packEntry(sig, slot))
+		sh.endWrite()
+		sh.size.Add(1)
+		sh.c.inserts.Add(1)
+		return nil
+	}
+
+	// Displacement: BFS for a move chain (read-only, outside the write
+	// window — the mutex already excludes other writers), then apply the
+	// moves and the final placement inside one window.
+	path := sh.findCuckooPath(b1, b2)
+	if path == nil {
+		sh.c.insertFull.Add(1)
+		return ErrTableFull
+	}
+	slot := sh.free[len(sh.free)-1]
+	sh.free = sh.free[:len(sh.free)-1]
+	sh.writeKV(slot, kw, nw, value)
+	sh.beginWrite()
+	sh.applyCuckooPath(path)
+	entIdx, ok := sh.freeEntry(b1, b2)
+	if !ok {
+		// The displacement chain freed a slot in b1 or b2 by construction.
+		sh.endWrite()
+		sh.free = append(sh.free, slot)
+		panic("flowserve: displacement path freed no candidate entry")
+	}
+	sh.entries[entIdx].Store(packEntry(sig, slot))
+	sh.endWrite()
+	sh.size.Add(1)
+	sh.c.inserts.Add(1)
+	sh.c.displacements.Add(uint64(len(path)))
+	return nil
+}
+
+// freeEntry returns the index of an empty entry in b1 or b2.
+func (sh *shard) freeEntry(b1, b2 uint64) (uint64, bool) {
+	for _, b := range [2]uint64{b1, b2} {
+		base := b * EntriesPerBucket
+		for e := uint64(0); e < EntriesPerBucket; e++ {
+			if sh.entries[base+e].Load() == 0 {
+				return base + e, true
+			}
+		}
+	}
+	return 0, false
+}
+
+func (sh *shard) update(kw *[maxKeyWords]uint64, nw int, sig uint16, b1, b2 uint64, value uint64) bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, slot, found := sh.locate(kw, nw, sig, b1, b2)
+	if !found {
+		return false
+	}
+	// A single-word value store is atomic on its own: concurrent readers
+	// see the old or the new value, both of which were live for this key,
+	// so no seqlock window is needed.
+	sh.kv[int(slot)*sh.kvStride+nw].Store(value)
+	sh.c.updates.Add(1)
+	return true
+}
+
+func (sh *shard) delete(kw *[maxKeyWords]uint64, nw int, sig uint16, b1, b2 uint64) bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	entIdx, slot, found := sh.locate(kw, nw, sig, b1, b2)
+	if !found {
+		return false
+	}
+	// Clearing the entry is a single atomic store, but the freed slot can
+	// be recycled by a later insert; bump the seqlock so readers that
+	// captured this entry re-probe instead of reading recycled key words.
+	sh.beginWrite()
+	sh.entries[entIdx].Store(0)
+	sh.endWrite()
+	sh.free = append(sh.free, slot)
+	sh.size.Add(^uint64(0))
+	sh.c.deletes.Add(1)
+	return true
+}
+
+// pathNode is one step of a displacement path: the entry at entIdx moves to
+// its alternative bucket.
+type pathNode struct {
+	bucket uint64
+	entry  uint64
+	parent int
+}
+
+// frontierItem is one BFS queue entry in findCuckooPath.
+type frontierItem struct {
+	bucket uint64
+	node   int
+}
+
+// findCuckooPath BFS-searches for a chain of moves freeing an entry in b1 or
+// b2, mirroring cuckoo.Table.findCuckooPath. Caller must hold mu; the
+// returned slice aliases writer-owned scratch.
+func (sh *shard) findCuckooPath(b1, b2 uint64) []pathNode {
+	nodes := sh.bfsNodes[:0]
+	queue := append(sh.bfsQueue[:0], frontierItem{b1, -1}, frontierItem{b2, -1})
+	head := 0
+	if sh.bfsVisited == nil {
+		sh.bfsVisited = make(map[uint64]bool)
+	}
+	visited := sh.bfsVisited
+	clear(visited)
+	visited[b1], visited[b2] = true, true
+	defer func() { sh.bfsNodes, sh.bfsQueue = nodes[:0], queue[:0] }()
+
+	for head < len(queue) && len(nodes) < maxDisplacements*EntriesPerBucket {
+		item := queue[head]
+		head++
+		base := item.bucket * EntriesPerBucket
+		for e := uint64(0); e < EntriesPerBucket; e++ {
+			ent := sh.entries[base+e].Load()
+			if ent == 0 {
+				continue
+			}
+			alt := hashfn.AltBucket(item.bucket, uint16(ent), sh.bucketCount)
+			nodes = append(nodes, pathNode{bucket: item.bucket, entry: base + e, parent: item.node})
+			nodeIdx := len(nodes) - 1
+			altBase := alt * EntriesPerBucket
+			for ae := uint64(0); ae < EntriesPerBucket; ae++ {
+				if sh.entries[altBase+ae].Load() == 0 {
+					path := sh.bfsPath[:0]
+					for i := nodeIdx; i >= 0; i = nodes[i].parent {
+						path = append(path, nodes[i])
+					}
+					for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
+						path[l], path[r] = path[r], path[l]
+					}
+					sh.bfsPath = path
+					return path
+				}
+			}
+			if !visited[alt] {
+				visited[alt] = true
+				queue = append(queue, frontierItem{alt, nodeIdx})
+			}
+		}
+	}
+	return nil
+}
+
+// applyCuckooPath executes the moves leaf-first so no entry is ever
+// unreachable. Caller must hold mu and have opened the seqlock window.
+func (sh *shard) applyCuckooPath(path []pathNode) {
+	for i := len(path) - 1; i >= 0; i-- {
+		n := path[i]
+		ent := sh.entries[n.entry].Load()
+		alt := hashfn.AltBucket(n.bucket, uint16(ent), sh.bucketCount)
+		altBase := alt * EntriesPerBucket
+		for ae := uint64(0); ae < EntriesPerBucket; ae++ {
+			if sh.entries[altBase+ae].Load() == 0 {
+				sh.entries[altBase+ae].Store(ent)
+				sh.entries[n.entry].Store(0)
+				break
+			}
+		}
+	}
+}

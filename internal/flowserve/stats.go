@@ -1,0 +1,65 @@
+package flowserve
+
+import "halo/internal/stats"
+
+// TableStats aggregates the per-shard operation counters. Reader-side
+// counters (Lookups, Hits, Retries, LockFallbacks) are updated with atomics
+// on the serving path, so a snapshot taken under load is a consistent-enough
+// monotonic view, exact when quiescent.
+type TableStats struct {
+	Lookups       uint64
+	Hits          uint64
+	Misses        uint64
+	Retries       uint64 // seqlock revalidation failures (discarded probes)
+	LockFallbacks uint64 // optimistic attempts exhausted → locked probe
+	Inserts       uint64
+	InsertExists  uint64
+	InsertFull    uint64
+	Updates       uint64
+	Deletes       uint64
+	Displacements uint64
+	BatchCalls    uint64 // per-shard groups served by LookupMany
+	BatchKeys     uint64
+}
+
+// Stats sums the counters across shards.
+func (t *Table) Stats() TableStats {
+	var s TableStats
+	for _, sh := range t.shards {
+		s.Lookups += sh.c.lookups.Load()
+		s.Hits += sh.c.hits.Load()
+		s.Retries += sh.c.retries.Load()
+		s.LockFallbacks += sh.c.fallbacks.Load()
+		s.Inserts += sh.c.inserts.Load()
+		s.InsertExists += sh.c.insertExists.Load()
+		s.InsertFull += sh.c.insertFull.Load()
+		s.Updates += sh.c.updates.Load()
+		s.Deletes += sh.c.deletes.Load()
+		s.Displacements += sh.c.displacements.Load()
+		s.BatchCalls += sh.c.batches.Load()
+		s.BatchKeys += sh.c.batchKeys.Load()
+	}
+	s.Misses = s.Lookups - s.Hits
+	return s
+}
+
+// CollectInto publishes the table's counters into a snapshot under the
+// flowserve.* names, following the repo-wide CollectInto convention.
+func (t *Table) CollectInto(snap *stats.Snapshot) {
+	s := t.Stats()
+	snap.Add("flowserve.shards", uint64(len(t.shards)))
+	snap.Add("flowserve.size", t.Size())
+	snap.Add("flowserve.lookups", s.Lookups)
+	snap.Add("flowserve.hits", s.Hits)
+	snap.Add("flowserve.misses", s.Misses)
+	snap.Add("flowserve.lookup.retries", s.Retries)
+	snap.Add("flowserve.lookup.lock_fallbacks", s.LockFallbacks)
+	snap.Add("flowserve.inserts", s.Inserts)
+	snap.Add("flowserve.insert.exists", s.InsertExists)
+	snap.Add("flowserve.insert.full", s.InsertFull)
+	snap.Add("flowserve.updates", s.Updates)
+	snap.Add("flowserve.deletes", s.Deletes)
+	snap.Add("flowserve.displacements", s.Displacements)
+	snap.Add("flowserve.batch.calls", s.BatchCalls)
+	snap.Add("flowserve.batch.keys", s.BatchKeys)
+}

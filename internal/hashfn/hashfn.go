@@ -95,6 +95,18 @@ func BucketPair(primaryHash uint64, bucketCount uint64) (b1, b2 uint64) {
 	return b1, alt
 }
 
+// ShardIndex derives a shard index in [0, shards) from the primary hash for
+// tables partitioned across independent sub-tables (HALO places one
+// accelerator per LLC slice; the flowserve runtime places one seqlock-guarded
+// sub-table per shard). shards must be a power of two, at most 1<<24. The
+// index comes from bits 24..47 of the hash — disjoint from both the bucket
+// index (low bits; a shard's table is far smaller than 2^24 buckets) and the
+// signature (top 16 bits) — so sharding skews neither per-shard bucket
+// occupancy nor signature entropy within a shard.
+func ShardIndex(primaryHash uint64, shards uint64) uint64 {
+	return (primaryHash >> 24) & (shards - 1)
+}
+
 // AltBucket computes the alternative bucket for an entry given its current
 // bucket and signature. The XOR displacement depends only on the signature,
 // which makes AltBucket an involution: AltBucket(AltBucket(b, s), s) == b.

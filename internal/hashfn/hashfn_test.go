@@ -127,6 +127,52 @@ func TestBucketDistributionUniform(t *testing.T) {
 	}
 }
 
+func TestShardIndexDistributionUniform(t *testing.T) {
+	const shards = 16
+	counts := make([]int, shards)
+	const draws = 16 * 1000
+	for i := 0; i < draws; i++ {
+		s := ShardIndex(Hash64(SeedPrimary, uint64(i)), shards)
+		if s >= shards {
+			t.Fatalf("shard index %d out of range", s)
+		}
+		counts[s]++
+	}
+	for s, c := range counts {
+		if c < 800 || c > 1200 {
+			t.Fatalf("shard %d got %d draws, want ~1000", s, c)
+		}
+	}
+}
+
+func TestShardIndexIndependentOfBucketAndSignature(t *testing.T) {
+	// Keys pinned to one shard must still spread over buckets and keep full
+	// signature entropy: the three index fields read disjoint hash bits.
+	const shards = 8
+	const buckets = 256
+	bucketCounts := make([]int, buckets)
+	sigs := make(map[uint16]bool)
+	drawn := 0
+	for i := 0; drawn < 32*1000; i++ {
+		h := Hash64(SeedPrimary, uint64(i))
+		if ShardIndex(h, shards) != 3 {
+			continue
+		}
+		drawn++
+		b1, _ := BucketPair(h, buckets)
+		bucketCounts[b1]++
+		sigs[Signature(h)] = true
+	}
+	for b, c := range bucketCounts {
+		if c < 60 || c > 190 { // expect 125 per bucket
+			t.Fatalf("bucket %d got %d single-shard draws, want ~125", b, c)
+		}
+	}
+	if len(sigs) < 20000 {
+		t.Fatalf("single-shard keys produced only %d distinct signatures", len(sigs))
+	}
+}
+
 func TestHashCollisionRateLow(t *testing.T) {
 	seen := make(map[uint64]bool, 1<<16)
 	collisions := 0

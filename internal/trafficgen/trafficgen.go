@@ -165,10 +165,14 @@ func (w *Workload) buildZipf(s float64) {
 // NextFlow draws the next packet's flow index from the popularity
 // distribution.
 func (w *Workload) NextFlow() int {
+	return w.nextFlow(w.rng)
+}
+
+func (w *Workload) nextFlow(rng *sim.Rand) int {
 	if w.cdf == nil {
-		return w.rng.Intn(len(w.Flows))
+		return rng.Intn(len(w.Flows))
 	}
-	x := w.rng.Float64()
+	x := rng.Float64()
 	lo, hi := 0, len(w.cdf)-1
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -179,6 +183,36 @@ func (w *Workload) NextFlow() int {
 		}
 	}
 	return w.perm[lo]
+}
+
+// Stream draws flows from a workload's popularity distribution with its own
+// RNG. The workload's flow population, CDF and permutation are immutable
+// after Generate, so any number of streams can draw from one workload
+// concurrently — one stream per load-generator goroutine.
+type Stream struct {
+	w   *Workload
+	rng *sim.Rand
+}
+
+// NewStream returns an independent, deterministic draw stream over the
+// workload (distinct seeds give distinct packet interleavings).
+func (w *Workload) NewStream(seed uint64) *Stream {
+	return &Stream{w: w, rng: sim.NewRand(seed)}
+}
+
+// NextFlow draws the stream's next flow index.
+func (s *Stream) NextFlow() int { return s.w.nextFlow(s.rng) }
+
+// NextPacket materialises the stream's next packet.
+func (s *Stream) NextPacket() (packet.Packet, int) {
+	fi := s.NextFlow()
+	f := s.w.Flows[fi]
+	return packet.Packet{
+		SrcIP: f.SrcIP, DstIP: f.DstIP,
+		SrcPort: f.SrcPort, DstPort: f.DstPort,
+		Proto:        f.Proto,
+		PayloadBytes: 22,
+	}, fi
 }
 
 // NextPacket materialises the next packet of the stream.

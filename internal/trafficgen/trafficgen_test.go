@@ -104,6 +104,54 @@ func TestNextPacketMatchesFlow(t *testing.T) {
 	}
 }
 
+func TestStreamsIndependentAndDeterministic(t *testing.T) {
+	w := Generate(Scenario{Name: "x", Flows: 5000, Rules: 2, Popularity: Zipf}, 23)
+	// Same seed → identical stream; the stream draws do not disturb the
+	// workload's own RNG or another stream.
+	a1, a2, b := w.NewStream(100), w.NewStream(100), w.NewStream(200)
+	wantWorkload := make([]int, 50)
+	for i := range wantWorkload {
+		wantWorkload[i] = w.NextFlow()
+	}
+	sawDiff := false
+	for i := 0; i < 500; i++ {
+		fa := a1.NextFlow()
+		if fa != a2.NextFlow() {
+			t.Fatal("same-seed streams diverged")
+		}
+		if fa != b.NextFlow() {
+			sawDiff = true
+		}
+		if fa < 0 || fa >= len(w.Flows) {
+			t.Fatalf("stream drew out-of-range flow %d", fa)
+		}
+	}
+	if !sawDiff {
+		t.Fatal("different-seed streams produced identical draws")
+	}
+	w2 := Generate(Scenario{Name: "x", Flows: 5000, Rules: 2, Popularity: Zipf}, 23)
+	s := w2.NewStream(999)
+	for i := 0; i < 200; i++ {
+		s.NextFlow()
+	}
+	for i := range wantWorkload {
+		if got := w2.NextFlow(); got != wantWorkload[i] {
+			t.Fatal("stream draws disturbed the workload's own RNG sequence")
+		}
+	}
+}
+
+func TestStreamPacketMatchesFlow(t *testing.T) {
+	w := Generate(Scenario{Name: "x", Flows: 50, Rules: 2, Popularity: Uniform}, 17)
+	s := w.NewStream(3)
+	for i := 0; i < 200; i++ {
+		p, fi := s.NextPacket()
+		if p.Key() != w.Flows[fi] {
+			t.Fatalf("stream packet key %v != flow %v", p.Key(), w.Flows[fi])
+		}
+	}
+}
+
 func TestPaperScenariosShape(t *testing.T) {
 	scns := PaperScenarios()
 	if len(scns) != 5 {

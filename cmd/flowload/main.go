@@ -1,18 +1,28 @@
 // Command flowload drives the flowserve runtime with live goroutine traffic
 // — the serving-side counterpart of halobench's simulated experiments. It
-// installs a trafficgen flow population into a sharded table, then hammers
-// it from concurrent workers drawing uniform or Zipf flow mixes (plus an
-// optional churn of concurrent inserts/deletes), and reports throughput and
-// batch-latency quantiles per shard count.
+// installs a trafficgen flow population, then hammers it from concurrent
+// workers drawing uniform or Zipf flow mixes (plus an optional churn of
+// concurrent inserts/deletes), and reports throughput and batch-latency
+// quantiles per sweep point.
+//
+// The load loop drives a flowserve.Reader/flowserve.Writer pair and does not
+// care what implements them: by default an in-process *flowserve.Table
+// (sweeping shard counts), with -remote a flowwire.Client speaking the wire
+// protocol to a flowserved instance (sweeping connection counts). Same
+// workers, same verification, same document schema either way.
 //
 // Usage:
 //
-//	flowload                                  # default sweep (1,2,4,8 shards × uniform,zipf)
+//	flowload                                  # default local sweep (1,2,4,8 shards × uniform,zipf)
 //	flowload -flows 200000 -ops 5000000       # bigger table, longer run
-//	flowload -shards 1,16 -mix uniform        # specific points
+//	flowload -shards 1,16 -mix uniform        # specific local points
+//	flowload -remote 127.0.0.1:7411           # drive a flowserved over TCP
+//	flowload -remote :7411 -conns 1,2,4       # sweep client connection counts
 //	flowload -json BENCH_serve.json           # write the halo-bench/v1 document
-//	flowload -check                           # exit non-zero unless max-shard uniform
-//	                                          # throughput beats 1-shard
+//	flowload -check                           # local: fail unless max-shard uniform
+//	                                          #   throughput beats 1-shard
+//	                                          # remote: fail unless the server's lookup
+//	                                          #   counter balances every issued key
 //	flowload -smoke                           # small fast settings for CI
 //
 // Every lookup is verified against the installed flow population: a wrong
@@ -28,14 +38,14 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"halo/internal/benchjson"
 	"halo/internal/flowserve"
+	"halo/internal/flowwire"
+	"halo/internal/listflag"
 	"halo/internal/packet"
 	"halo/internal/stats"
 	"halo/internal/trafficgen"
@@ -45,40 +55,59 @@ func main() {
 	var (
 		flows    = flag.Int("flows", 100_000, "flow population size")
 		mixFlag  = flag.String("mix", "uniform,zipf", "comma-separated flow mixes (uniform, zipf)")
-		shardsFl = flag.String("shards", "1,2,4,8", "comma-separated shard counts to sweep")
+		shardsFl = flag.String("shards", "1,2,4,8", "comma-separated shard counts to sweep (local mode)")
+		connsFl  = flag.String("conns", "1,2,4", "comma-separated client connection counts to sweep (remote mode)")
+		remote   = flag.String("remote", "", "flowserved address; sweep -conns against it instead of local -shards")
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent load-generator goroutines")
 		ops      = flag.Int64("ops", 2_000_000, "total lookups per sweep point")
-		batch    = flag.Int("batch", 16, "keys per LookupMany call (1 = single-key Lookup)")
+		batch    = flag.Int("batch", 16, "keys per LookupMany call")
 		churn    = flag.Int("churn", 64, "issue one delete+reinsert per this many lookups per worker (0 = read-only)")
 		seed     = flag.Uint64("seed", 0x464c4f57, "workload seed")
 		jsonPath = flag.String("json", "", "write the halo-bench/v1 document to this file")
-		check    = flag.Bool("check", false, "fail unless uniform throughput at max shards beats 1 shard")
+		check    = flag.Bool("check", false, "fail the scaling gate (local) or the zero-loss gate (remote)")
 		smoke    = flag.Bool("smoke", false, "small fast settings for CI (overrides -flows/-ops)")
 	)
 	flag.Parse()
 
-	workersSet := false
+	workersSet, shardsSet := false, false
 	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "workers" {
+		switch f.Name {
+		case "workers":
 			workersSet = true
+		case "shards":
+			shardsSet = true
 		}
 	})
 	if *smoke {
 		*flows = 20_000
 		*ops = 400_000
+		if *remote != "" {
+			// Remote smoke pays a round trip per batch; keep CI fast.
+			*ops = 150_000
+		}
 		if !workersSet {
 			// Always run with real concurrency, even on small CI boxes:
 			// the point of smoke is exercising the concurrent read path.
 			*workers = 4
 		}
 	}
-	shardCounts, err := parseInts(*shardsFl)
+	mixes, err := listflag.Enum("mix", *mixFlag, "uniform", "zipf")
 	if err != nil {
-		fatalf("bad -shards: %v", err)
+		fatalf("%v", err)
 	}
-	mixes := strings.Split(*mixFlag, ",")
+	shardCounts, err := listflag.PositiveInts("shards", *shardsFl)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	connCounts, err := listflag.PositiveInts("conns", *connsFl)
+	if err != nil {
+		fatalf("%v", err)
+	}
 	if *workers < 1 || *batch < 1 || *ops < 1 || *flows < 1 {
 		fatalf("-workers, -batch, -ops and -flows must be positive")
+	}
+	if *remote != "" && shardsSet {
+		fmt.Fprintln(os.Stderr, "flowload: -shards is ignored with -remote (shard count is fixed server-side)")
 	}
 
 	doc := &benchjson.Document{
@@ -91,63 +120,21 @@ func main() {
 	fmt.Printf("%-34s %10s %12s %10s %10s %10s %10s\n",
 		"point", "lookups", "Mlookups/s", "p50-us", "p95-us", "p99-us", "retries")
 
-	// throughput[mix][shards] for the -check gate.
-	throughput := map[string]map[int]float64{}
-
-	for _, mix := range mixes {
-		pop, err := popularityOf(mix)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		scn := trafficgen.Scenario{Name: "serve-" + mix, Flows: *flows, Rules: 1, Popularity: pop}
-		w := trafficgen.Generate(scn, *seed)
-		keys := buildKeys(w)
-		for _, sc := range shardCounts {
-			res := runPoint(w, keys, pointConfig{
-				shards:  sc,
-				workers: *workers,
-				ops:     *ops,
-				batch:   *batch,
-				churn:   *churn,
-				seed:    *seed,
-			})
-			if res.wrongValues > 0 {
-				fatalf("%s/shards=%d: %d lookups returned a wrong value", mix, sc, res.wrongValues)
-			}
-			if *churn == 0 && res.misses > 0 {
-				fatalf("%s/shards=%d: %d misses in a read-only run", mix, sc, res.misses)
-			}
-			name := fmt.Sprintf("FlowServe/mix=%s/shards=%d", mix, sc)
-			mlps := res.lookupsPerSec / 1e6
-			fmt.Printf("%-34s %10d %12.2f %10.1f %10.1f %10.1f %10d\n",
-				name, res.lookups, mlps,
-				float64(res.hist.Quantile(0.50))/1e3/float64(*batch),
-				float64(res.hist.Quantile(0.95))/1e3/float64(*batch),
-				float64(res.hist.Quantile(0.99))/1e3/float64(*batch),
-				res.stats.Retries)
-			if throughput[mix] == nil {
-				throughput[mix] = map[int]float64{}
-			}
-			throughput[mix][sc] = res.lookupsPerSec
-			doc.Benchmarks = append(doc.Benchmarks, benchjson.Benchmark{
-				Name:       name,
-				Procs:      *workers,
-				Iterations: res.lookups,
-				Metrics: map[string]float64{
-					"ns/op":          1e9 / res.lookupsPerSec,
-					"lookups/sec":    res.lookupsPerSec,
-					"p50-batch-ns":   float64(res.hist.Quantile(0.50)),
-					"p95-batch-ns":   float64(res.hist.Quantile(0.95)),
-					"p99-batch-ns":   float64(res.hist.Quantile(0.99)),
-					"batch":          float64(*batch),
-					"misses":         float64(res.misses),
-					"retries":        float64(res.stats.Retries),
-					"lock-fallbacks": float64(res.stats.LockFallbacks),
-					"churn-writes":   float64(res.stats.Deletes),
-					"fill-ns/op":     res.fillNsPerOp,
-				},
-			})
-		}
+	cfg := sweepConfig{
+		flows:   *flows,
+		mixes:   mixes,
+		workers: *workers,
+		ops:     *ops,
+		batch:   *batch,
+		churn:   *churn,
+		seed:    *seed,
+		check:   *check,
+		doc:     doc,
+	}
+	if *remote != "" {
+		runRemoteSweep(cfg, *remote, connCounts)
+	} else {
+		runLocalSweep(cfg, shardCounts)
 	}
 
 	if *jsonPath != "" {
@@ -163,61 +150,218 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "serve document: %s (%d bytes)\n", *jsonPath, len(data))
 	}
+}
 
-	if *check {
-		tp, ok := throughput["uniform"]
-		if !ok {
-			fatalf("-check needs the uniform mix in -mix")
-		}
-		lo, hi := shardCounts[0], shardCounts[0]
+type sweepConfig struct {
+	flows   int
+	mixes   []string
+	workers int
+	ops     int64
+	batch   int
+	churn   int
+	seed    uint64
+	check   bool
+	doc     *benchjson.Document
+}
+
+// runLocalSweep builds one in-process table per (mix, shards) point and
+// drives it through the serving interfaces.
+func runLocalSweep(cfg sweepConfig, shardCounts []int) {
+	// throughput[mix][shards] for the -check gate.
+	throughput := map[string]map[int]float64{}
+	for _, mix := range cfg.mixes {
+		w, keys := buildWorkload(mix, cfg.flows, cfg.seed)
 		for _, sc := range shardCounts {
-			if sc < lo {
-				lo = sc
+			// ~12% slot headroom: shard assignment is by hash, so per-shard
+			// occupancy varies around flows/shards.
+			entries := uint64(len(keys)) + uint64(len(keys))/8 + 1024
+			tbl, err := flowserve.New(flowserve.Config{
+				Shards:  sc,
+				Entries: entries,
+				KeyLen:  packet.HeaderKeyLen,
+			})
+			if err != nil {
+				fatalf("New: %v", err)
 			}
-			if sc > hi {
-				hi = sc
+			be := backend{r: tbl, w: tbl, reader: func() flowserve.Reader {
+				return tbl.NewPinnedReader()
+			}, counters: func() map[string]uint64 {
+				snap := stats.NewSnapshot()
+				tbl.CollectInto(snap)
+				return snap.Counters
+			}}
+			fillNs := install(be, keys, 1)
+			res := runPoint(w, keys, be, pointConfig{
+				workers: cfg.workers,
+				ops:     cfg.ops,
+				batch:   cfg.batch,
+				churn:   cfg.churn,
+				seed:    cfg.seed,
+			})
+			res.fillNsPerOp = fillNs
+			name := fmt.Sprintf("FlowServe/mix=%s/shards=%d", mix, sc)
+			emit(cfg, name, res)
+			if throughput[mix] == nil {
+				throughput[mix] = map[int]float64{}
 			}
-		}
-		if lo == hi {
-			fatalf("-check needs at least two shard counts in -shards")
-		}
-		ratio := tp[hi] / tp[lo]
-		fmt.Fprintf(os.Stderr, "check: uniform throughput %d shards / %d shards = %.2fx\n", hi, lo, ratio)
-		if runtime.NumCPU() == 1 {
-			// One core: goroutines time-slice, so sharding cannot yield a
-			// wall-clock speedup — the parallel-scaling assertion is vacuous.
-			// Assert the weaker invariant that sharding costs no more than
-			// half the throughput (per-shard overhead stays bounded).
-			fmt.Fprintf(os.Stderr, "check: single CPU — skipping speedup assertion, requiring ratio > 0.5\n")
-			if ratio <= 0.5 {
-				fatalf("check failed: %d-shard throughput (%.0f/s) under half of %d-shard (%.0f/s) on one CPU",
-					hi, tp[hi], lo, tp[lo])
-			}
-		} else if ratio <= 1.0 {
-			fatalf("check failed: %d-shard throughput (%.0f/s) does not beat %d-shard (%.0f/s)",
-				hi, tp[hi], lo, tp[lo])
+			throughput[mix][sc] = res.lookupsPerSec
 		}
 	}
+	if cfg.check {
+		checkLocalScaling(throughput, shardCounts)
+	}
+}
+
+// runRemoteSweep drives a flowserved instance: one flow population install
+// per mix (shared by all -conns points), one fresh client pool per point.
+// With -check it closes the ledger: every key the workers issued must appear
+// in the server's flowserve.lookups counter — a lookup dropped anywhere in
+// the pipeline (client pool, wire, coalescer, batch) breaks the equality.
+func runRemoteSweep(cfg sweepConfig, addr string, connCounts []int) {
+	setup := dialRetry(addr, flowwire.Options{Conns: 2}, 10*time.Second)
+	defer setup.Close()
+	hello := setup.Hello()
+	if hello.KeyLen != packet.HeaderKeyLen {
+		fatalf("server key length %d, want %d (packet header keys)", hello.KeyLen, packet.HeaderKeyLen)
+	}
+	if hello.Capacity < uint64(cfg.flows)+uint64(cfg.flows)/8 {
+		fatalf("server capacity %d too small for %d flows", hello.Capacity, cfg.flows)
+	}
+	fmt.Fprintf(os.Stderr, "flowload: remote %s (shards=%d capacity=%d keylen=%d)\n",
+		addr, hello.Shards, hello.Capacity, hello.KeyLen)
+
+	baseline, err := setup.Stats()
+	if err != nil {
+		fatalf("stats: %v", err)
+	}
+
+	var issuedTotal int64
+	for _, mix := range cfg.mixes {
+		w, keys := buildWorkload(mix, cfg.flows, cfg.seed)
+		fillNs := install(backend{w: setup}, keys, 8)
+		for _, nc := range connCounts {
+			cl := dialRetry(addr, flowwire.Options{Conns: nc}, 10*time.Second)
+			before, err := cl.Stats()
+			if err != nil {
+				fatalf("stats: %v", err)
+			}
+			res := runPoint(w, keys, backend{r: cl, w: cl, counters: func() map[string]uint64 {
+				after, err := cl.Stats()
+				if err != nil {
+					fatalf("stats: %v", err)
+				}
+				return counterDelta(before, after)
+			}}, pointConfig{
+				workers: cfg.workers,
+				ops:     cfg.ops,
+				batch:   cfg.batch,
+				churn:   cfg.churn,
+				seed:    cfg.seed,
+			})
+			if err := cl.Err(); err != nil {
+				fatalf("remote/mix=%s/conns=%d: client transport error: %v", mix, nc, err)
+			}
+			cl.Close()
+			res.fillNsPerOp = fillNs
+			issuedTotal += res.lookups
+			emit(cfg, fmt.Sprintf("FlowServe/remote/mix=%s/conns=%d", mix, nc), res)
+		}
+		// Different mixes draw different flow populations; colliding keys
+		// would carry stale values, so clear this mix before the next.
+		uninstall(backend{w: setup}, keys, 8)
+	}
+
+	if cfg.check {
+		final, err := setup.Stats()
+		if err != nil {
+			fatalf("stats: %v", err)
+		}
+		served := int64(final["flowserve.lookups"] - baseline["flowserve.lookups"])
+		fmt.Fprintf(os.Stderr, "check: issued %d key lookups, server served %d\n", issuedTotal, served)
+		if served != issuedTotal {
+			fatalf("check failed: server lookup ledger off by %d (issued %d, served %d)",
+				served-issuedTotal, issuedTotal, served)
+		}
+		if err := setup.Err(); err != nil {
+			fatalf("check failed: setup client transport error: %v", err)
+		}
+	}
+}
+
+func checkLocalScaling(throughput map[string]map[int]float64, shardCounts []int) {
+	tp, ok := throughput["uniform"]
+	if !ok {
+		fatalf("-check needs the uniform mix in -mix")
+	}
+	lo, hi := shardCounts[0], shardCounts[0]
+	for _, sc := range shardCounts {
+		if sc < lo {
+			lo = sc
+		}
+		if sc > hi {
+			hi = sc
+		}
+	}
+	if lo == hi {
+		fatalf("-check needs at least two shard counts in -shards")
+	}
+	ratio := tp[hi] / tp[lo]
+	fmt.Fprintf(os.Stderr, "check: uniform throughput %d shards / %d shards = %.2fx\n", hi, lo, ratio)
+	if runtime.NumCPU() == 1 {
+		// One core: goroutines time-slice, so sharding cannot yield a
+		// wall-clock speedup — the parallel-scaling assertion is vacuous.
+		// Assert the weaker invariant that sharding costs no more than
+		// half the throughput (per-shard overhead stays bounded).
+		fmt.Fprintf(os.Stderr, "check: single CPU — skipping speedup assertion, requiring ratio > 0.5\n")
+		if ratio <= 0.5 {
+			fatalf("check failed: %d-shard throughput (%.0f/s) under half of %d-shard (%.0f/s) on one CPU",
+				hi, tp[hi], lo, tp[lo])
+		}
+	} else if ratio <= 1.0 {
+		fatalf("check failed: %d-shard throughput (%.0f/s) does not beat %d-shard (%.0f/s)",
+			hi, tp[hi], lo, tp[lo])
+	}
+}
+
+// emit validates a point result, prints its table row, and appends its
+// benchmark document entry. Shared verbatim by local and remote sweeps.
+func emit(cfg sweepConfig, name string, res pointResult) {
+	if res.wrongValues > 0 {
+		fatalf("%s: %d lookups returned a wrong value", name, res.wrongValues)
+	}
+	if cfg.churn == 0 && res.misses > 0 {
+		fatalf("%s: %d misses in a read-only run", name, res.misses)
+	}
+	mlps := res.lookupsPerSec / 1e6
+	fmt.Printf("%-34s %10d %12.2f %10.1f %10.1f %10.1f %10d\n",
+		name, res.lookups, mlps,
+		float64(res.hist.Quantile(0.50))/1e3/float64(cfg.batch),
+		float64(res.hist.Quantile(0.95))/1e3/float64(cfg.batch),
+		float64(res.hist.Quantile(0.99))/1e3/float64(cfg.batch),
+		res.retries)
+	cfg.doc.Benchmarks = append(cfg.doc.Benchmarks, benchjson.Benchmark{
+		Name:       name,
+		Procs:      cfg.workers,
+		Iterations: res.lookups,
+		Metrics: map[string]float64{
+			"ns/op":          1e9 / res.lookupsPerSec,
+			"lookups/sec":    res.lookupsPerSec,
+			"p50-batch-ns":   float64(res.hist.Quantile(0.50)),
+			"p95-batch-ns":   float64(res.hist.Quantile(0.95)),
+			"p99-batch-ns":   float64(res.hist.Quantile(0.99)),
+			"batch":          float64(cfg.batch),
+			"misses":         float64(res.misses),
+			"retries":        float64(res.retries),
+			"lock-fallbacks": float64(res.lockFallbacks),
+			"churn-writes":   float64(res.deletes),
+			"fill-ns/op":     res.fillNsPerOp,
+		},
+	})
 }
 
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "flowload: "+format+"\n", args...)
 	os.Exit(1)
-}
-
-func parseInts(s string) ([]int, error) {
-	var out []int
-	for _, f := range strings.Split(s, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, n)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("empty list")
-	}
-	return out, nil
 }
 
 func popularityOf(mix string) (trafficgen.Popularity, error) {
@@ -230,9 +374,16 @@ func popularityOf(mix string) (trafficgen.Popularity, error) {
 	return 0, fmt.Errorf("unknown mix %q (want uniform or zipf)", mix)
 }
 
-// buildKeys packs every flow's header key into one arena; key i aliases the
-// arena, so workers share it read-only.
-func buildKeys(w *trafficgen.Workload) [][]byte {
+// buildWorkload generates the flow population for a mix and packs every
+// flow's header key into one arena; key i aliases the arena, so workers
+// share it read-only.
+func buildWorkload(mix string, flows int, seed uint64) (*trafficgen.Workload, [][]byte) {
+	pop, err := popularityOf(mix)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	scn := trafficgen.Scenario{Name: "serve-" + mix, Flows: flows, Rules: 1, Popularity: pop}
+	w := trafficgen.Generate(scn, seed)
 	arena := make([]byte, len(w.Flows)*packet.HeaderKeyLen)
 	keys := make([][]byte, len(w.Flows))
 	for i, f := range w.Flows {
@@ -240,11 +391,68 @@ func buildKeys(w *trafficgen.Workload) [][]byte {
 		f.PutHeaderKey(k)
 		keys[i] = k
 	}
-	return keys
+	return w, keys
+}
+
+// backend is one sweep point's serving endpoint: the redesigned
+// flowserve.Reader/Writer pair plus a counters hook for point metrics.
+// Local points put a *flowserve.Table in both seats; remote points a
+// *flowwire.Client. reader, when set, yields a per-worker Reader (local
+// workers pin their batch scratch via NewPinnedReader; remote workers
+// share the client, whose connections multiplex).
+type backend struct {
+	r        flowserve.Reader
+	w        flowserve.Writer
+	reader   func() flowserve.Reader
+	counters func() map[string]uint64
+}
+
+// workerReader returns the Reader one worker goroutine should loop on.
+func (be backend) workerReader() flowserve.Reader {
+	if be.reader != nil {
+		return be.reader()
+	}
+	return be.r
+}
+
+// install writes the flow population through the backend's Writer across
+// par goroutines (striped; remote installs pay a round trip per insert, so
+// parallelism matters there) and returns the per-insert wall time in ns.
+func install(be backend, keys [][]byte, par int) float64 {
+	start := time.Now()
+	var wg sync.WaitGroup
+	for p := 0; p < par; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := p; i < len(keys); i += par {
+				if err := be.w.Insert(keys[i], valueOf(i)); err != nil {
+					fatalf("install flow %d: %v", i, err)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	return float64(time.Since(start).Nanoseconds()) / float64(len(keys))
+}
+
+// uninstall deletes the population (between remote mixes, whose key sets
+// may collide with different values).
+func uninstall(be backend, keys [][]byte, par int) {
+	var wg sync.WaitGroup
+	for p := 0; p < par; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := p; i < len(keys); i += par {
+				be.w.Delete(keys[i])
+			}
+		}(p)
+	}
+	wg.Wait()
 }
 
 type pointConfig struct {
-	shards  int
 	workers int
 	ops     int64
 	batch   int
@@ -259,35 +467,19 @@ type pointResult struct {
 	misses        int64
 	wrongValues   int64
 	hist          *stats.Histogram // per-LookupMany-call latency, ns
-	stats         flowserve.TableStats
+	retries       uint64           // seqlock retries during the point
+	lockFallbacks uint64
+	deletes       uint64 // churn writes during the point
 }
 
 // valueOf is the value installed for flow index i (never zero).
 func valueOf(i int) uint64 { return uint64(i) + 1 }
 
-// runPoint builds a table with the given shard count, installs the flow
-// population, and serves cfg.ops lookups from cfg.workers goroutines.
-func runPoint(w *trafficgen.Workload, keys [][]byte, cfg pointConfig) pointResult {
-	// ~12% slot headroom: shard assignment is by hash, so per-shard
-	// occupancy varies around flows/shards.
-	entries := uint64(len(keys)) + uint64(len(keys))/8 + 1024
-	tbl, err := flowserve.New(flowserve.Config{
-		Shards:  cfg.shards,
-		Entries: entries,
-		KeyLen:  packet.HeaderKeyLen,
-	})
-	if err != nil {
-		fatalf("New: %v", err)
-	}
-
-	fillStart := time.Now()
-	for i, k := range keys {
-		if err := tbl.Insert(k, valueOf(i)); err != nil {
-			fatalf("install flow %d: %v", i, err)
-		}
-	}
-	fillNs := float64(time.Since(fillStart).Nanoseconds()) / float64(len(keys))
-
+// runPoint serves cfg.ops lookups from cfg.workers goroutines through the
+// backend's Reader, with churn through its Writer. The loop is identical
+// for local tables and remote clients — that is the point of the interface.
+func runPoint(w *trafficgen.Workload, keys [][]byte, be backend, cfg pointConfig) pointResult {
+	countersBefore := be.counters()
 	var (
 		issued  atomic.Int64 // lookups claimed by workers
 		misses  atomic.Int64
@@ -301,13 +493,12 @@ func runPoint(w *trafficgen.Workload, keys [][]byte, cfg pointConfig) pointResul
 		wg.Add(1)
 		go func(wi int) {
 			defer wg.Done()
+			rd := be.workerReader()
 			stream := w.NewStream(cfg.seed ^ (0x57AB1E + uint64(wi)*0x9e3779b97f4a7c15))
 			churnStream := w.NewStream(cfg.seed ^ (0xC0FFEE + uint64(wi)*0xc2b2ae3d27d4eb4f))
-			batch := tbl.NewBatch()
 			bkeys := make([][]byte, cfg.batch)
 			bidx := make([]int, cfg.batch)
-			values := make([]uint64, cfg.batch)
-			oks := make([]bool, cfg.batch)
+			results := make([]flowserve.Result, cfg.batch)
 			hist := stats.NewHistogram()
 			sinceChurn := 0
 			for {
@@ -320,12 +511,12 @@ func runPoint(w *trafficgen.Workload, keys [][]byte, cfg pointConfig) pointResul
 					bkeys[j] = keys[fi]
 				}
 				t0 := time.Now()
-				batch.LookupMany(bkeys, values, oks)
+				rd.LookupMany(bkeys, results)
 				hist.Observe(uint64(time.Since(t0).Nanoseconds()))
 				for j := 0; j < cfg.batch; j++ {
-					if !oks[j] {
+					if !results[j].OK {
 						misses.Add(1) // transient: the flow was churned out
-					} else if values[j] != valueOf(bidx[j]) {
+					} else if results[j].Value != valueOf(bidx[j]) {
 						wrong.Add(1)
 					}
 				}
@@ -333,10 +524,10 @@ func runPoint(w *trafficgen.Workload, keys [][]byte, cfg pointConfig) pointResul
 				if cfg.churn > 0 && sinceChurn >= cfg.churn {
 					sinceChurn = 0
 					fi := churnStream.NextFlow()
-					if tbl.Delete(keys[fi]) {
+					if be.w.Delete(keys[fi]) {
 						// Reinstall with the same value; a concurrent reader
 						// sees a consistent miss at worst, never a torn hit.
-						if err := tbl.Insert(keys[fi], valueOf(fi)); err != nil && err != flowserve.ErrKeyExists {
+						if err := be.w.Insert(keys[fi], valueOf(fi)); err != nil && err != flowserve.ErrKeyExists {
 							wrong.Add(1)
 						}
 					}
@@ -350,14 +541,42 @@ func runPoint(w *trafficgen.Workload, keys [][]byte, cfg pointConfig) pointResul
 	wg.Wait()
 	elapsed := time.Since(start)
 
+	delta := counterDelta(countersBefore, be.counters())
 	lookups := allHist.Count() * uint64(cfg.batch)
 	return pointResult{
 		lookups:       int64(lookups),
 		lookupsPerSec: float64(lookups) / elapsed.Seconds(),
-		fillNsPerOp:   fillNs,
 		misses:        misses.Load(),
 		wrongValues:   wrong.Load(),
 		hist:          allHist,
-		stats:         tbl.Stats(),
+		retries:       delta["flowserve.lookup.retries"],
+		lockFallbacks: delta["flowserve.lookup.lock_fallbacks"],
+		deletes:       delta["flowserve.deletes"],
+	}
+}
+
+// counterDelta subtracts two counter snapshots name-wise (missing names
+// count as zero; counters are monotonic so the difference never wraps).
+func counterDelta(before, after map[string]uint64) map[string]uint64 {
+	out := make(map[string]uint64, len(after))
+	for name, v := range after {
+		out[name] = v - before[name]
+	}
+	return out
+}
+
+// dialRetry dials with retries: CI starts flowserved in the background and
+// races it to the first connect, so brief refusals at startup are expected.
+func dialRetry(addr string, opts flowwire.Options, patience time.Duration) *flowwire.Client {
+	deadline := time.Now().Add(patience)
+	for {
+		cl, err := flowwire.Dial(addr, opts)
+		if err == nil {
+			return cl
+		}
+		if time.Now().After(deadline) {
+			fatalf("dial %s: %v", addr, err)
+		}
+		time.Sleep(100 * time.Millisecond)
 	}
 }

@@ -1,0 +1,126 @@
+// Command flowserved serves a flowserve table over TCP using the flowwire
+// protocol (DESIGN.md §9), turning the in-process serving runtime into a
+// network-facing flow-classification service. Remote clients (flowload
+// -remote, or any flowwire.Client) look up, insert, update and delete flows
+// through versioned length-prefixed frames; the server coalesces pipelined
+// lookup frames into shard-grouped batch lookups.
+//
+// Usage:
+//
+//	flowserved                                # listen on 127.0.0.1:7411
+//	flowserved -listen :7411 -shards 8        # all interfaces, 8 shards
+//	flowserved -entries 2000000               # bigger table
+//
+// On SIGTERM/SIGINT the server drains gracefully: it stops accepting
+// connections, unblocks idle readers, answers every frame already accepted,
+// then prints the drain ledger and final counters. The exit status is 0 only
+// when the drain was clean and no accepted frame went unanswered, so a
+// supervisor (or CI) gating on the exit code gets the zero-loss guarantee.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"halo/internal/flowserve"
+	"halo/internal/flowwire"
+	"halo/internal/packet"
+	"halo/internal/stats"
+)
+
+func main() {
+	var (
+		listen       = flag.String("listen", "127.0.0.1:7411", "TCP listen address")
+		shards       = flag.Int("shards", 4, "shard count (power of two)")
+		entries      = flag.Uint64("entries", 1<<20, "total table capacity in entries")
+		keyLen       = flag.Int("keylen", packet.HeaderKeyLen, "fixed key length in bytes")
+		window       = flag.Int("window", 0, "per-connection in-flight frame window (0 = default)")
+		coalesce     = flag.Int("coalesce", 0, "max pipelined lookup frames coalesced per batch (0 = default)")
+		idleTimeout  = flag.Duration("idle-timeout", 0, "per-connection idle read timeout (0 = default)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight work on SIGTERM")
+	)
+	flag.Parse()
+
+	tbl, err := flowserve.New(flowserve.Config{
+		Shards:  *shards,
+		Entries: *entries,
+		KeyLen:  *keyLen,
+	})
+	if err != nil {
+		fatalf("table: %v", err)
+	}
+	srv, err := flowwire.NewServer(flowwire.Config{
+		Table:          tbl,
+		Window:         *window,
+		CoalesceFrames: *coalesce,
+		IdleTimeout:    *idleTimeout,
+	})
+	if err != nil {
+		fatalf("server: %v", err)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe(*listen) }()
+
+	// ListenAndServe binds synchronously before accepting, but we learn the
+	// address only through srv.Addr; poll briefly so the startup line carries
+	// the resolved port (useful with -listen :0).
+	for i := 0; i < 100 && srv.Addr() == nil; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	fmt.Fprintf(os.Stderr, "flowserved: serving on %s (shards=%d entries=%d keylen=%d)\n",
+		srv.Addr(), tbl.Shards(), tbl.Capacity(), tbl.KeyLen())
+
+	select {
+	case err := <-done:
+		// Serve failed on its own (bind error, listener torn down).
+		if err != nil && err != flowwire.ErrServerClosed {
+			fatalf("%v", err)
+		}
+		return
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "flowserved: %v — draining (timeout %v)\n", s, *drainTimeout)
+	}
+
+	report := srv.Drain(*drainTimeout)
+	<-done // Serve returns ErrServerClosed once the listener is down
+
+	snap := stats.NewSnapshot()
+	srv.CollectInto(snap)
+	printCounters(snap)
+	fmt.Fprintf(os.Stderr,
+		"flowserved: drain conns=%d accepted=%d rejected=%d replied=%d lost=%d clean=%v\n",
+		report.Conns, report.FramesAccepted, report.FramesRejected,
+		report.RepliesWritten, report.Lost(), report.Clean)
+
+	if !report.Clean {
+		fatalf("drain timed out with connections still busy")
+	}
+	if report.Lost() != 0 {
+		fatalf("drain lost %d accepted frames", report.Lost())
+	}
+}
+
+func printCounters(snap *stats.Snapshot) {
+	names := make([]string, 0, len(snap.Counters))
+	for n := range snap.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(os.Stderr, "flowserved:   %-32s %d\n", n, snap.Counters[n])
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "flowserved: "+format+"\n", args...)
+	os.Exit(1)
+}

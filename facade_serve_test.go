@@ -1,0 +1,46 @@
+package halo_test
+
+import (
+	"testing"
+
+	"halo"
+)
+
+// TestFacadeServeTable drives the serving layer purely through the unified
+// Reader/Writer interfaces the facade returns — the same code shape a caller
+// would use against a remote flowwire client.
+func TestFacadeServeTable(t *testing.T) {
+	r, w, err := halo.NewServeTable(halo.ServeConfig{Shards: 2, Entries: 1 << 10, KeyLen: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := func(i byte) []byte { return []byte{i, 1, 2, 3, 4, 5, 6, 7} }
+	for i := byte(0); i < 32; i++ {
+		if err := w.Insert(key(i), uint64(i)+100); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if v, ok := r.Lookup(key(7)); !ok || v != 107 {
+		t.Fatalf("Lookup = (%d, %v), want (107, true)", v, ok)
+	}
+	keys := [][]byte{key(1), key(31), key(200)}
+	results := make([]halo.ServeResult, len(keys))
+	if hits := r.LookupMany(keys, results); hits != 2 {
+		t.Fatalf("LookupMany hits = %d, want 2", hits)
+	}
+	if !results[0].OK || results[0].Value != 101 || !results[1].OK || results[1].Value != 131 || results[2].OK {
+		t.Fatalf("LookupMany results = %+v", results)
+	}
+	if !w.Update(key(1), 999) {
+		t.Fatal("Update missed")
+	}
+	if v, _ := r.Lookup(key(1)); v != 999 {
+		t.Fatalf("after Update: %d", v)
+	}
+	if !w.Delete(key(1)) {
+		t.Fatal("Delete missed")
+	}
+	if _, ok := r.Lookup(key(1)); ok {
+		t.Fatal("deleted key still hits")
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"halo/internal/cpu"
 	"halo/internal/cuckoo"
 	"halo/internal/dtree"
+	"halo/internal/flowserve"
 	ihalo "halo/internal/halo"
 	"halo/internal/mem"
 	"halo/internal/nf"
@@ -257,6 +258,42 @@ func (s *System) DMAWrite(addr Addr, data []byte) {
 
 // ReadMemory reads simulated memory functionally (no timing).
 func (s *System) ReadMemory(addr Addr, buf []byte) { s.platform.Space.ReadAt(addr, buf) }
+
+// Serving layer (DESIGN.md §8–9). Unlike everything above, this is not a
+// simulation: ServeTable is the real concurrent sharded flow table that
+// cmd/flowload load-tests and cmd/flowserved exposes over TCP via the
+// flowwire protocol.
+type (
+	// ServeTable is the concurrent sharded serving table (real memory, real
+	// goroutines — the live counterpart of the simulated Table).
+	ServeTable = flowserve.Table
+
+	// ServeConfig sizes a ServeTable.
+	ServeConfig = flowserve.Config
+
+	// ServeResult is one key's outcome in a batched lookup.
+	ServeResult = flowserve.Result
+
+	// ServeReader is the serving read interface (Lookup/LookupMany),
+	// satisfied by *ServeTable in-process and by flowwire.Client over TCP.
+	ServeReader = flowserve.Reader
+
+	// ServeWriter is the serving mutation interface (Insert/Update/Delete),
+	// satisfied by the same two implementations.
+	ServeWriter = flowserve.Writer
+)
+
+// NewServeTable builds a serving table and returns it as the unified
+// Reader/Writer pair, so callers written against the interfaces swap freely
+// between an in-process table and a remote flowwire client (DESIGN.md §9).
+// Both returned values are the same *ServeTable.
+func NewServeTable(cfg ServeConfig) (ServeReader, ServeWriter, error) {
+	t, err := flowserve.New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return t, t, nil
+}
 
 // ClockGHz is the simulated core frequency (paper Table 2).
 const ClockGHz = 2.1

@@ -46,20 +46,19 @@ func (b *Batch) grow(n int) {
 	b.order = b.order[:n]
 }
 
-// LookupMany looks up all keys, writing values[i], oks[i] for each, and
-// returns the number of hits. It is the software analogue of issuing
-// LOOKUP_NB per key and polling completions with SNAPSHOT_READ: an issue
-// pass hashes and routes every key, then each shard's group of keys is
-// probed under a single seqlock window, amortising the read protocol (and
-// its cache-line traffic) over the group.
+// LookupMany looks up all keys, writing results[i] for each, and returns
+// the number of hits. It is the software analogue of issuing LOOKUP_NB per
+// key and polling completions with SNAPSHOT_READ: an issue pass hashes and
+// routes every key, then each shard's group of keys is probed under a
+// single seqlock window, amortising the read protocol (and its cache-line
+// traffic) over the group.
 //
-// Keys of the wrong length are counted misses, as in Lookup. values and oks
-// must be at least len(keys) long.
-func (b *Batch) LookupMany(keys [][]byte, values []uint64, oks []bool) int {
+// Keys of the wrong length are counted misses, as in Lookup. results must
+// be at least len(keys) long.
+func (b *Batch) LookupMany(keys [][]byte, results []Result) int {
 	t := b.t
 	n := len(keys)
-	_ = values[:n]
-	_ = oks[:n]
+	_ = results[:n]
 	b.grow(n)
 
 	// Issue pass: hash, signature, shard and candidate buckets per key.
@@ -110,14 +109,14 @@ func (b *Batch) LookupMany(keys [][]byte, values []uint64, oks []bool) int {
 		if end == start {
 			continue
 		}
-		hits += b.lookupGroup(t.shards[si], order[start:end], values, oks)
+		hits += b.lookupGroup(t.shards[si], order[start:end], results)
 		start = end
 	}
 	if badLen > 0 {
 		t.shards[0].c.lookups.Add(badLen)
 		for i, key := range keys {
 			if len(key) != t.keyLen {
-				values[i], oks[i] = 0, false
+				results[i] = Result{}
 			}
 		}
 	}
@@ -127,7 +126,7 @@ func (b *Batch) LookupMany(keys [][]byte, values []uint64, oks []bool) int {
 // lookupGroup probes one shard's group of keys under a shared seqlock
 // window. If a writer invalidates the window, the whole group re-probes;
 // after maxOptimistic attempts it runs once under the writer lock.
-func (b *Batch) lookupGroup(sh *shard, group []uint32, values []uint64, oks []bool) int {
+func (b *Batch) lookupGroup(sh *shard, group []uint32, results []Result) int {
 	nw := b.t.keyWords
 	sh.c.batches.Add(1)
 	sh.c.batchKeys.Add(uint64(len(group)))
@@ -138,7 +137,7 @@ func (b *Batch) lookupGroup(sh *shard, group []uint32, values []uint64, oks []bo
 		hits = 0
 		for _, i := range group {
 			v, ok := sh.probe(&b.kw[i], nw, b.sig[i], b.b1[i], b.b2[i])
-			values[i], oks[i] = v, ok
+			results[i] = Result{Value: v, OK: ok}
 			if ok {
 				hits++
 			}

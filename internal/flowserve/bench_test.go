@@ -1,0 +1,62 @@
+package flowserve
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// Benchmarks pinning the cost of the two batched-lookup entry points: a
+// caller-pinned Batch (flowload's hot loop via the Reader interface used to
+// pin one per worker) versus Table.LookupMany's pooled scratch. The pool
+// Get/Put must stay in the noise relative to a 16-key batch probe.
+func benchTable(b *testing.B) (*Table, [][]byte) {
+	b.Helper()
+	const n = 1 << 15
+	tbl, err := New(Config{Shards: 4, Entries: n + n/8, KeyLen: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	arena := make([]byte, n*16)
+	keys := make([][]byte, n)
+	for i := range keys {
+		k := arena[i*16 : (i+1)*16]
+		binary.LittleEndian.PutUint64(k, uint64(i)*0x9e3779b97f4a7c15+1)
+		binary.LittleEndian.PutUint64(k[8:], uint64(i))
+		keys[i] = k
+		if err := tbl.Insert(k, uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tbl, keys
+}
+
+func BenchmarkLookupManyPinnedBatch(b *testing.B) {
+	tbl, keys := benchTable(b)
+	batch := tbl.NewBatch()
+	bkeys := make([][]byte, 16)
+	results := make([]Result, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range bkeys {
+			bkeys[j] = keys[(i*16+j*7)%len(keys)]
+		}
+		if batch.LookupMany(bkeys, results) != 16 {
+			b.Fatal("miss on a resident key")
+		}
+	}
+}
+
+func BenchmarkLookupManyPooled(b *testing.B) {
+	tbl, keys := benchTable(b)
+	bkeys := make([][]byte, 16)
+	results := make([]Result, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range bkeys {
+			bkeys[j] = keys[(i*16+j*7)%len(keys)]
+		}
+		if tbl.LookupMany(bkeys, results) != 16 {
+			b.Fatal("miss on a resident key")
+		}
+	}
+}

@@ -86,6 +86,10 @@ type Table struct {
 	shards   []*shard
 	keyLen   int
 	keyWords int
+
+	// batchPool recycles Batch scratch for Table.LookupMany callers that do
+	// not pin their own Batch.
+	batchPool sync.Pool
 }
 
 // New creates an empty table.
@@ -111,6 +115,7 @@ func New(cfg Config) (*Table, error) {
 	for i := range t.shards {
 		t.shards[i] = newShard(perShard, t.keyWords)
 	}
+	t.batchPool = newBatchPool(t)
 	return t, nil
 }
 

@@ -143,20 +143,33 @@ func TestLookupManyMatchesLookup(t *testing.T) {
 		}
 	}
 	b := tbl.NewBatch()
+	pr := tbl.NewPinnedReader()
 	const batchSize = 93 // deliberately not a power of two
 	keys := make([][]byte, batchSize)
-	values := make([]uint64, batchSize)
-	oks := make([]bool, batchSize)
+	results := make([]Result, batchSize)
+	pooled := make([]Result, batchSize)
+	pinned := make([]Result, batchSize)
 	for lo := uint64(0); lo < n+200; lo += batchSize {
 		for j := range keys {
 			keys[j] = key20(lo + uint64(j)*2) // half present, half absent beyond n
 		}
-		hits := b.LookupMany(keys, values, oks)
+		hits := b.LookupMany(keys, results)
+		poolHits := tbl.LookupMany(keys, pooled)
+		pinHits := pr.LookupMany(keys, pinned)
+		if pinHits != poolHits {
+			t.Fatalf("PinnedReader returned %d hits, Table returned %d", pinHits, poolHits)
+		}
 		wantHits := 0
 		for j := range keys {
 			wv, wok := tbl.Lookup(keys[j])
-			if oks[j] != wok || values[j] != wv {
-				t.Fatalf("LookupMany[%d] = (%d,%v), Lookup says (%d,%v)", j, values[j], oks[j], wv, wok)
+			if results[j].OK != wok || results[j].Value != wv {
+				t.Fatalf("LookupMany[%d] = (%d,%v), Lookup says (%d,%v)", j, results[j].Value, results[j].OK, wv, wok)
+			}
+			if pooled[j] != results[j] {
+				t.Fatalf("Table.LookupMany[%d] = %+v, Batch says %+v", j, pooled[j], results[j])
+			}
+			if pinned[j] != results[j] {
+				t.Fatalf("PinnedReader.LookupMany[%d] = %+v, Batch says %+v", j, pinned[j], results[j])
 			}
 			if wok {
 				wantHits++
@@ -164,6 +177,9 @@ func TestLookupManyMatchesLookup(t *testing.T) {
 		}
 		if hits != wantHits {
 			t.Fatalf("LookupMany returned %d hits, want %d", hits, wantHits)
+		}
+		if poolHits != hits {
+			t.Fatalf("Table.LookupMany returned %d hits, Batch returned %d", poolHits, hits)
 		}
 	}
 }
@@ -175,17 +191,16 @@ func TestLookupManyMixedKeyLengths(t *testing.T) {
 	}
 	b := tbl.NewBatch()
 	keys := [][]byte{key20(1), make([]byte, 3), key20(2), nil}
-	values := make([]uint64, len(keys))
-	oks := make([]bool, len(keys))
-	if hits := b.LookupMany(keys, values, oks); hits != 1 {
+	results := make([]Result, len(keys))
+	if hits := b.LookupMany(keys, results); hits != 1 {
 		t.Fatalf("hits = %d, want 1", hits)
 	}
-	if !oks[0] || values[0] != 11 {
-		t.Fatalf("present key = (%d,%v), want (11,true)", values[0], oks[0])
+	if !results[0].OK || results[0].Value != 11 {
+		t.Fatalf("present key = %+v, want (11,true)", results[0])
 	}
 	for _, j := range []int{1, 2, 3} {
-		if oks[j] || values[j] != 0 {
-			t.Fatalf("key %d = (%d,%v), want a miss", j, values[j], oks[j])
+		if results[j] != (Result{}) {
+			t.Fatalf("key %d = %+v, want a miss", j, results[j])
 		}
 	}
 	if s := tbl.Stats(); s.Lookups != 4 {
@@ -196,8 +211,11 @@ func TestLookupManyMixedKeyLengths(t *testing.T) {
 func TestLookupManyEmpty(t *testing.T) {
 	tbl := mustNew(t, Config{Shards: 2, Entries: 128, KeyLen: 20})
 	b := tbl.NewBatch()
-	if hits := b.LookupMany(nil, nil, nil); hits != 0 {
+	if hits := b.LookupMany(nil, nil); hits != 0 {
 		t.Fatalf("empty batch returned %d hits", hits)
+	}
+	if hits := tbl.LookupMany(nil, nil); hits != 0 {
+		t.Fatalf("empty pooled batch returned %d hits", hits)
 	}
 }
 

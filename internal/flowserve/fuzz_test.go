@@ -73,18 +73,17 @@ func applyFuzzOps(t *testing.T, data []byte) {
 			}
 			const span = 8
 			keys := make([][]byte, span)
-			values := make([]uint64, span)
-			oks := make([]bool, span)
+			results := make([]Result, span)
 			for j := 0; j < span; j++ {
 				keys[j] = key20(uint64((mk + uint16(j)) % fuzzKeyUniverse))
 			}
-			batch.LookupMany(keys, values, oks)
+			batch.LookupMany(keys, results)
 			for j := 0; j < span; j++ {
 				wk := (mk + uint16(j)) % fuzzKeyUniverse
 				want, exists := model[wk]
-				if oks[j] != exists || (oks[j] && values[j] != want) {
+				if results[j].OK != exists || (results[j].OK && results[j].Value != want) {
 					t.Fatalf("op %d: LookupMany(key %d) = (%d,%v), model says (%d,%v)",
-						off/4, wk, values[j], oks[j], want, exists)
+						off/4, wk, results[j].Value, results[j].OK, want, exists)
 				}
 			}
 		}

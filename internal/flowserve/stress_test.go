@@ -90,8 +90,7 @@ func TestSeqlockStress(t *testing.T) {
 			batch := tbl.NewBatch()
 			keys := make([][]byte, batchSize)
 			idx := make([]uint64, batchSize)
-			values := make([]uint64, batchSize)
-			oks := make([]bool, batchSize)
+			results := make([]Result, batchSize)
 			drawKey := func() uint64 {
 				switch rng.Uint64n(3) {
 				case 0:
@@ -118,9 +117,15 @@ func TestSeqlockStress(t *testing.T) {
 						idx[j] = drawKey()
 						keys[j] = key(idx[j])
 					}
-					batch.LookupMany(keys, values, oks)
+					if op%16 == 0 {
+						batch.LookupMany(keys, results)
+					} else {
+						// The pooled Table.LookupMany path shares Batch
+						// scratch across goroutines; stress it too.
+						tbl.LookupMany(keys, results)
+					}
 					for j := range keys {
-						checkHit(idx[j], values[j], oks[j], class(idx[j]))
+						checkHit(idx[j], results[j].Value, results[j].OK, class(idx[j]))
 					}
 				} else {
 					i := drawKey()

@@ -1,0 +1,416 @@
+package flowwire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"halo/internal/flowserve"
+)
+
+// Client errors.
+var (
+	// ErrClientClosed reports a call on a Close()d client.
+	ErrClientClosed = errors.New("flowwire: client closed")
+	// ErrConnClosed reports the server hanging up with calls in flight
+	// (e.g. it drained); the first underlying cause is kept by Err.
+	ErrConnClosed = errors.New("flowwire: connection closed by server")
+	// ErrCallTimeout reports a reply not arriving inside CallTimeout.
+	ErrCallTimeout = errors.New("flowwire: call timed out")
+)
+
+// Options parametrises Dial. The zero value works.
+type Options struct {
+	// Conns is the connection-pool size (default 1). Calls round-robin
+	// across the pool; concurrent calls on one connection pipeline —
+	// each is tagged with a reqID and matched to its reply, so many
+	// goroutines can share few sockets.
+	Conns int
+	// DialTimeout bounds each connect + the HELLO handshake (default 10s).
+	DialTimeout time.Duration
+	// WriteTimeout bounds each request write (default 30s).
+	WriteTimeout time.Duration
+	// CallTimeout bounds the wait for a reply (default 60s).
+	CallTimeout time.Duration
+	// MaxFrame bounds accepted reply frames (default DefaultMaxFrame).
+	MaxFrame uint32
+}
+
+func (o *Options) applyDefaults() {
+	if o.Conns <= 0 {
+		o.Conns = 1
+	}
+	if o.DialTimeout == 0 {
+		o.DialTimeout = 10 * time.Second
+	}
+	if o.WriteTimeout == 0 {
+		o.WriteTimeout = 30 * time.Second
+	}
+	if o.CallTimeout == 0 {
+		o.CallTimeout = 60 * time.Second
+	}
+	if o.MaxFrame == 0 {
+		o.MaxFrame = DefaultMaxFrame
+	}
+}
+
+// Client is a remote flowserve table: it implements flowserve.Reader and
+// flowserve.Writer over the wire protocol, so a *Client drops in wherever a
+// *flowserve.Table serves (flowload's -remote mode drives both through one
+// code path). Transport failures are sticky: the first one breaks the
+// client, every later call fails fast, and Err reports the cause — lookups
+// on a broken client return misses, mirroring the interface's error-free
+// read signatures.
+type Client struct {
+	opts  Options
+	hello HelloInfo
+	conns []*cliConn
+	rr    atomic.Uint64 // round-robin cursor
+
+	errOnce sync.Once
+	err     atomic.Value // error: first transport failure
+	closed  atomic.Bool
+}
+
+var (
+	_ flowserve.Reader = (*Client)(nil)
+	_ flowserve.Writer = (*Client)(nil)
+)
+
+// cliConn is one pooled connection: writes serialise on wmu (reqID
+// assignment + frame write + flush), the reader goroutine matches reply
+// reqIDs to waiting calls.
+type cliConn struct {
+	cl     *Client
+	nc     net.Conn
+	bw     *bufio.Writer
+	wmu    sync.Mutex
+	nextID uint64
+
+	pmu     sync.Mutex
+	pending map[uint64]chan Frame
+	dead    bool
+	deadErr error
+}
+
+// Dial connects a pool of opts.Conns connections to a flowserved at addr
+// and performs the HELLO handshake to learn the table geometry.
+func Dial(addr string, opts Options) (*Client, error) {
+	opts.applyDefaults()
+	cl := &Client{opts: opts}
+	for i := 0; i < opts.Conns; i++ {
+		nc, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+		if err != nil {
+			cl.Close()
+			return nil, fmt.Errorf("flowwire: dial %s: %w", addr, err)
+		}
+		if tc, ok := nc.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		c := &cliConn{cl: cl, nc: nc, bw: bufio.NewWriterSize(nc, 64<<10), pending: make(map[uint64]chan Frame)}
+		cl.conns = append(cl.conns, c)
+		go c.readLoop()
+	}
+	f, err := cl.call(OpHello, nil)
+	if err != nil {
+		cl.Close()
+		return nil, fmt.Errorf("flowwire: HELLO: %w", err)
+	}
+	if err := f.Status.Err(OpHello); err != nil {
+		cl.Close()
+		return nil, fmt.Errorf("flowwire: HELLO: %w", err)
+	}
+	if cl.hello, err = parseHelloReply(f.Payload); err != nil {
+		cl.Close()
+		return nil, err
+	}
+	if cl.hello.KeyLen <= 0 || cl.hello.KeyLen > flowserve.MaxKeyLen {
+		cl.Close()
+		return nil, fmt.Errorf("flowwire: HELLO reports key length %d", cl.hello.KeyLen)
+	}
+	return cl, nil
+}
+
+// Hello returns the table geometry reported at dial time.
+func (cl *Client) Hello() HelloInfo { return cl.hello }
+
+// KeyLen returns the remote table's fixed key length.
+func (cl *Client) KeyLen() int { return cl.hello.KeyLen }
+
+// Err returns the first transport failure, or nil. A load driver should
+// check it after a run: a broken client serves misses, not panics.
+func (cl *Client) Err() error {
+	if e, ok := cl.err.Load().(error); ok {
+		return e
+	}
+	return nil
+}
+
+func (cl *Client) fail(err error) {
+	cl.errOnce.Do(func() { cl.err.Store(err) })
+}
+
+// Close tears the pool down. In-flight calls fail with ErrClientClosed.
+func (cl *Client) Close() error {
+	cl.closed.Store(true)
+	for _, c := range cl.conns {
+		c.nc.Close()
+	}
+	return nil
+}
+
+// readLoop dispatches reply frames to their waiting calls; any read error
+// fails every pending call on the connection and breaks the client.
+func (c *cliConn) readLoop() {
+	br := bufio.NewReaderSize(c.nc, 64<<10)
+	var cause error
+	for {
+		var f Frame
+		if err := ReadFrame(br, c.cl.opts.MaxFrame, &f); err != nil {
+			cause = err
+			break
+		}
+		c.pmu.Lock()
+		ch := c.pending[f.ReqID]
+		delete(c.pending, f.ReqID)
+		c.pmu.Unlock()
+		if ch == nil {
+			cause = fmt.Errorf("flowwire: reply for unknown reqID %d", f.ReqID)
+			break
+		}
+		ch <- f
+	}
+	switch {
+	case c.cl.closed.Load():
+		cause = ErrClientClosed
+	case cause == io.EOF:
+		cause = ErrConnClosed
+	}
+	if cause != ErrClientClosed {
+		c.cl.fail(cause)
+	}
+	c.pmu.Lock()
+	c.dead = true
+	c.deadErr = cause
+	waiting := c.pending
+	c.pending = make(map[uint64]chan Frame)
+	c.pmu.Unlock()
+	c.nc.Close()
+	for _, ch := range waiting {
+		close(ch) // a closed channel signals "no reply; see deadErr"
+	}
+}
+
+// call sends one request on a pooled connection and waits for its reply.
+func (cl *Client) call(op Op, payload []byte) (Frame, error) {
+	if cl.closed.Load() {
+		return Frame{}, ErrClientClosed
+	}
+	if err := cl.Err(); err != nil {
+		return Frame{}, err
+	}
+	c := cl.conns[cl.rr.Add(1)%uint64(len(cl.conns))]
+
+	ch := make(chan Frame, 1)
+	c.wmu.Lock()
+	c.pmu.Lock()
+	if c.dead {
+		err := c.deadErr
+		c.pmu.Unlock()
+		c.wmu.Unlock()
+		return Frame{}, err
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = ch
+	c.pmu.Unlock()
+	buf := AppendFrame(make([]byte, 0, headerSize+len(payload)), &Frame{Op: op, ReqID: id, Payload: payload})
+	c.nc.SetWriteDeadline(time.Now().Add(cl.opts.WriteTimeout))
+	_, err := c.bw.Write(buf)
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		cl.fail(err)
+		c.nc.Close() // the read loop fails the registered call
+	}
+
+	timer := time.NewTimer(cl.opts.CallTimeout)
+	defer timer.Stop()
+	select {
+	case f, ok := <-ch:
+		if !ok {
+			c.pmu.Lock()
+			err := c.deadErr
+			c.pmu.Unlock()
+			if err == nil {
+				err = ErrConnClosed
+			}
+			return Frame{}, err
+		}
+		if f.Op != op {
+			err := fmt.Errorf("flowwire: reply op %s to a %s request", f.Op, op)
+			cl.fail(err)
+			return Frame{}, err
+		}
+		return f, nil
+	case <-timer.C:
+		c.pmu.Lock()
+		delete(c.pending, id)
+		c.pmu.Unlock()
+		cl.fail(ErrCallTimeout)
+		return Frame{}, ErrCallTimeout
+	}
+}
+
+// Lookup implements flowserve.Reader: a blocking single-key remote lookup
+// (the wire LOOKUP op, the paper's LOOKUP_B). Wrong-length keys and
+// transport failures are misses.
+func (cl *Client) Lookup(key []byte) (uint64, bool) {
+	if len(key) != cl.hello.KeyLen {
+		return 0, false
+	}
+	f, err := cl.call(OpLookup, key)
+	if err != nil || f.Status != StatusOK || len(f.Payload) != 9 {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(f.Payload[1:9]), f.Payload[0] != 0
+}
+
+// LookupMany implements flowserve.Reader: all keys travel in one
+// LOOKUP_MANY frame (the paper's batched LOOKUP_NB), with wrong-length keys
+// answered locally as misses. On transport failure every result is a miss.
+func (cl *Client) LookupMany(keys [][]byte, results []flowserve.Result) int {
+	n := len(keys)
+	_ = results[:n]
+	keyLen := cl.hello.KeyLen
+	allValid := true
+	for _, k := range keys {
+		if len(k) != keyLen {
+			allValid = false
+			break
+		}
+	}
+	valid := keys
+	var validIdx []int // nil on the common all-valid path
+	if !allValid {
+		valid = make([][]byte, 0, n)
+		validIdx = make([]int, 0, n)
+		for j, kj := range keys {
+			results[j] = flowserve.Result{}
+			if len(kj) == keyLen {
+				valid = append(valid, kj)
+				validIdx = append(validIdx, j)
+			}
+		}
+	}
+	if len(valid) == 0 {
+		for i := range keys {
+			results[i] = flowserve.Result{}
+		}
+		return 0
+	}
+
+	payload := appendLookupManyReq(make([]byte, 0, 6+len(valid)*keyLen), valid, keyLen)
+	f, err := cl.call(OpLookupMany, payload)
+	if err != nil || f.Status != StatusOK {
+		for i := range keys {
+			results[i] = flowserve.Result{}
+		}
+		return 0
+	}
+	var out []flowserve.Result
+	if validIdx == nil {
+		out = results[:n]
+	} else {
+		out = make([]flowserve.Result, len(valid))
+	}
+	count, perr := parseLookupManyReply(f.Payload, out)
+	if perr != nil || count != len(valid) {
+		cl.fail(fmt.Errorf("flowwire: LOOKUP_MANY reply mismatch: %d results for %d keys (%v)", count, len(valid), perr))
+		for i := range keys {
+			results[i] = flowserve.Result{}
+		}
+		return 0
+	}
+	hits := 0
+	if validIdx == nil {
+		for i := range out {
+			if out[i].OK {
+				hits++
+			}
+		}
+		return hits
+	}
+	for vi, r := range out {
+		results[validIdx[vi]] = r
+		if r.OK {
+			hits++
+		}
+	}
+	return hits
+}
+
+// mutatePayload packs value+key for INSERT/UPDATE.
+func mutatePayload(value uint64, key []byte) []byte {
+	p := make([]byte, 0, 8+len(key))
+	p = binary.LittleEndian.AppendUint64(p, value)
+	return append(p, key...)
+}
+
+// Insert implements flowserve.Writer over the wire. Table-semantics
+// failures come back as the flowserve errors (ErrKeyExists, ErrTableFull,
+// ErrKeyLen); transport failures as the underlying error.
+func (cl *Client) Insert(key []byte, value uint64) error {
+	if len(key) != cl.hello.KeyLen {
+		return flowserve.ErrKeyLen
+	}
+	f, err := cl.call(OpInsert, mutatePayload(value, key))
+	if err != nil {
+		return err
+	}
+	return f.Status.Err(OpInsert)
+}
+
+// Update implements flowserve.Writer; false on absent key or failure.
+func (cl *Client) Update(key []byte, value uint64) bool {
+	if len(key) != cl.hello.KeyLen {
+		return false
+	}
+	f, err := cl.call(OpUpdate, mutatePayload(value, key))
+	return err == nil && f.Status == StatusOK && len(f.Payload) == 1 && f.Payload[0] != 0
+}
+
+// Delete implements flowserve.Writer; false on absent key or failure.
+func (cl *Client) Delete(key []byte) bool {
+	if len(key) != cl.hello.KeyLen {
+		return false
+	}
+	f, err := cl.call(OpDelete, key)
+	return err == nil && f.Status == StatusOK && len(f.Payload) == 1 && f.Payload[0] != 0
+}
+
+// Stats fetches the server's counter snapshot (flowwire.* and flowserve.*
+// names) via the STATS op.
+func (cl *Client) Stats() (map[string]uint64, error) {
+	f, err := cl.call(OpStats, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Status.Err(OpStats); err != nil {
+		return nil, err
+	}
+	counters := make(map[string]uint64)
+	if err := json.Unmarshal(f.Payload, &counters); err != nil {
+		return nil, fmt.Errorf("flowwire: STATS payload: %w", err)
+	}
+	return counters, nil
+}

@@ -1,0 +1,441 @@
+package flowwire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"halo/internal/flowserve"
+)
+
+// wkey builds a 20-byte key (the packet header-key width) from a number.
+func wkey(i uint64) []byte {
+	k := make([]byte, 20)
+	binary.LittleEndian.PutUint64(k, i)
+	binary.LittleEndian.PutUint64(k[8:], i*0x9e3779b97f4a7c15)
+	return k
+}
+
+// startServer runs a server over a fresh table on a loopback listener and
+// tears both down with the test.
+func startServer(t testing.TB, tblCfg flowserve.Config, srvCfg Config) (*Server, *flowserve.Table, string) {
+	t.Helper()
+	tbl, err := flowserve.New(tblCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvCfg.Table = tbl
+	srv, err := NewServer(srvCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		srv.Close()
+		if err := <-serveErr; err != nil && err != ErrServerClosed {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return srv, tbl, ln.Addr().String()
+}
+
+func dialTest(t testing.TB, addr string, opts Options) *Client {
+	t.Helper()
+	cl, err := Dial(addr, opts)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+func TestClientServerOps(t *testing.T) {
+	_, tbl, addr := startServer(t, flowserve.Config{Shards: 4, Entries: 4096, KeyLen: 20}, Config{})
+	cl := dialTest(t, addr, Options{Conns: 2})
+
+	if h := cl.Hello(); h.KeyLen != 20 || h.Shards != 4 || h.Capacity != tbl.Capacity() {
+		t.Fatalf("HELLO = %+v", h)
+	}
+
+	const n = 500
+	for i := uint64(0); i < n; i++ {
+		if err := cl.Insert(wkey(i), i*7+1); err != nil {
+			t.Fatalf("Insert(%d): %v", i, err)
+		}
+	}
+	if got := tbl.Size(); got != n {
+		t.Fatalf("server table size = %d, want %d", got, n)
+	}
+	if err := cl.Insert(wkey(1), 9); !errors.Is(err, flowserve.ErrKeyExists) {
+		t.Fatalf("duplicate insert = %v, want ErrKeyExists", err)
+	}
+	if err := cl.Insert(make([]byte, 3), 9); !errors.Is(err, flowserve.ErrKeyLen) {
+		t.Fatalf("short-key insert = %v, want ErrKeyLen", err)
+	}
+
+	for i := uint64(0); i < n; i++ {
+		v, ok := cl.Lookup(wkey(i))
+		if !ok || v != i*7+1 {
+			t.Fatalf("Lookup(%d) = (%d,%v), want (%d,true)", i, v, ok, i*7+1)
+		}
+	}
+	if _, ok := cl.Lookup(wkey(n + 3)); ok {
+		t.Fatal("absent key hit over the wire")
+	}
+	if _, ok := cl.Lookup(make([]byte, 7)); ok {
+		t.Fatal("wrong-length key hit over the wire")
+	}
+
+	if !cl.Update(wkey(2), 999) {
+		t.Fatal("Update of a present key failed")
+	}
+	if v, ok := cl.Lookup(wkey(2)); !ok || v != 999 {
+		t.Fatalf("value after Update = (%d,%v)", v, ok)
+	}
+	if cl.Update(wkey(n+8), 1) {
+		t.Fatal("Update of an absent key succeeded")
+	}
+	if !cl.Delete(wkey(2)) {
+		t.Fatal("Delete of a present key failed")
+	}
+	if cl.Delete(wkey(2)) {
+		t.Fatal("Delete of an absent key succeeded")
+	}
+	if _, ok := cl.Lookup(wkey(2)); ok {
+		t.Fatal("deleted key still hits")
+	}
+
+	if err := cl.Err(); err != nil {
+		t.Fatalf("client error after clean ops: %v", err)
+	}
+}
+
+// TestClientLookupManyMatchesLocal drives the same batches through the wire
+// and through the table directly, byte-comparing every result.
+func TestClientLookupManyMatchesLocal(t *testing.T) {
+	_, tbl, addr := startServer(t, flowserve.Config{Shards: 8, Entries: 8192, KeyLen: 20}, Config{})
+	cl := dialTest(t, addr, Options{})
+	const n = 3000
+	for i := uint64(0); i < n; i++ {
+		if err := tbl.Insert(wkey(i), i^0xf00d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const batch = 57
+	keys := make([][]byte, batch)
+	remote := make([]flowserve.Result, batch)
+	local := make([]flowserve.Result, batch)
+	for lo := uint64(0); lo < n+300; lo += batch {
+		for j := range keys {
+			keys[j] = wkey(lo + uint64(j)*2)
+		}
+		rh := cl.LookupMany(keys, remote)
+		lh := tbl.LookupMany(keys, local)
+		if rh != lh {
+			t.Fatalf("remote hits %d, local hits %d", rh, lh)
+		}
+		for j := range keys {
+			if remote[j] != local[j] {
+				t.Fatalf("key %d: remote %+v, local %+v", j, remote[j], local[j])
+			}
+		}
+	}
+	if err := cl.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClientLookupManyMixedKeyLengths(t *testing.T) {
+	_, tbl, addr := startServer(t, flowserve.Config{Shards: 2, Entries: 512, KeyLen: 20}, Config{})
+	cl := dialTest(t, addr, Options{})
+	if err := tbl.Insert(wkey(1), 11); err != nil {
+		t.Fatal(err)
+	}
+	keys := [][]byte{wkey(1), make([]byte, 3), wkey(2), nil}
+	results := make([]flowserve.Result, len(keys))
+	if hits := cl.LookupMany(keys, results); hits != 1 {
+		t.Fatalf("hits = %d, want 1", hits)
+	}
+	if !results[0].OK || results[0].Value != 11 {
+		t.Fatalf("present key = %+v", results[0])
+	}
+	for _, j := range []int{1, 2, 3} {
+		if results[j] != (flowserve.Result{}) {
+			t.Fatalf("key %d = %+v, want a miss", j, results[j])
+		}
+	}
+	// All-invalid batch never touches the wire.
+	if hits := cl.LookupMany([][]byte{nil, make([]byte, 5)}, results); hits != 0 {
+		t.Fatalf("all-invalid batch hits = %d", hits)
+	}
+}
+
+func TestServerStatsOp(t *testing.T) {
+	srv, tbl, addr := startServer(t, flowserve.Config{Shards: 2, Entries: 512, KeyLen: 20}, Config{})
+	cl := dialTest(t, addr, Options{})
+	if err := cl.Insert(wkey(1), 5); err != nil {
+		t.Fatal(err)
+	}
+	cl.Lookup(wkey(1))
+	counters, err := cl.Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if counters["flowserve.inserts"] != 1 || counters["flowserve.lookups"] != 1 {
+		t.Fatalf("table counters over the wire = %v", counters)
+	}
+	if counters["flowwire.conns.accepted"] != 1 || counters["flowwire.frames.accepted"] < 3 {
+		t.Fatalf("server counters over the wire = %v", counters)
+	}
+	_ = srv
+	_ = tbl
+}
+
+// rawConn dials without the client, for hand-crafted frames.
+func rawConn(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	return nc
+}
+
+// readReply reads one frame with a deadline.
+func readReply(t *testing.T, nc net.Conn) Frame {
+	t.Helper()
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var f Frame
+	if err := ReadFrame(nc, 0, &f); err != nil {
+		t.Fatalf("reading reply: %v", err)
+	}
+	return f
+}
+
+func TestServerRejectsUnknownOp(t *testing.T) {
+	_, _, addr := startServer(t, flowserve.Config{Shards: 1, Entries: 128, KeyLen: 20}, Config{})
+	nc := rawConn(t, addr)
+	nc.Write(AppendFrame(nil, &Frame{Op: Op(99), ReqID: 41}))
+	f := readReply(t, nc)
+	if f.Status != StatusErrOp || f.ReqID != 41 {
+		t.Fatalf("unknown op reply = %+v, want ERR_OP/41", f)
+	}
+	// An unknown op is a typed reply, not a connection killer.
+	nc.Write(AppendFrame(nil, &Frame{Op: OpLookup, ReqID: 42, Payload: wkey(1)}))
+	f = readReply(t, nc)
+	if f.Op != OpLookup || f.Status != StatusOK || f.ReqID != 42 {
+		t.Fatalf("lookup after unknown op = %+v", f)
+	}
+}
+
+func TestServerRejectsBadVersion(t *testing.T) {
+	_, _, addr := startServer(t, flowserve.Config{Shards: 1, Entries: 128, KeyLen: 20}, Config{})
+	nc := rawConn(t, addr)
+	buf := AppendFrame(nil, &Frame{Op: OpLookup, ReqID: 7, Payload: wkey(1)})
+	buf[4] = Version + 9
+	nc.Write(buf)
+	f := readReply(t, nc)
+	if f.Status != StatusErrVersion || f.ReqID != 7 {
+		t.Fatalf("bad-version reply = %+v, want ERR_VERSION/7", f)
+	}
+	assertClosed(t, nc)
+}
+
+func TestServerRejectsOversizedFrame(t *testing.T) {
+	_, _, addr := startServer(t, flowserve.Config{Shards: 1, Entries: 128, KeyLen: 20}, Config{MaxFrame: 1024})
+	nc := rawConn(t, addr)
+	nc.Write(binary.LittleEndian.AppendUint32(nil, 1<<20))
+	f := readReply(t, nc)
+	if f.Status != StatusErrOversized {
+		t.Fatalf("oversized reply = %+v, want ERR_OVERSIZED", f)
+	}
+	assertClosed(t, nc)
+}
+
+func TestServerRejectsShortLengthFrame(t *testing.T) {
+	_, _, addr := startServer(t, flowserve.Config{Shards: 1, Entries: 128, KeyLen: 20}, Config{})
+	nc := rawConn(t, addr)
+	nc.Write(binary.LittleEndian.AppendUint32(nil, headerRest-3))
+	f := readReply(t, nc)
+	if f.Status != StatusErrMalformed {
+		t.Fatalf("short-length reply = %+v, want ERR_MALFORMED", f)
+	}
+	assertClosed(t, nc)
+}
+
+func TestServerClosesOnHalfFrame(t *testing.T) {
+	srv, _, addr := startServer(t, flowserve.Config{Shards: 1, Entries: 128, KeyLen: 20}, Config{})
+	nc := rawConn(t, addr)
+	full := AppendFrame(nil, &Frame{Op: OpLookup, ReqID: 3, Payload: wkey(1)})
+	nc.Write(full[:len(full)-4]) // die mid-frame
+	nc.Close()
+	// The server closes without a reply and without counting an accepted
+	// frame (nothing to lose at drain time).
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.c.connsClosed.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("server never closed the half-frame connection")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := srv.c.framesAccepted.Load(); got != 0 {
+		t.Fatalf("half frame counted as accepted (%d)", got)
+	}
+	if got := srv.c.framesRejected.Load(); got != 0 {
+		t.Fatalf("half frame counted as rejected (%d)", got)
+	}
+}
+
+func TestServerRejectsMalformedLookupManyPayload(t *testing.T) {
+	_, tbl, addr := startServer(t, flowserve.Config{Shards: 1, Entries: 128, KeyLen: 20}, Config{})
+	if err := tbl.Insert(wkey(1), 1); err != nil {
+		t.Fatal(err)
+	}
+	nc := rawConn(t, addr)
+
+	// Count claims 5 keys, body carries 2.
+	payload := binary.LittleEndian.AppendUint32(nil, 5)
+	payload = binary.LittleEndian.AppendUint16(payload, 20)
+	payload = append(payload, bytes.Repeat([]byte{1}, 40)...)
+	nc.Write(AppendFrame(nil, &Frame{Op: OpLookupMany, ReqID: 51, Payload: payload}))
+	f := readReply(t, nc)
+	if f.Status != StatusErrMalformed || f.ReqID != 51 {
+		t.Fatalf("count-mismatch reply = %+v, want ERR_MALFORMED/51", f)
+	}
+
+	// Wrong per-frame key length is its own typed error.
+	payload = appendLookupManyReq(nil, [][]byte{make([]byte, 16)}, 16)
+	nc.Write(AppendFrame(nil, &Frame{Op: OpLookupMany, ReqID: 52, Payload: payload}))
+	f = readReply(t, nc)
+	if f.Status != StatusErrKeyLen || f.ReqID != 52 {
+		t.Fatalf("key-length reply = %+v, want ERR_KEYLEN/52", f)
+	}
+
+	// The connection survived both typed errors.
+	nc.Write(AppendFrame(nil, &Frame{Op: OpLookup, ReqID: 53, Payload: wkey(1)}))
+	f = readReply(t, nc)
+	if f.Status != StatusOK || f.Payload[0] != 1 {
+		t.Fatalf("lookup after payload errors = %+v", f)
+	}
+}
+
+// assertClosed verifies the server hangs up after a fatal protocol error.
+func assertClosed(t *testing.T, nc net.Conn) {
+	t.Helper()
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var one [1]byte
+	if _, err := nc.Read(one[:]); err != io.EOF {
+		t.Fatalf("connection still open after fatal frame: %v", err)
+	}
+}
+
+// TestServerCoalescesPipelinedLookups floods one connection with pipelined
+// frames and checks the server actually merged some into shared batch calls
+// while answering each with its own correct reply.
+func TestServerCoalescesPipelinedLookups(t *testing.T) {
+	srv, tbl, addr := startServer(t, flowserve.Config{Shards: 4, Entries: 4096, KeyLen: 20}, Config{Window: 128})
+	const n = 1000
+	for i := uint64(0); i < n; i++ {
+		if err := tbl.Insert(wkey(i), i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nc := rawConn(t, addr)
+	const frames = 400
+	var buf []byte
+	for i := uint64(0); i < frames; i++ {
+		if i%4 == 0 {
+			payload := appendLookupManyReq(nil, [][]byte{wkey(i % n), wkey((i + 1) % n)}, 20)
+			buf = AppendFrame(buf, &Frame{Op: OpLookupMany, ReqID: i, Payload: payload})
+		} else {
+			buf = AppendFrame(buf, &Frame{Op: OpLookup, ReqID: i, Payload: wkey(i % n)})
+		}
+	}
+	if _, err := nc.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < frames; i++ {
+		f := readReply(t, nc)
+		if f.ReqID != i || f.Status != StatusOK {
+			t.Fatalf("reply %d = %+v (replies must stay in FIFO order)", i, f)
+		}
+		if f.Op == OpLookup {
+			if f.Payload[0] != 1 || binary.LittleEndian.Uint64(f.Payload[1:]) != i%n+1 {
+				t.Fatalf("reply %d carried %v", i, f.Payload)
+			}
+		} else {
+			res := make([]flowserve.Result, 2)
+			if c, err := parseLookupManyReply(f.Payload, res); err != nil || c != 2 || !res[0].OK || res[0].Value != i%n+1 {
+				t.Fatalf("batched reply %d = %+v (%v)", i, res, err)
+			}
+		}
+	}
+	calls := srv.c.coalesceCalls.Load()
+	merged := srv.c.coalesceFrames.Load()
+	if merged != frames {
+		t.Fatalf("coalesce ledger saw %d frames, want %d", merged, frames)
+	}
+	if calls == frames {
+		t.Log("no frames were merged (timing-dependent); coalescing not exercised this run")
+	} else {
+		t.Logf("coalesced %d frames into %d batch calls", merged, calls)
+	}
+}
+
+// TestMutationOrderingThroughCoalescer interleaves lookups and mutations of
+// one key on one pipelined connection: FIFO semantics require each lookup
+// to see exactly the preceding mutation's state.
+func TestMutationOrderingThroughCoalescer(t *testing.T) {
+	_, _, addr := startServer(t, flowserve.Config{Shards: 1, Entries: 128, KeyLen: 20}, Config{Window: 64})
+	nc := rawConn(t, addr)
+	k := wkey(7)
+	var buf []byte
+	id := uint64(0)
+	emit := func(op Op, payload []byte) uint64 {
+		id++
+		buf = AppendFrame(buf, &Frame{Op: op, ReqID: id, Payload: payload})
+		return id
+	}
+	type expect struct {
+		id    uint64
+		op    Op
+		value uint64
+		ok    bool
+	}
+	var wants []expect
+	for round := uint64(1); round <= 20; round++ {
+		ins := make([]byte, 8+len(k))
+		binary.LittleEndian.PutUint64(ins, round*10)
+		copy(ins[8:], k)
+		wants = append(wants, expect{emit(OpInsert, ins), OpInsert, 0, true})
+		wants = append(wants, expect{emit(OpLookup, k), OpLookup, round * 10, true})
+		wants = append(wants, expect{emit(OpDelete, k), OpDelete, 0, true})
+		wants = append(wants, expect{emit(OpLookup, k), OpLookup, 0, false})
+	}
+	if _, err := nc.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range wants {
+		f := readReply(t, nc)
+		if f.ReqID != w.id || f.Status != StatusOK {
+			t.Fatalf("reply = %+v, want id %d OK", f, w.id)
+		}
+		if w.op == OpLookup {
+			ok := f.Payload[0] != 0
+			v := binary.LittleEndian.Uint64(f.Payload[1:])
+			if ok != w.ok || (ok && v != w.value) {
+				t.Fatalf("lookup %d = (%d,%v), want (%d,%v)", w.id, v, ok, w.value, w.ok)
+			}
+		}
+	}
+}

@@ -1,0 +1,350 @@
+// Package flowwire puts the flowserve runtime on the network: a
+// length-prefixed binary protocol over TCP, a server runtime
+// (cmd/flowserved) and a pooled pipelined client, both speaking the same
+// versioned frame format. The ops mirror the paper's lookup split —
+// LOOKUP is the blocking single-key LOOKUP_B, LOOKUP_MANY the batched
+// pipelined LOOKUP_NB — plus the mutation and introspection ops a remote
+// table needs. *flowwire.Client implements flowserve.Reader and
+// flowserve.Writer, so in-process and remote tables are interchangeable
+// behind one serving API (DESIGN.md §9).
+//
+// Frame layout (all integers little-endian):
+//
+//	offset  size  field
+//	0       4     length   — bytes that follow this field (12 + payload)
+//	4       1     version  — Version (1)
+//	5       1     op       — Op code
+//	6       1     status   — StatusOK in requests; reply status
+//	7       1     reserved — must be zero
+//	8       8     reqID    — echoed verbatim in the reply (pipelining)
+//	16      ...   payload  — op-specific
+//
+// Replies carry the request's op and reqID. A non-OK status is a typed
+// error reply; its payload is empty. Protocol-level violations (bad
+// version, oversized or short frames, unknown op) earn an error reply with
+// the best-effort reqID followed by connection close.
+package flowwire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"halo/internal/flowserve"
+)
+
+// Version is the protocol version this package speaks. A server receiving
+// any other version answers StatusErrVersion and closes.
+const Version = 1
+
+// Frame sizing. The length field counts headerRest plus the payload.
+const (
+	lenSize    = 4
+	headerRest = 12
+	headerSize = lenSize + headerRest
+
+	// DefaultMaxFrame bounds accepted frame length (header + payload).
+	// A LOOKUP_MANY of 4096 64-byte keys fits with lots of room.
+	DefaultMaxFrame = 1 << 20
+)
+
+// MaxBatchKeys bounds the key count of one LOOKUP_MANY frame, independent
+// of the byte limit.
+const MaxBatchKeys = 1 << 16
+
+// Op identifies a request kind.
+type Op uint8
+
+// Wire operations.
+const (
+	OpHello      Op = 1 // table geometry handshake
+	OpLookup     Op = 2 // blocking single-key lookup (LOOKUP_B)
+	OpLookupMany Op = 3 // batched lookup (LOOKUP_NB)
+	OpInsert     Op = 4
+	OpUpdate     Op = 5
+	OpDelete     Op = 6
+	OpStats      Op = 7 // server+table counters as a JSON object
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpHello:
+		return "HELLO"
+	case OpLookup:
+		return "LOOKUP"
+	case OpLookupMany:
+		return "LOOKUP_MANY"
+	case OpInsert:
+		return "INSERT"
+	case OpUpdate:
+		return "UPDATE"
+	case OpDelete:
+		return "DELETE"
+	case OpStats:
+		return "STATS"
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Status is a reply's outcome code.
+type Status uint8
+
+// Reply status codes. Codes ≤ StatusErrFull map onto flowserve error
+// semantics; the rest are protocol-level.
+const (
+	StatusOK           Status = 0
+	StatusErrKeyLen    Status = 1 // key length does not match the table
+	StatusErrExists    Status = 2 // INSERT of a present key
+	StatusErrFull      Status = 3 // shard displacement path exhausted
+	StatusErrMalformed Status = 4 // unparseable frame or payload
+	StatusErrVersion   Status = 5 // unsupported protocol version
+	StatusErrOp        Status = 6 // unknown op code
+	StatusErrOversized Status = 7 // frame exceeds the server's limit
+	StatusErrDraining  Status = 8 // server is draining; request not served
+	StatusErrInternal  Status = 9
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusErrKeyLen:
+		return "ERR_KEYLEN"
+	case StatusErrExists:
+		return "ERR_EXISTS"
+	case StatusErrFull:
+		return "ERR_FULL"
+	case StatusErrMalformed:
+		return "ERR_MALFORMED"
+	case StatusErrVersion:
+		return "ERR_VERSION"
+	case StatusErrOp:
+		return "ERR_OP"
+	case StatusErrOversized:
+		return "ERR_OVERSIZED"
+	case StatusErrDraining:
+		return "ERR_DRAINING"
+	case StatusErrInternal:
+		return "ERR_INTERNAL"
+	}
+	return fmt.Sprintf("Status(%d)", uint8(s))
+}
+
+// ProtocolError is a non-OK reply status that has no flowserve equivalent.
+type ProtocolError struct {
+	Status Status
+	Op     Op
+}
+
+func (e *ProtocolError) Error() string {
+	return fmt.Sprintf("flowwire: %s reply to %s", e.Status, e.Op)
+}
+
+// Err maps a reply status onto the error vocabulary callers already know:
+// table-semantics statuses become the flowserve errors, protocol statuses
+// a *ProtocolError, StatusOK nil.
+func (s Status) Err(op Op) error {
+	switch s {
+	case StatusOK:
+		return nil
+	case StatusErrKeyLen:
+		return flowserve.ErrKeyLen
+	case StatusErrExists:
+		return flowserve.ErrKeyExists
+	case StatusErrFull:
+		return flowserve.ErrTableFull
+	}
+	return &ProtocolError{Status: s, Op: op}
+}
+
+// statusOf maps a flowserve mutation error to its wire status.
+func statusOf(err error) Status {
+	switch {
+	case err == nil:
+		return StatusOK
+	case errors.Is(err, flowserve.ErrKeyExists):
+		return StatusErrExists
+	case errors.Is(err, flowserve.ErrTableFull):
+		return StatusErrFull
+	case errors.Is(err, flowserve.ErrKeyLen):
+		return StatusErrKeyLen
+	}
+	return StatusErrInternal
+}
+
+// Frame is one decoded protocol frame.
+type Frame struct {
+	Op      Op
+	Status  Status
+	ReqID   uint64
+	Payload []byte
+}
+
+// Frame-read errors. ErrFrameTooLarge and ErrBadVersion carry enough for
+// the server to send the matching typed error reply before closing.
+var (
+	ErrFrameTooLarge = errors.New("flowwire: frame exceeds size limit")
+	ErrShortFrame    = errors.New("flowwire: frame shorter than header")
+	ErrBadVersion    = errors.New("flowwire: unsupported protocol version")
+	ErrBadReserved   = errors.New("flowwire: nonzero reserved header byte")
+)
+
+// AppendFrame encodes f onto dst and returns the extended slice.
+func AppendFrame(dst []byte, f *Frame) []byte {
+	n := headerRest + len(f.Payload)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(n))
+	dst = append(dst, Version, byte(f.Op), byte(f.Status), 0)
+	dst = binary.LittleEndian.AppendUint64(dst, f.ReqID)
+	return append(dst, f.Payload...)
+}
+
+// ReadFrame reads one frame from r into f, allocating f.Payload (each frame
+// owns its payload: the server holds several in flight while coalescing).
+// maxFrame bounds the accepted length (0 means DefaultMaxFrame). io.EOF is
+// returned untouched on a clean close before any header byte; a partial
+// header or body yields io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader, maxFrame uint32, f *Frame) error {
+	if maxFrame == 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:lenSize]); err != nil {
+		return err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:lenSize])
+	if n < headerRest {
+		return ErrShortFrame
+	}
+	if lenSize+uint64(n) > uint64(maxFrame) {
+		return fmt.Errorf("%w: %d bytes (limit %d)", ErrFrameTooLarge, lenSize+uint64(n), maxFrame)
+	}
+	if _, err := io.ReadFull(r, hdr[lenSize:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return err
+	}
+	// Populate the identifying fields before the validity checks, so a
+	// server can echo op and reqID in the typed error reply.
+	f.Op = Op(hdr[5])
+	f.Status = Status(hdr[6])
+	f.ReqID = binary.LittleEndian.Uint64(hdr[8:16])
+	f.Payload = nil
+	if hdr[4] != Version {
+		return fmt.Errorf("%w: got %d, want %d", ErrBadVersion, hdr[4], Version)
+	}
+	if hdr[7] != 0 {
+		return ErrBadReserved
+	}
+	payloadLen := int(n) - headerRest
+	f.Payload = make([]byte, payloadLen)
+	if _, err := io.ReadFull(r, f.Payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return err
+	}
+	return nil
+}
+
+// HelloInfo is the table geometry a HELLO reply reports.
+type HelloInfo struct {
+	KeyLen   int
+	Shards   int
+	Capacity uint64
+}
+
+// appendHelloReply encodes a HELLO reply payload.
+func appendHelloReply(dst []byte, h HelloInfo) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(h.KeyLen))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(h.Shards))
+	return binary.LittleEndian.AppendUint64(dst, h.Capacity)
+}
+
+// parseHelloReply decodes a HELLO reply payload.
+func parseHelloReply(p []byte) (HelloInfo, error) {
+	if len(p) != 16 {
+		return HelloInfo{}, fmt.Errorf("flowwire: HELLO reply payload is %d bytes, want 16", len(p))
+	}
+	return HelloInfo{
+		KeyLen:   int(binary.LittleEndian.Uint32(p[0:4])),
+		Shards:   int(binary.LittleEndian.Uint32(p[4:8])),
+		Capacity: binary.LittleEndian.Uint64(p[8:16]),
+	}, nil
+}
+
+// LOOKUP_MANY request payload: count uint32, keyLen uint16, then count keys
+// of keyLen bytes each. The per-frame keyLen lets the server reject a
+// mismatch with one typed reply instead of per-key surprises.
+
+// appendLookupManyReq encodes keys (all of length keyLen) onto dst.
+func appendLookupManyReq(dst []byte, keys [][]byte, keyLen int) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(keys)))
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(keyLen))
+	for _, k := range keys {
+		dst = append(dst, k...)
+	}
+	return dst
+}
+
+// parseLookupManyReq splits a LOOKUP_MANY payload into its key slices
+// (aliasing p). keys is appended to in place.
+func parseLookupManyReq(p []byte, wantKeyLen int, keys [][]byte) ([][]byte, Status) {
+	if len(p) < 6 {
+		return keys, StatusErrMalformed
+	}
+	count := int(binary.LittleEndian.Uint32(p[0:4]))
+	keyLen := int(binary.LittleEndian.Uint16(p[4:6]))
+	if count > MaxBatchKeys {
+		return keys, StatusErrOversized
+	}
+	if keyLen != wantKeyLen {
+		return keys, StatusErrKeyLen
+	}
+	body := p[6:]
+	if keyLen == 0 || len(body) != count*keyLen {
+		return keys, StatusErrMalformed
+	}
+	for i := 0; i < count; i++ {
+		keys = append(keys, body[i*keyLen:(i+1)*keyLen])
+	}
+	return keys, StatusOK
+}
+
+// LOOKUP_MANY reply payload: count uint32, then count results of 9 bytes
+// each ({ok uint8, value uint64}).
+
+// appendLookupManyReply encodes results onto dst.
+func appendLookupManyReply(dst []byte, results []flowserve.Result) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(results)))
+	for _, r := range results {
+		b := byte(0)
+		if r.OK {
+			b = 1
+		}
+		dst = append(dst, b)
+		dst = binary.LittleEndian.AppendUint64(dst, r.Value)
+	}
+	return dst
+}
+
+// parseLookupManyReply decodes a reply payload into results[:count].
+func parseLookupManyReply(p []byte, results []flowserve.Result) (int, error) {
+	if len(p) < 4 {
+		return 0, fmt.Errorf("flowwire: LOOKUP_MANY reply payload is %d bytes", len(p))
+	}
+	count := int(binary.LittleEndian.Uint32(p[0:4]))
+	body := p[4:]
+	if len(body) != count*9 || count > len(results) {
+		return 0, fmt.Errorf("flowwire: LOOKUP_MANY reply claims %d results in %d bytes", count, len(body))
+	}
+	for i := 0; i < count; i++ {
+		rec := body[i*9 : (i+1)*9]
+		results[i] = flowserve.Result{
+			OK:    rec[0] != 0,
+			Value: binary.LittleEndian.Uint64(rec[1:9]),
+		}
+	}
+	return count, nil
+}

@@ -1,0 +1,86 @@
+// Package listflag parses the comma-separated sweep-list flags the load
+// generators share (-mix uniform,zipf · -shards 1,2,4 · -conns 1,4). Every
+// token is validated and errors name the flag, the offending token and its
+// position — a bad token is a hard error, never a silently dropped sweep
+// point.
+package listflag
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Strings splits a comma-separated flag value into trimmed, non-empty
+// tokens. name is the flag's name (for error messages). An empty or
+// all-whitespace value, or an empty token ("a,,b", trailing comma), is an
+// error.
+func Strings(name, value string) ([]string, error) {
+	parts := strings.Split(value, ",")
+	out := make([]string, 0, len(parts))
+	for i, p := range parts {
+		tok := strings.TrimSpace(p)
+		if tok == "" {
+			if len(parts) == 1 {
+				return nil, fmt.Errorf("-%s: empty list", name)
+			}
+			return nil, fmt.Errorf("-%s: empty token at position %d (value %q)", name, i+1, value)
+		}
+		out = append(out, tok)
+	}
+	return out, nil
+}
+
+// Ints is Strings with every token parsed as a decimal integer.
+func Ints(name, value string) ([]int, error) {
+	toks, err := Strings(name, value)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(toks))
+	for i, tok := range toks {
+		n, err := strconv.Atoi(tok)
+		if err != nil {
+			return nil, fmt.Errorf("-%s: bad token %q at position %d: want an integer", name, tok, i+1)
+		}
+		out[i] = n
+	}
+	return out, nil
+}
+
+// PositiveInts is Ints requiring every value > 0 — the shape of every sweep
+// dimension (shard counts, connection counts, batch sizes).
+func PositiveInts(name, value string) ([]int, error) {
+	ns, err := Ints(name, value)
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range ns {
+		if n <= 0 {
+			return nil, fmt.Errorf("-%s: token %d at position %d: want a positive integer", name, n, i+1)
+		}
+	}
+	return ns, nil
+}
+
+// Enum is Strings with every token checked against the allowed set.
+func Enum(name, value string, allowed ...string) ([]string, error) {
+	toks, err := Strings(name, value)
+	if err != nil {
+		return nil, err
+	}
+	for i, tok := range toks {
+		found := false
+		for _, a := range allowed {
+			if tok == a {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("-%s: unknown token %q at position %d (want one of %s)",
+				name, tok, i+1, strings.Join(allowed, ", "))
+		}
+	}
+	return toks, nil
+}

@@ -1,0 +1,66 @@
+package listflag
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestStrings(t *testing.T) {
+	got, err := Strings("mix", "uniform, zipf ,hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"uniform", "zipf", "hot"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Strings = %v, want %v", got, want)
+	}
+	for _, bad := range []string{"", "  ", "a,,b", "a,b,", ",a"} {
+		if _, err := Strings("mix", bad); err == nil {
+			t.Fatalf("Strings(%q) accepted", bad)
+		}
+	}
+	// The error names the flag and, for multi-token values, the position.
+	_, err = Strings("mix", "a,,b")
+	if err == nil || !strings.Contains(err.Error(), "-mix") || !strings.Contains(err.Error(), "position 2") {
+		t.Fatalf("error lacks flag/position: %v", err)
+	}
+}
+
+func TestInts(t *testing.T) {
+	got, err := Ints("shards", "1, 2,16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{1, 2, 16}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Ints = %v, want %v", got, want)
+	}
+	_, err = Ints("shards", "1,x,3")
+	if err == nil || !strings.Contains(err.Error(), `"x"`) || !strings.Contains(err.Error(), "position 2") {
+		t.Fatalf("bad-token error = %v", err)
+	}
+}
+
+func TestPositiveInts(t *testing.T) {
+	if _, err := PositiveInts("conns", "1,2,4"); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"0", "1,-2", "1,0,3"} {
+		if _, err := PositiveInts("conns", bad); err == nil {
+			t.Fatalf("PositiveInts(%q) accepted", bad)
+		}
+	}
+}
+
+func TestEnum(t *testing.T) {
+	got, err := Enum("mix", "zipf,uniform", "uniform", "zipf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"zipf", "uniform"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Enum = %v, want %v", got, want)
+	}
+	_, err = Enum("mix", "uniform,bogus", "uniform", "zipf")
+	if err == nil || !strings.Contains(err.Error(), `"bogus"`) || !strings.Contains(err.Error(), "uniform, zipf") {
+		t.Fatalf("unknown-token error = %v", err)
+	}
+}

@@ -1,0 +1,211 @@
+// Command benchdiff compares two halo-bench/v1 (or halo-stats/v1)
+// documents and classifies every metric delta with the BLIS effect-size
+// tiers: significant / inconclusive / equivalent / regression. It renders
+// the comparison as a table, optionally writes a machine-readable verdict,
+// and exits non-zero when a gated hot-path metric regressed — the CI gate
+// that turns "should be faster" commit messages into checked artifacts.
+//
+// Usage:
+//
+//	benchdiff baseline.json new.json                 # table + gate on ns/op,allocs/op
+//	benchdiff -threshold 0.10 base.json new.json     # tolerate 10% before failing
+//	benchdiff -gate allocs/op base.json new.json     # gate only machine-independent allocs
+//	benchdiff -gate '' base.json new.json            # report-only: never fails
+//	benchdiff -allow FlowServe/mix=zipf/shards=8 ... # named regressions warn, not fail
+//	benchdiff -json verdict.json base.json new.json  # machine-readable verdict artifact
+//	benchdiff -ignore-config base.json new.json      # skip the workload-identity check
+//
+// Exit codes: 0 comparison clean (or every regression allowed), 1 gated
+// regression or mismatched workloads, 2 usage error.
+//
+// The two documents must describe the same workload: seed lists and config
+// maps are compared before any numbers are (see cmd/benchjson -seeds
+// / -config), and a mismatch is a refusal, not a silent apples-to-oranges
+// diff. Environment differences (Go version, GOOS/GOARCH, CPU) only warn:
+// comparing machine-independent metrics like allocs/op across machines is
+// a supported use — gating wall-clock ns/op is only meaningful between
+// runs on the same box.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"halo/internal/benchjson"
+	"halo/internal/listflag"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// verdictDoc is the machine-readable output (-json): the full classified
+// comparison plus the gate result.
+type verdictDoc struct {
+	Schema     string                `json:"schema"`
+	Base       string                `json:"base"`
+	New        string                `json:"new"`
+	Gate       []string              `json:"gate,omitempty"`
+	Allow      []string              `json:"allow,omitempty"`
+	Comparison *benchjson.Comparison `json:"comparison"`
+	Failures   []string              `json:"failures,omitempty"`
+	Warnings   []string              `json:"warnings,omitempty"`
+	Pass       bool                  `json:"pass"`
+}
+
+// verdictSchemaVersion identifies the -json verdict layout.
+const verdictSchemaVersion = "halo-benchdiff/v1"
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		threshold    = fs.Float64("threshold", 0.05, "relative worsening beyond which a gated metric is a regression")
+		significant  = fs.Float64("significant", 0.20, "relative improvement beyond which a delta is significant")
+		equivalence  = fs.Float64("equivalence", 0.05, "relative band within which a delta is equivalent")
+		gateFl       = fs.String("gate", "ns/op,allocs/op", "comma-separated metrics the exit code gates on ('' = report only)")
+		allowFl      = fs.String("allow", "", "comma-separated benchmark names whose regressions warn instead of fail")
+		jsonPath     = fs.String("json", "", "write the machine-readable halo-benchdiff/v1 verdict to this file")
+		ignoreConfig = fs.Bool("ignore-config", false, "compare even when seed lists or config maps disagree")
+		quiet        = fs.Bool("quiet", false, "suppress the table; print only the verdict line")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: benchdiff [flags] baseline.json new.json")
+		fs.PrintDefaults()
+		return 2
+	}
+	basePath, newPath := fs.Arg(0), fs.Arg(1)
+
+	var gate []string
+	if *gateFl != "" {
+		var err error
+		if gate, err = listflag.Strings("gate", *gateFl); err != nil {
+			fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+			return 2
+		}
+	}
+	allow := map[string]bool{}
+	var allowList []string
+	if *allowFl != "" {
+		toks, err := listflag.Strings("allow", *allowFl)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+			return 2
+		}
+		allowList = toks
+		for _, t := range toks {
+			allow[t] = true
+		}
+	}
+
+	base, err := load(basePath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %s: %v\n", basePath, err)
+		return 2
+	}
+	cur, err := load(newPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %s: %v\n", newPath, err)
+		return 2
+	}
+
+	warnings, err := benchjson.CheckComparable(base, cur)
+	if err != nil {
+		if !*ignoreConfig {
+			fmt.Fprintf(stderr, "benchdiff: documents describe different workloads: %v\n", err)
+			fmt.Fprintln(stderr, "benchdiff: refusing to diff apples to oranges (-ignore-config overrides)")
+			return 1
+		}
+		fmt.Fprintf(stderr, "benchdiff: warning: workload mismatch ignored: %v\n", err)
+	}
+	for _, w := range warnings {
+		fmt.Fprintf(stderr, "benchdiff: note: %s\n", w)
+	}
+
+	th := benchjson.Thresholds{Significant: *significant, Equivalence: *equivalence, Regression: *threshold}
+	cmp := benchjson.Compare(base, cur, th)
+	res := cmp.Gate(gate, allow)
+
+	if !*quiet {
+		renderTable(stdout, cmp)
+	}
+	for _, w := range res.Warnings {
+		fmt.Fprintf(stderr, "benchdiff: warning: %s\n", w)
+	}
+	for _, f := range res.Failures {
+		fmt.Fprintf(stderr, "benchdiff: FAIL: %s\n", f)
+	}
+
+	if *jsonPath != "" {
+		v := verdictDoc{
+			Schema: verdictSchemaVersion, Base: basePath, New: newPath,
+			Gate: gate, Allow: allowList, Comparison: cmp,
+			Failures: res.Failures, Warnings: res.Warnings, Pass: res.Pass(),
+		}
+		data, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+			return 2
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+			return 2
+		}
+	}
+
+	if res.Pass() {
+		if len(gate) == 0 {
+			fmt.Fprintf(stderr, "benchdiff: OK (report only, no gated metrics)\n")
+		} else {
+			fmt.Fprintf(stderr, "benchdiff: OK (%d benchmarks, gate %v)\n", len(cmp.Benches), gate)
+		}
+		return 0
+	}
+	fmt.Fprintf(stderr, "benchdiff: %d gated regression(s)\n", len(res.Failures))
+	return 1
+}
+
+func load(path string) (*benchjson.Document, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return benchjson.DecodeAny(data)
+}
+
+// renderTable prints every aligned benchmark's metric deltas.
+func renderTable(w io.Writer, cmp *benchjson.Comparison) {
+	fmt.Fprintf(w, "%-44s %-16s %14s %14s %9s  %s\n",
+		"benchmark", "metric", "base", "new", "delta", "class")
+	for _, b := range cmp.Benches {
+		switch {
+		case b.BaseOnly:
+			fmt.Fprintf(w, "%-44s %-16s %14s %14s %9s  %s\n", b.Name, "-", "-", "missing", "-", "base-only")
+			continue
+		case b.NewOnly:
+			fmt.Fprintf(w, "%-44s %-16s %14s %14s %9s  %s\n", b.Name, "-", "missing", "-", "-", "new-only")
+			continue
+		}
+		for _, m := range b.Metrics {
+			delta := "n/a"
+			if m.Improvement != nil {
+				// Render the raw relative change (positive = value went up),
+				// which readers expect from a diff; Class already encodes
+				// whether that direction is good.
+				rel := -*m.Improvement
+				if benchjson.HigherIsBetter(m.Metric) {
+					rel = *m.Improvement
+				}
+				delta = fmt.Sprintf("%+.1f%%", rel*100)
+			}
+			fmt.Fprintf(w, "%-44s %-16s %14.4g %14.4g %9s  %s\n",
+				b.Name, m.Metric, m.Base, m.New, delta, m.Class)
+		}
+	}
+}

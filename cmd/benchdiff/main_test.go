@@ -1,0 +1,174 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"halo/internal/benchjson"
+)
+
+// writeDoc encodes a document to a temp file and returns its path.
+func writeDoc(t *testing.T, name string, d *benchjson.Document) string {
+	t.Helper()
+	data, err := benchjson.Encode(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func doc(nsPerOp, allocs float64) *benchjson.Document {
+	return &benchjson.Document{
+		Schema: benchjson.SchemaVersion, GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64",
+		Seeds:  []uint64{42},
+		Config: map[string]string{"bench": "Hot"},
+		Benchmarks: []benchjson.Benchmark{{
+			Name: "Hot", Procs: 1, Iterations: 100,
+			Metrics: map[string]float64{"ns/op": nsPerOp, "allocs/op": allocs},
+		}},
+	}
+}
+
+func runDiff(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRegressionFailsGate(t *testing.T) {
+	base := writeDoc(t, "base.json", doc(100, 10))
+	// 20% ns/op regression: well past the default 5% threshold.
+	cur := writeDoc(t, "new.json", doc(120, 10))
+	code, stdout, stderr := runDiff(t, base, cur)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "FAIL") || !strings.Contains(stderr, "Hot ns/op") {
+		t.Errorf("stderr = %q, want Hot ns/op failure", stderr)
+	}
+	if !strings.Contains(stdout, "regression") {
+		t.Errorf("stdout table = %q, want regression row", stdout)
+	}
+}
+
+func TestWithinThresholdNoisePasses(t *testing.T) {
+	base := writeDoc(t, "base.json", doc(100, 10))
+	// 3% wobble: inside the equivalence band.
+	cur := writeDoc(t, "new.json", doc(103, 10))
+	code, _, stderr := runDiff(t, base, cur)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "OK") {
+		t.Errorf("stderr = %q, want OK verdict", stderr)
+	}
+}
+
+func TestAllowedRegressionWarnsAndPasses(t *testing.T) {
+	base := writeDoc(t, "base.json", doc(100, 10))
+	cur := writeDoc(t, "new.json", doc(150, 10))
+	code, _, stderr := runDiff(t, "-allow", "Hot", base, cur)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 for allowed regression\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "warning") || !strings.Contains(stderr, "(allowed)") {
+		t.Errorf("stderr = %q, want allowed-regression warning", stderr)
+	}
+}
+
+func TestCustomThreshold(t *testing.T) {
+	base := writeDoc(t, "base.json", doc(100, 10))
+	cur := writeDoc(t, "new.json", doc(108, 10)) // 8% worse
+	if code, _, stderr := runDiff(t, base, cur); code != 1 {
+		t.Fatalf("8%% regression under default 5%% threshold: exit = %d, want 1\n%s", code, stderr)
+	}
+	if code, _, stderr := runDiff(t, "-threshold", "0.10", base, cur); code != 0 {
+		t.Fatalf("8%% regression under -threshold 0.10: exit = %d, want 0\n%s", code, stderr)
+	}
+}
+
+func TestReportOnlyNeverFails(t *testing.T) {
+	base := writeDoc(t, "base.json", doc(100, 10))
+	cur := writeDoc(t, "new.json", doc(500, 99))
+	code, _, stderr := runDiff(t, "-gate", "", base, cur)
+	if code != 0 {
+		t.Fatalf("report-only exit = %d, want 0\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "report only") {
+		t.Errorf("stderr = %q, want report-only note", stderr)
+	}
+}
+
+func TestConfigMismatchRefused(t *testing.T) {
+	base := writeDoc(t, "base.json", doc(100, 10))
+	other := doc(100, 10)
+	other.Seeds = []uint64{123}
+	cur := writeDoc(t, "new.json", other)
+	code, _, stderr := runDiff(t, base, cur)
+	if code != 1 {
+		t.Fatalf("seed mismatch exit = %d, want 1\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "different workloads") {
+		t.Errorf("stderr = %q, want workload-mismatch refusal", stderr)
+	}
+	// -ignore-config downgrades the refusal and compares anyway.
+	if code, _, stderr := runDiff(t, "-ignore-config", base, cur); code != 0 {
+		t.Fatalf("-ignore-config exit = %d, want 0\n%s", code, stderr)
+	}
+}
+
+func TestMissingBenchmarkFailsGate(t *testing.T) {
+	base := writeDoc(t, "base.json", doc(100, 10))
+	empty := doc(100, 10)
+	empty.Benchmarks = []benchjson.Benchmark{{
+		Name: "Other", Procs: 1, Iterations: 1, Metrics: map[string]float64{"ns/op": 1},
+	}}
+	cur := writeDoc(t, "new.json", empty)
+	code, _, stderr := runDiff(t, base, cur)
+	if code != 1 {
+		t.Fatalf("missing gated benchmark exit = %d, want 1\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "missing from new document") {
+		t.Errorf("stderr = %q, want missing-benchmark failure", stderr)
+	}
+}
+
+func TestVerdictJSON(t *testing.T) {
+	base := writeDoc(t, "base.json", doc(100, 10))
+	cur := writeDoc(t, "new.json", doc(120, 10))
+	verdict := filepath.Join(t.TempDir(), "verdict.json")
+	code, _, _ := runDiff(t, "-json", verdict, base, cur)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	data, err := os.ReadFile(verdict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{`"schema": "halo-benchdiff/v1"`, `"pass": false`, `"regression"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("verdict JSON missing %s:\n%s", want, s)
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runDiff(t, "only-one.json"); code != 2 {
+		t.Errorf("one arg: exit = %d, want 2", code)
+	}
+	if code, _, _ := runDiff(t, "a.json", "b.json", "c.json"); code != 2 {
+		t.Errorf("three args: exit = %d, want 2", code)
+	}
+	if code, _, _ := runDiff(t, filepath.Join(t.TempDir(), "absent.json"), filepath.Join(t.TempDir(), "absent2.json")); code != 2 {
+		t.Errorf("unreadable input: exit = %d, want 2", code)
+	}
+}

@@ -5,7 +5,15 @@
 // Usage:
 //
 //	go test -bench 'RunAllSerial|Fig9SingleLookup' -benchmem -benchtime 1x . |
-//	    go run ./cmd/benchjson -o BENCH_perf.json
+//	    go run ./cmd/benchjson -seeds 0x48414c4f \
+//	        -config bench='RunAllSerial|Fig9SingleLookup' -config benchtime=1x \
+//	        -o BENCH_perf.json
+//
+// -seeds and -config stamp the workload identity into the document:
+// cmd/benchdiff refuses to compare two documents whose seed lists or config
+// maps disagree, so a diff is only ever apples to apples. The `pkg:` and
+// `cpu:` headers of the bench output are captured automatically (cpu as
+// environment info, which benchdiff only warns about).
 //
 // The document intentionally carries no timestamp or hostname: two runs of
 // the same toolchain on the same code should encode identically except for
@@ -17,12 +25,31 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"halo/internal/benchjson"
+	"halo/internal/listflag"
 )
+
+// configFlag collects repeatable -config key=value pairs.
+type configFlag map[string]string
+
+func (c configFlag) String() string { return fmt.Sprintf("%v", map[string]string(c)) }
+
+func (c configFlag) Set(v string) error {
+	key, val, ok := strings.Cut(v, "=")
+	if !ok || key == "" {
+		return fmt.Errorf("want key=value, got %q", v)
+	}
+	c[key] = val
+	return nil
+}
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	seedsFl := flag.String("seeds", "", "comma-separated workload seeds to stamp into the document")
+	config := configFlag{}
+	flag.Var(config, "config", "benchmark config entry to stamp, key=value (repeatable)")
 	flag.Parse()
 
 	in := os.Stdin
@@ -35,7 +62,7 @@ func main() {
 		defer f.Close()
 		in = f
 	} else if flag.NArg() > 1 {
-		fmt.Fprintln(os.Stderr, "usage: benchjson [-o out.json] [bench-output.txt]")
+		fmt.Fprintln(os.Stderr, "usage: benchjson [-o out.json] [-seeds 42,123] [-config k=v]... [bench-output.txt]")
 		os.Exit(2)
 	}
 
@@ -44,6 +71,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+	if *seedsFl != "" {
+		seeds, err := listflag.Uint64s("seeds", *seedsFl)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		doc.Seeds = seeds
+	}
+	for k, v := range config {
+		if doc.Config == nil {
+			doc.Config = make(map[string]string)
+		}
+		doc.Config[k] = v
+	}
+
 	data, err := benchjson.Encode(doc)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)

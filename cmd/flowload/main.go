@@ -110,11 +110,32 @@ func main() {
 		fmt.Fprintln(os.Stderr, "flowload: -shards is ignored with -remote (shard count is fixed server-side)")
 	}
 
+	// Stamp the workload identity (seeds + config) into the document so
+	// benchdiff refuses to compare serve artifacts produced by different
+	// sweeps. Worker count is deliberately NOT config: it defaults to the
+	// host's GOMAXPROCS and is recorded per benchmark as Procs instead.
+	mode := "local"
+	sweepList := "shards=" + *shardsFl
+	if *remote != "" {
+		mode = "remote"
+		sweepList = "conns=" + *connsFl
+	}
 	doc := &benchjson.Document{
-		Schema:     benchjson.SchemaVersion,
-		GoVersion:  runtime.Version(),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
+		Schema:    benchjson.SchemaVersion,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Seeds:     []uint64{*seed},
+		Config: map[string]string{
+			"tool":  "flowload",
+			"mode":  mode,
+			"flows": fmt.Sprint(*flows),
+			"ops":   fmt.Sprint(*ops),
+			"batch": fmt.Sprint(*batch),
+			"churn": fmt.Sprint(*churn),
+			"mix":   *mixFlag,
+			"sweep": sweepList,
+		},
 		Benchmarks: []benchjson.Benchmark{},
 	}
 	fmt.Printf("%-34s %10s %12s %10s %10s %10s %10s\n",

@@ -1,0 +1,131 @@
+// Command hypotheses runs the repository's hypothesis experiments
+// (internal/hypotheses) across the standard seed set and prints
+// FINDINGS-ready result blocks: per-seed tables, effect summaries and a
+// BLIS verdict per experiment. With -json it also writes a halo-bench/v1
+// document (one benchmark per experiment/arm/seed) that cmd/benchdiff can
+// compare across commits.
+//
+// Usage:
+//
+//	hypotheses                         # full run, all experiments, seeds 42,123,456
+//	hypotheses -run shard-grouped-batching
+//	hypotheses -smoke -json hyp.json   # CI: small run + machine-readable artifact
+//	hypotheses -seeds 7,8,9 -flows 50000 -ops 500000
+//
+// The exit code reflects measurement integrity, not statistical outcome: a
+// refuted hypothesis is a finding to record in hypotheses/<name>/FINDINGS.md,
+// not a build failure. Only a harness error (wrong lookup values, missed
+// flows, unknown experiment) exits non-zero.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"halo/internal/benchjson"
+	"halo/internal/hypotheses"
+	"halo/internal/listflag"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hypotheses", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		runFl    = fs.String("run", "all", "experiment to run ('all' or a registry name)")
+		smoke    = fs.Bool("smoke", false, "use the small CI configuration")
+		seedsFl  = fs.String("seeds", "", "override the seed list (comma-separated, default 42,123,456)")
+		flows    = fs.Int("flows", 0, "override flow population per seed")
+		ops      = fs.Int64("ops", 0, "override lookups per arm per repeat")
+		batch    = fs.Int("batch", 0, "override keys per batch")
+		shards   = fs.Int("shards", 0, "override table shard count")
+		repeats  = fs.Int("repeats", 0, "override timed repeats per arm")
+		jsonPath = fs.String("json", "", "write a halo-bench/v1 document of all arm measurements")
+		list     = fs.Bool("list", false, "list registered experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, e := range hypotheses.Registry() {
+			fmt.Fprintf(stdout, "%-28s %-24s %s\n", e.Name, e.Kind, e.Title)
+		}
+		return 0
+	}
+
+	cfg := hypotheses.DefaultConfig()
+	if *smoke {
+		cfg = hypotheses.SmokeConfig()
+	}
+	if *seedsFl != "" {
+		seeds, err := listflag.Uint64s("seeds", *seedsFl)
+		if err != nil {
+			fmt.Fprintf(stderr, "hypotheses: %v\n", err)
+			return 2
+		}
+		cfg.Seeds = seeds
+	}
+	if *flows > 0 {
+		cfg.Flows = *flows
+	}
+	if *ops > 0 {
+		cfg.Ops = *ops
+	}
+	if *batch > 0 {
+		cfg.Batch = *batch
+	}
+	if *shards > 0 {
+		cfg.Shards = *shards
+	}
+	if *repeats > 0 {
+		cfg.Repeats = *repeats
+	}
+
+	var todo []hypotheses.Experiment
+	if *runFl == "all" {
+		todo = hypotheses.Registry()
+	} else {
+		e, ok := hypotheses.Find(*runFl)
+		if !ok {
+			fmt.Fprintf(stderr, "hypotheses: unknown experiment %q (-list shows the registry)\n", *runFl)
+			return 2
+		}
+		todo = []hypotheses.Experiment{e}
+	}
+
+	fmt.Fprintf(stdout, "hypotheses: seeds=%v flows=%d ops=%d batch=%d shards=%d repeats=%d\n\n",
+		cfg.Seeds, cfg.Flows, cfg.Ops, cfg.Batch, cfg.Shards, cfg.Repeats)
+
+	var results []hypotheses.Result
+	for _, e := range todo {
+		fmt.Fprintf(stderr, "hypotheses: running %s (%d seeds)...\n", e.Name, len(cfg.Seeds))
+		res, err := hypotheses.RunExperiment(e, cfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "hypotheses: %v\n", err)
+			return 1
+		}
+		res.Render(stdout)
+		results = append(results, res)
+	}
+
+	if *jsonPath != "" {
+		doc := hypotheses.Document(cfg, results)
+		data, err := benchjson.Encode(doc)
+		if err != nil {
+			fmt.Fprintf(stderr, "hypotheses: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintf(stderr, "hypotheses: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "hypotheses: wrote %s (%d benchmarks)\n", *jsonPath, len(doc.Benchmarks))
+	}
+	return 0
+}

@@ -28,12 +28,24 @@ type Benchmark struct {
 }
 
 // Document is the archived artifact.
+//
+// Seeds and Config identify the *workload* the numbers describe: the RNG
+// seeds the producing tool ran and its benchmark configuration (flag values,
+// bench pattern, population sizes — whatever defines the measurement).
+// Compare refuses to diff documents whose Seeds or Config disagree, so two
+// artifacts are only ever compared when they measured the same thing.
+// GoVersion/GOOS/GOARCH/CPU describe the *environment* instead; mismatches
+// there are reported as warnings, never refusals (cross-machine comparison
+// of machine-independent metrics like allocs/op is a supported use).
 type Document struct {
-	Schema     string      `json:"schema"`
-	GoVersion  string      `json:"go"`
-	GOOS       string      `json:"goos"`
-	GOARCH     string      `json:"goarch"`
-	Benchmarks []Benchmark `json:"benchmarks"`
+	Schema     string            `json:"schema"`
+	GoVersion  string            `json:"go"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	CPU        string            `json:"cpu,omitempty"`
+	Seeds      []uint64          `json:"seeds,omitempty"`
+	Config     map[string]string `json:"config,omitempty"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
 }
 
 // Parse reads `go test -bench` output and collects every benchmark result
@@ -58,6 +70,23 @@ func Parse(r io.Reader) (*Document, error) {
 		}
 		if v, ok := strings.CutPrefix(line, "goarch: "); ok {
 			doc.GOARCH = v
+			continue
+		}
+		if v, ok := strings.CutPrefix(line, "cpu: "); ok {
+			doc.CPU = v
+			continue
+		}
+		if v, ok := strings.CutPrefix(line, "pkg: "); ok {
+			if doc.Config == nil {
+				doc.Config = make(map[string]string)
+			}
+			// Multi-package runs emit one pkg header each; accumulate them.
+			if cur := doc.Config["pkg"]; cur != "" && cur != v &&
+				!strings.Contains(","+cur+",", ","+v+",") {
+				doc.Config["pkg"] = cur + "," + v
+			} else if cur == "" {
+				doc.Config["pkg"] = v
+			}
 			continue
 		}
 		if !strings.HasPrefix(line, "Benchmark") {

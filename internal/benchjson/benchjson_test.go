@@ -27,6 +27,12 @@ func TestParseSample(t *testing.T) {
 	if doc.GOOS != "linux" || doc.GOARCH != "amd64" {
 		t.Fatalf("goos/goarch = %q/%q", doc.GOOS, doc.GOARCH)
 	}
+	if doc.CPU != "Intel(R) Xeon(R) CPU" {
+		t.Fatalf("cpu = %q", doc.CPU)
+	}
+	if doc.Config["pkg"] != "halo" {
+		t.Fatalf("pkg config = %q", doc.Config["pkg"])
+	}
 	if len(doc.Benchmarks) != 3 {
 		t.Fatalf("got %d benchmarks, want 3", len(doc.Benchmarks))
 	}

@@ -1,0 +1,394 @@
+// compare.go is the comparison core: align two documents' benchmarks by
+// name, compute per-metric deltas, and classify each delta with the BLIS
+// effect-size rules (significant / inconclusive / equivalent / regression).
+// cmd/benchdiff renders the result and gates CI on it; the hypotheses
+// harness reuses Classify for its per-seed verdicts.
+package benchjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"halo/internal/stats"
+)
+
+// Class is the BLIS-style verdict for one metric delta.
+type Class string
+
+const (
+	// ClassSignificant: improved beyond Thresholds.Significant.
+	ClassSignificant Class = "significant"
+	// ClassInconclusive: moved, but inside neither the equivalence band nor
+	// the significant region — an improvement too small to claim, or a
+	// worsening too small to gate on (when Regression > Equivalence).
+	ClassInconclusive Class = "inconclusive"
+	// ClassEquivalent: within ±Thresholds.Equivalence of the baseline.
+	ClassEquivalent Class = "equivalent"
+	// ClassRegression: worsened beyond Thresholds.Regression.
+	ClassRegression Class = "regression"
+	// ClassInvalid: a NaN or Inf on either side — the measurement itself is
+	// broken, which a gate must not mistake for "no regression".
+	ClassInvalid Class = "invalid"
+)
+
+// Thresholds are relative effect-size boundaries (fractions, not percents).
+// The defaults are the BLIS standards: >20% improvement is significant,
+// ±5% is equivalent, and >5% worsening is a regression.
+type Thresholds struct {
+	Significant float64 `json:"significant"`
+	Equivalence float64 `json:"equivalence"`
+	Regression  float64 `json:"regression"`
+}
+
+// DefaultThresholds returns the BLIS effect-size tiers.
+func DefaultThresholds() Thresholds {
+	return Thresholds{Significant: 0.20, Equivalence: 0.05, Regression: 0.05}
+}
+
+// HigherIsBetter reports the improvement direction of a metric by its unit
+// name. Rates ("/sec", "/s"), speedups and hit counts improve upward;
+// everything else (times, bytes, allocs, misses, retries) improves downward.
+func HigherIsBetter(metric string) bool {
+	return strings.HasSuffix(metric, "/sec") || strings.HasSuffix(metric, "/s") ||
+		strings.Contains(metric, "speedup") || strings.HasSuffix(metric, "hits")
+}
+
+// Improvement returns the relative improvement of new over base for a
+// metric, oriented so positive is always better (a 0.25 means 25% better
+// regardless of the metric's direction). The second result is false when
+// the improvement is undefined: a zero baseline with a nonzero new value,
+// or a NaN/Inf on either side.
+func Improvement(metric string, base, new float64) (float64, bool) {
+	if math.IsNaN(base) || math.IsInf(base, 0) || math.IsNaN(new) || math.IsInf(new, 0) {
+		return 0, false
+	}
+	if base == 0 {
+		if new == 0 {
+			return 0, true
+		}
+		return 0, false
+	}
+	rel := (new - base) / math.Abs(base)
+	if HigherIsBetter(metric) {
+		return rel, true
+	}
+	return -rel, true
+}
+
+// Classify places one (base, new) metric pair into a BLIS class. The
+// checks run regression-first so a worsening never hides inside a wide
+// equivalence band, and invalid inputs are never classified as safe.
+func Classify(metric string, base, new float64, th Thresholds) Class {
+	imp, ok := Improvement(metric, base, new)
+	if !ok {
+		if math.IsNaN(base) || math.IsInf(base, 0) || math.IsNaN(new) || math.IsInf(new, 0) {
+			return ClassInvalid
+		}
+		// Zero baseline, nonzero new value: appearing from nothing is a
+		// regression for downward metrics and significant for upward ones.
+		if HigherIsBetter(metric) {
+			return ClassSignificant
+		}
+		return ClassRegression
+	}
+	switch {
+	case imp < 0 && -imp > th.Regression:
+		return ClassRegression
+	case imp >= th.Significant:
+		return ClassSignificant
+	case math.Abs(imp) <= th.Equivalence:
+		return ClassEquivalent
+	default:
+		return ClassInconclusive
+	}
+}
+
+// MetricDelta is one metric's comparison. Improvement is nil when undefined
+// (zero baseline with nonzero new value, NaN/Inf input).
+type MetricDelta struct {
+	Metric      string   `json:"metric"`
+	Base        float64  `json:"base"`
+	New         float64  `json:"new"`
+	Improvement *float64 `json:"improvement,omitempty"`
+	Class       Class    `json:"class"`
+}
+
+// BenchDelta is one benchmark's comparison: its aligned metric deltas, or a
+// presence mismatch (BaseOnly/NewOnly) when the name exists on one side only.
+type BenchDelta struct {
+	Name     string        `json:"name"`
+	BaseOnly bool          `json:"base_only,omitempty"`
+	NewOnly  bool          `json:"new_only,omitempty"`
+	Metrics  []MetricDelta `json:"metrics,omitempty"`
+}
+
+// Comparison is the aligned diff of two documents.
+type Comparison struct {
+	Thresholds Thresholds   `json:"thresholds"`
+	Benches    []BenchDelta `json:"benches"`
+}
+
+// CheckComparable verifies that two documents measured the same workload:
+// Seeds and Config must match exactly (an error — comparing them would diff
+// apples to oranges), while environment differences (Go version, GOOS,
+// GOARCH, CPU) are returned as warnings.
+func CheckComparable(base, new *Document) (warnings []string, err error) {
+	if len(base.Seeds) != len(new.Seeds) {
+		return nil, fmt.Errorf("seed lists differ: base has %d seeds, new has %d", len(base.Seeds), len(new.Seeds))
+	}
+	for i := range base.Seeds {
+		if base.Seeds[i] != new.Seeds[i] {
+			return nil, fmt.Errorf("seed lists differ at index %d: base %d, new %d", i, base.Seeds[i], new.Seeds[i])
+		}
+	}
+	keys := make(map[string]bool, len(base.Config)+len(new.Config))
+	for k := range base.Config {
+		keys[k] = true
+	}
+	for k := range new.Config {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	for _, k := range sorted {
+		bv, bok := base.Config[k]
+		nv, nok := new.Config[k]
+		switch {
+		case !bok:
+			return nil, fmt.Errorf("config key %q only in new document (%q)", k, nv)
+		case !nok:
+			return nil, fmt.Errorf("config key %q only in base document (%q)", k, bv)
+		case bv != nv:
+			return nil, fmt.Errorf("config key %q differs: base %q, new %q", k, bv, nv)
+		}
+	}
+	if base.GoVersion != new.GoVersion {
+		warnings = append(warnings, fmt.Sprintf("go version differs: base %q, new %q", base.GoVersion, new.GoVersion))
+	}
+	if base.GOOS != new.GOOS || base.GOARCH != new.GOARCH {
+		warnings = append(warnings, fmt.Sprintf("platform differs: base %s/%s, new %s/%s",
+			base.GOOS, base.GOARCH, new.GOOS, new.GOARCH))
+	}
+	if base.CPU != new.CPU {
+		warnings = append(warnings, fmt.Sprintf("cpu differs: base %q, new %q", base.CPU, new.CPU))
+	}
+	return warnings, nil
+}
+
+// Compare aligns two documents by benchmark name and classifies every
+// metric. Benchmarks present on one side only become BaseOnly/NewOnly
+// entries; metrics present on one side only are classified against an
+// implicit zero (which Classify treats as regression/invalid as
+// appropriate, never silently skips). Order: base-document order first,
+// then new-only benchmarks in new-document order.
+//
+// Compare does not enforce CheckComparable — callers decide whether a
+// config mismatch is fatal (benchdiff refuses unless -ignore-config).
+func Compare(base, new *Document, th Thresholds) *Comparison {
+	c := &Comparison{Thresholds: th}
+	newByName := make(map[string]*Benchmark, len(new.Benchmarks))
+	for i := range new.Benchmarks {
+		b := &new.Benchmarks[i]
+		if _, dup := newByName[b.Name]; !dup {
+			newByName[b.Name] = b
+		}
+	}
+	seen := make(map[string]bool, len(base.Benchmarks))
+	for i := range base.Benchmarks {
+		bb := &base.Benchmarks[i]
+		if seen[bb.Name] {
+			continue
+		}
+		seen[bb.Name] = true
+		nb, ok := newByName[bb.Name]
+		if !ok {
+			c.Benches = append(c.Benches, BenchDelta{Name: bb.Name, BaseOnly: true})
+			continue
+		}
+		c.Benches = append(c.Benches, BenchDelta{
+			Name:    bb.Name,
+			Metrics: compareMetrics(bb.Metrics, nb.Metrics, th),
+		})
+	}
+	for i := range new.Benchmarks {
+		nb := &new.Benchmarks[i]
+		if !seen[nb.Name] {
+			seen[nb.Name] = true
+			c.Benches = append(c.Benches, BenchDelta{Name: nb.Name, NewOnly: true})
+		}
+	}
+	return c
+}
+
+// compareMetrics aligns two metric maps by unit name, in sorted order.
+func compareMetrics(base, new map[string]float64, th Thresholds) []MetricDelta {
+	names := make(map[string]bool, len(base)+len(new))
+	for m := range base {
+		names[m] = true
+	}
+	for m := range new {
+		names[m] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for m := range names {
+		sorted = append(sorted, m)
+	}
+	sort.Strings(sorted)
+	out := make([]MetricDelta, 0, len(sorted))
+	for _, m := range sorted {
+		bv, nv := base[m], new[m] // absent reads as 0 — classified, not skipped
+		d := MetricDelta{Metric: m, Base: bv, New: nv, Class: Classify(m, bv, nv, th)}
+		if imp, ok := Improvement(m, bv, nv); ok {
+			v := imp
+			d.Improvement = &v
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// GateResult is the verdict of a regression gate over a comparison.
+type GateResult struct {
+	Failures []string `json:"failures,omitempty"`
+	Warnings []string `json:"warnings,omitempty"`
+}
+
+// Pass reports whether the gate holds (no failures).
+func (g GateResult) Pass() bool { return len(g.Failures) == 0 }
+
+// Gate evaluates the comparison against a set of gated metric names.
+// Failures: a regression or invalid value in a gated metric, or a gated
+// benchmark that disappeared (BaseOnly) — deleting a hot-path benchmark
+// must not dodge the gate. allow downgrades a named benchmark's failures
+// to warnings; NewOnly benchmarks are warnings (new coverage, nothing to
+// compare yet). With no gated metrics the gate is report-only and always
+// passes.
+func (c *Comparison) Gate(gated []string, allow map[string]bool) GateResult {
+	var g GateResult
+	if len(gated) == 0 {
+		return g
+	}
+	isGated := make(map[string]bool, len(gated))
+	for _, m := range gated {
+		isGated[m] = true
+	}
+	record := func(bench, msg string) {
+		if allow[bench] {
+			g.Warnings = append(g.Warnings, msg+" (allowed)")
+		} else {
+			g.Failures = append(g.Failures, msg)
+		}
+	}
+	for _, b := range c.Benches {
+		switch {
+		case b.BaseOnly:
+			record(b.Name, fmt.Sprintf("%s: benchmark missing from new document", b.Name))
+			continue
+		case b.NewOnly:
+			g.Warnings = append(g.Warnings, fmt.Sprintf("%s: benchmark only in new document (no baseline)", b.Name))
+			continue
+		}
+		for _, m := range b.Metrics {
+			if !isGated[m.Metric] {
+				continue
+			}
+			switch m.Class {
+			case ClassRegression:
+				record(b.Name, fmt.Sprintf("%s %s: %s → %s (%s regression)",
+					b.Name, m.Metric, formatValue(m.Base), formatValue(m.New), formatImprovement(m.Improvement)))
+			case ClassInvalid:
+				record(b.Name, fmt.Sprintf("%s %s: invalid value (base %v, new %v)",
+					b.Name, m.Metric, m.Base, m.New))
+			}
+		}
+	}
+	return g
+}
+
+// formatValue renders a metric value compactly for gate messages.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// formatImprovement renders a signed percent worsening for gate messages.
+func formatImprovement(imp *float64) string {
+	if imp == nil {
+		return "∞%"
+	}
+	return fmt.Sprintf("%.1f%%", -*imp*100)
+}
+
+// FromStats converts a halo-stats/v1 document into comparison input: one
+// benchmark per sweep point named "<experiment>/<label>", carrying every
+// snapshot counter as a metric plus p50/p95/p99 and mean per histogram
+// ("<hist>.p50" …). The stats document is deterministic, so diffing two of
+// them surfaces exactly which counters moved between commits.
+func FromStats(sd *stats.Document) *Document {
+	d := &Document{
+		Schema: SchemaVersion,
+		Seeds:  []uint64{sd.Seed},
+		Config: map[string]string{
+			"source-schema": stats.SchemaVersion,
+			"quick":         fmt.Sprintf("%v", sd.Quick),
+		},
+		Benchmarks: []Benchmark{},
+	}
+	for _, e := range sd.Experiments {
+		for _, p := range e.Points {
+			b := Benchmark{
+				Name:       e.ID + "/" + p.Label,
+				Procs:      1,
+				Iterations: 1,
+				Metrics:    map[string]float64{},
+			}
+			if p.Snapshot != nil {
+				for name, v := range p.Snapshot.Counters {
+					b.Metrics[name] = float64(v)
+				}
+				for name, h := range p.Snapshot.Hists {
+					b.Metrics[name+".count"] = float64(h.Count())
+					b.Metrics[name+".mean"] = h.Mean()
+					b.Metrics[name+".p50"] = float64(h.Quantile(0.50))
+					b.Metrics[name+".p95"] = float64(h.Quantile(0.95))
+					b.Metrics[name+".p99"] = float64(h.Quantile(0.99))
+				}
+			}
+			d.Benchmarks = append(d.Benchmarks, b)
+		}
+	}
+	return d
+}
+
+// DecodeAny loads comparison input from either supported schema: a
+// halo-bench/v1 document verbatim, or a halo-stats/v1 document converted
+// through FromStats.
+func DecodeAny(data []byte) (*Document, error) {
+	var head struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &head); err != nil {
+		return nil, fmt.Errorf("benchjson: %v", err)
+	}
+	switch head.Schema {
+	case SchemaVersion:
+		return Decode(data)
+	case stats.SchemaVersion:
+		sd, err := stats.Decode(data)
+		if err != nil {
+			return nil, err
+		}
+		return FromStats(sd), nil
+	default:
+		return nil, fmt.Errorf("benchjson: unsupported schema %q (want %q or %q)",
+			head.Schema, SchemaVersion, stats.SchemaVersion)
+	}
+}

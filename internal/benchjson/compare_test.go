@@ -1,0 +1,268 @@
+package benchjson
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"halo/internal/stats"
+)
+
+func TestClassifyTable(t *testing.T) {
+	th := DefaultThresholds()
+	cases := []struct {
+		name      string
+		metric    string
+		base, new float64
+		want      Class
+	}{
+		// Lower-is-better (ns/op style).
+		{"equal", "ns/op", 100, 100, ClassEquivalent},
+		{"within-band-worse", "ns/op", 100, 104, ClassEquivalent},
+		{"within-band-better", "ns/op", 100, 96, ClassEquivalent},
+		{"regression", "ns/op", 100, 106, ClassRegression},
+		{"big-regression", "ns/op", 100, 200, ClassRegression},
+		{"small-improvement", "ns/op", 100, 90, ClassInconclusive},
+		{"significant-improvement", "ns/op", 100, 75, ClassSignificant},
+		{"boundary-significant", "ns/op", 100, 80, ClassSignificant},
+
+		// Higher-is-better (rates, speedups).
+		{"rate-regression", "lookups/sec", 1e6, 0.9e6, ClassRegression},
+		{"rate-improvement", "lookups/sec", 1e6, 1.3e6, ClassSignificant},
+		{"rate-equivalent", "lookups/sec", 1e6, 1.03e6, ClassEquivalent},
+		{"speedup-drop", "sim-fig9-speedup", 42.5, 30, ClassRegression},
+
+		// Zero baselines.
+		{"zero-zero", "allocs/op", 0, 0, ClassEquivalent},
+		{"zero-base-appears", "allocs/op", 0, 7, ClassRegression},
+		{"zero-base-rate-appears", "lookups/sec", 0, 5, ClassSignificant},
+		{"drops-to-zero", "allocs/op", 7, 0, ClassSignificant},
+
+		// NaN/Inf are never classified as safe.
+		{"nan-base", "ns/op", math.NaN(), 100, ClassInvalid},
+		{"nan-new", "ns/op", 100, math.NaN(), ClassInvalid},
+		{"inf-new", "ns/op", 100, math.Inf(1), ClassInvalid},
+		{"neg-inf-base", "ns/op", math.Inf(-1), 100, ClassInvalid},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Classify(c.metric, c.base, c.new, th); got != c.want {
+				t.Errorf("Classify(%s, %v, %v) = %s, want %s", c.metric, c.base, c.new, got, c.want)
+			}
+		})
+	}
+}
+
+func TestClassifyCustomThresholds(t *testing.T) {
+	// Regression 10%, equivalence 5%: a 7% worsening is neither equivalent
+	// nor a regression — inconclusive.
+	th := Thresholds{Significant: 0.20, Equivalence: 0.05, Regression: 0.10}
+	if got := Classify("ns/op", 100, 107, th); got != ClassInconclusive {
+		t.Errorf("7%% worsening under 10%% regression threshold = %s, want inconclusive", got)
+	}
+	if got := Classify("ns/op", 100, 111, th); got != ClassRegression {
+		t.Errorf("11%% worsening under 10%% regression threshold = %s, want regression", got)
+	}
+}
+
+func docWith(benches ...Benchmark) *Document {
+	return &Document{Schema: SchemaVersion, GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64", Benchmarks: benches}
+}
+
+func TestCompareAlignment(t *testing.T) {
+	base := docWith(
+		Benchmark{Name: "A", Metrics: map[string]float64{"ns/op": 100}},
+		Benchmark{Name: "Gone", Metrics: map[string]float64{"ns/op": 50}},
+	)
+	cur := docWith(
+		Benchmark{Name: "A", Metrics: map[string]float64{"ns/op": 120}},
+		Benchmark{Name: "Fresh", Metrics: map[string]float64{"ns/op": 10}},
+	)
+	c := Compare(base, cur, DefaultThresholds())
+	if len(c.Benches) != 3 {
+		t.Fatalf("got %d bench deltas, want 3: %+v", len(c.Benches), c.Benches)
+	}
+	if c.Benches[0].Name != "A" || c.Benches[0].Metrics[0].Class != ClassRegression {
+		t.Errorf("A delta = %+v, want ns/op regression", c.Benches[0])
+	}
+	if imp := c.Benches[0].Metrics[0].Improvement; imp == nil || math.Abs(*imp+0.20) > 1e-12 {
+		t.Errorf("A improvement = %v, want -0.20", imp)
+	}
+	if !c.Benches[1].BaseOnly || c.Benches[1].Name != "Gone" {
+		t.Errorf("missing-on-new side not reported: %+v", c.Benches[1])
+	}
+	if !c.Benches[2].NewOnly || c.Benches[2].Name != "Fresh" {
+		t.Errorf("missing-on-base side not reported: %+v", c.Benches[2])
+	}
+}
+
+func TestCompareMetricOnOneSide(t *testing.T) {
+	base := docWith(Benchmark{Name: "A", Metrics: map[string]float64{"ns/op": 100, "sim-speedup": 40}})
+	cur := docWith(Benchmark{Name: "A", Metrics: map[string]float64{"ns/op": 100}})
+	c := Compare(base, cur, DefaultThresholds())
+	var speedup *MetricDelta
+	for i := range c.Benches[0].Metrics {
+		if c.Benches[0].Metrics[i].Metric == "sim-speedup" {
+			speedup = &c.Benches[0].Metrics[i]
+		}
+	}
+	if speedup == nil {
+		t.Fatal("metric present only in base was silently dropped")
+	}
+	// A higher-is-better metric falling to (implicit) zero is a regression,
+	// not a skip.
+	if speedup.Class != ClassRegression {
+		t.Errorf("vanished speedup metric classified %s, want regression", speedup.Class)
+	}
+}
+
+func TestGate(t *testing.T) {
+	base := docWith(
+		Benchmark{Name: "Hot", Metrics: map[string]float64{"ns/op": 100, "B/op": 64}},
+		Benchmark{Name: "Allowed", Metrics: map[string]float64{"ns/op": 100}},
+		Benchmark{Name: "Gone", Metrics: map[string]float64{"ns/op": 100}},
+	)
+	cur := docWith(
+		Benchmark{Name: "Hot", Metrics: map[string]float64{"ns/op": 150, "B/op": 1024}},
+		Benchmark{Name: "Allowed", Metrics: map[string]float64{"ns/op": 200}},
+	)
+	c := Compare(base, cur, DefaultThresholds())
+
+	// Only ns/op gated: B/op regression must not fail the gate.
+	g := c.Gate([]string{"ns/op"}, map[string]bool{"Allowed": true})
+	if len(g.Failures) != 2 {
+		t.Fatalf("failures = %v, want Hot regression + Gone missing", g.Failures)
+	}
+	if !strings.Contains(g.Failures[0], "Hot ns/op") {
+		t.Errorf("first failure = %q, want Hot ns/op regression", g.Failures[0])
+	}
+	if !strings.Contains(g.Failures[1], "Gone") {
+		t.Errorf("second failure = %q, want Gone missing", g.Failures[1])
+	}
+	found := false
+	for _, w := range g.Warnings {
+		if strings.Contains(w, "Allowed") && strings.Contains(w, "(allowed)") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("allowed regression not downgraded to warning: %v", g.Warnings)
+	}
+
+	// Report-only mode: no gated metrics, always passes.
+	if g := c.Gate(nil, nil); !g.Pass() {
+		t.Errorf("report-only gate failed: %+v", g)
+	}
+}
+
+func TestGateInvalidValueFails(t *testing.T) {
+	base := docWith(Benchmark{Name: "Hot", Metrics: map[string]float64{"ns/op": 100}})
+	cur := docWith(Benchmark{Name: "Hot", Metrics: map[string]float64{"ns/op": math.Inf(1)}})
+	g := Compare(base, cur, DefaultThresholds()).Gate([]string{"ns/op"}, nil)
+	if g.Pass() {
+		t.Fatal("gate passed an Inf measurement")
+	}
+	if !strings.Contains(g.Failures[0], "invalid") {
+		t.Errorf("failure = %q, want invalid-value message", g.Failures[0])
+	}
+}
+
+func TestCheckComparable(t *testing.T) {
+	mk := func(seeds []uint64, cfg map[string]string) *Document {
+		return &Document{Schema: SchemaVersion, GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64",
+			Seeds: seeds, Config: cfg}
+	}
+	a := mk([]uint64{42, 123}, map[string]string{"flows": "20000"})
+
+	if _, err := CheckComparable(a, mk([]uint64{42, 123}, map[string]string{"flows": "20000"})); err != nil {
+		t.Errorf("identical workloads rejected: %v", err)
+	}
+	if _, err := CheckComparable(a, mk([]uint64{42}, map[string]string{"flows": "20000"})); err == nil {
+		t.Error("seed-count mismatch accepted")
+	}
+	if _, err := CheckComparable(a, mk([]uint64{42, 456}, map[string]string{"flows": "20000"})); err == nil {
+		t.Error("seed-value mismatch accepted")
+	}
+	if _, err := CheckComparable(a, mk([]uint64{42, 123}, map[string]string{"flows": "99"})); err == nil {
+		t.Error("config-value mismatch accepted")
+	}
+	if _, err := CheckComparable(a, mk([]uint64{42, 123}, nil)); err == nil {
+		t.Error("config-key mismatch accepted")
+	}
+
+	// Environment differences warn, never refuse.
+	b := mk([]uint64{42, 123}, map[string]string{"flows": "20000"})
+	b.GoVersion, b.CPU = "go1.22.0", "some other cpu"
+	warns, err := CheckComparable(a, b)
+	if err != nil {
+		t.Fatalf("environment mismatch refused: %v", err)
+	}
+	if len(warns) != 2 {
+		t.Errorf("warnings = %v, want go-version + cpu", warns)
+	}
+}
+
+func TestDecodeAnySchemas(t *testing.T) {
+	// halo-bench/v1 passes through Decode.
+	bd, err := Encode(docWith(Benchmark{Name: "X", Metrics: map[string]float64{"ns/op": 1}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeAny(bd); err != nil {
+		t.Fatalf("DecodeAny(halo-bench/v1): %v", err)
+	}
+
+	// halo-stats/v1 converts through FromStats.
+	snap := stats.NewSnapshot()
+	snap.Add("cuckoo.lookups", 10)
+	snap.Observe("lat.lookup", 100)
+	snap.Observe("lat.lookup", 200)
+	sd := &stats.Document{Schema: stats.SchemaVersion, Seed: 7, Experiments: []stats.ExperimentDoc{{
+		ID: "fig9", Points: []stats.PointDoc{{Label: "64K", Snapshot: snap}},
+	}}}
+	sdata, err := stats.Encode(sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := DecodeAny(sdata)
+	if err != nil {
+		t.Fatalf("DecodeAny(halo-stats/v1): %v", err)
+	}
+	b, ok := doc.Find("fig9/64K")
+	if !ok {
+		t.Fatalf("converted doc missing fig9/64K: %+v", doc.Benchmarks)
+	}
+	if b.Metrics["cuckoo.lookups"] != 10 {
+		t.Errorf("counter metric = %v, want 10", b.Metrics["cuckoo.lookups"])
+	}
+	if b.Metrics["lat.lookup.p50"] == 0 || b.Metrics["lat.lookup.count"] != 2 {
+		t.Errorf("histogram metrics = %v", b.Metrics)
+	}
+	if len(doc.Seeds) != 1 || doc.Seeds[0] != 7 {
+		t.Errorf("converted seeds = %v, want [7]", doc.Seeds)
+	}
+
+	// Unknown schemas are refused with both supported names in the error.
+	if _, err := DecodeAny([]byte(`{"schema":"halo-bench/v999"}`)); err == nil ||
+		!strings.Contains(err.Error(), "halo-stats/v1") {
+		t.Errorf("unknown schema error = %v, want mention of supported schemas", err)
+	}
+}
+
+func TestDocumentMetadataRoundTrip(t *testing.T) {
+	d := docWith(Benchmark{Name: "X", Metrics: map[string]float64{"ns/op": 1}})
+	d.CPU = "Intel(R) Xeon(R) CPU"
+	d.Seeds = []uint64{42, 123, 456}
+	d.Config = map[string]string{"bench": "RunAllSerial", "benchtime": "1x"}
+	data, err := Encode(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.CPU != d.CPU || len(back.Seeds) != 3 || back.Config["bench"] != "RunAllSerial" {
+		t.Errorf("metadata did not round-trip: %+v", back)
+	}
+}

@@ -1,0 +1,77 @@
+package hypotheses
+
+import (
+	"halo/internal/flowserve"
+)
+
+// shardBatchExperiment: PR 4 replaced naive per-key lookups with
+// shard-grouped batching (Batch.LookupMany counting-sorts keys by shard and
+// serves each group under one seqlock window). The claim riding on that
+// change — "batching beats calling Lookup in a loop" — is what this
+// experiment pins down across seeds.
+func shardBatchExperiment() Experiment {
+	return Experiment{
+		Name:  "shard-grouped-batching",
+		Title: "Shard-grouped batching (Batch.LookupMany) beats naive per-key Lookup loops",
+		Kind:  KindDominance,
+		ArmA:  "batched",
+		ArmB:  "naive",
+		Run: func(cfg Config, seed uint64) (SeedResult, error) {
+			w, keys := buildPopulation(cfg.Flows, seed)
+			tbl, err := newServingTable(cfg, keys)
+			if err != nil {
+				return SeedResult{}, err
+			}
+			batch := tbl.NewBatch()
+			batched := func(bkeys [][]byte, results []flowserve.Result) {
+				batch.LookupMany(bkeys, results)
+			}
+			naive := func(bkeys [][]byte, results []flowserve.Result) {
+				for j, k := range bkeys {
+					v, ok := tbl.Lookup(k)
+					results[j] = flowserve.Result{Value: v, OK: ok}
+				}
+			}
+			aNs, bNs, err := timeArms(w, keys, cfg, seed, batched, naive, nil)
+			if err != nil {
+				return SeedResult{}, err
+			}
+			return SeedResult{ANsPerOp: aNs, BNsPerOp: bNs}, nil
+		},
+	}
+}
+
+// pinnedReaderExperiment: PR 5 introduced the Reader interface, whose
+// pooled Table.LookupMany entry point costs a sync.Pool round-trip per
+// call; PinnedReader exists so hot loops can pin that scratch once. The
+// serving API is only an acceptable default if going through a PinnedReader
+// costs the same as owning the Batch directly — an equivalence claim.
+func pinnedReaderExperiment() Experiment {
+	return Experiment{
+		Name:  "pinned-reader-equivalence",
+		Title: "PinnedReader lookups are within 5% of direct Batch lookups",
+		Kind:  KindEquivalence,
+		ArmA:  "pinned-reader",
+		ArmB:  "direct-batch",
+		Run: func(cfg Config, seed uint64) (SeedResult, error) {
+			w, keys := buildPopulation(cfg.Flows, seed)
+			tbl, err := newServingTable(cfg, keys)
+			if err != nil {
+				return SeedResult{}, err
+			}
+			reader := tbl.NewPinnedReader()
+			pinned := func(bkeys [][]byte, results []flowserve.Result) {
+				reader.LookupMany(bkeys, results)
+			}
+			batch := tbl.NewBatch()
+			direct := func(bkeys [][]byte, results []flowserve.Result) {
+				batch.LookupMany(bkeys, results)
+			}
+			aNs, bNs, err := timeArms(w, keys, cfg, seed, pinned, direct, nil)
+			if err != nil {
+				return SeedResult{}, err
+			}
+			return SeedResult{ANsPerOp: aNs, BNsPerOp: bNs}, nil
+		},
+	}
+}

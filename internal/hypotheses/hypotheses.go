@@ -1,0 +1,328 @@
+// Package hypotheses is the hypothesis-driven experiment harness: each
+// registered experiment states an intuitive claim about the serving runtime
+// ("shard-grouped batching beats naive per-key lookups"), runs it across
+// the standard seed set (42, 123, 456), and classifies the outcome with the
+// BLIS effect-size rules — significant, directional, inconclusive,
+// equivalent or refuted — instead of leaving the claim as a commit-message
+// number.
+//
+// The harness is deliberately procedural-deterministic: the flow
+// populations, key sequences, arm order, warm-up and repeat policy are all
+// fixed by (config, seed), so a rerun measures exactly the same work. The
+// measured nanoseconds are wall-clock and therefore machine-dependent — the
+// *direction* and effect tier are what a rerun is expected to reproduce,
+// which is why every verdict requires directional consistency across all
+// seeds (one contradicting seed refutes the claim, per the BLIS standard).
+//
+// Results land in a `hypotheses/<name>/FINDINGS.md` narrative (template in
+// hypotheses/README.md) and regenerate via `go run ./cmd/hypotheses`.
+package hypotheses
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"halo/internal/benchjson"
+	"halo/internal/flowserve"
+	"halo/internal/packet"
+	"halo/internal/stats"
+	"halo/internal/trafficgen"
+)
+
+// DefaultSeeds is the BLIS seed policy: minimum three seeds, fixed values,
+// so every statistical experiment in the repository draws the same
+// populations.
+var DefaultSeeds = []uint64{42, 123, 456}
+
+// Config parametrises a harness run. Everything here is stamped into the
+// emitted halo-bench/v1 document's Config map, so benchdiff refuses to
+// compare runs with different shapes.
+type Config struct {
+	Seeds   []uint64
+	Flows   int   // flow population per seed
+	Ops     int64 // lookups per arm per repeat
+	Batch   int   // keys per LookupMany call
+	Shards  int   // table shard count
+	Repeats int   // timed repeats per arm; the fastest is kept
+}
+
+// DefaultConfig is the full-scale run behind the checked-in FINDINGS.md.
+func DefaultConfig() Config {
+	return Config{Seeds: DefaultSeeds, Flows: 100_000, Ops: 1_000_000, Batch: 16, Shards: 8, Repeats: 5}
+}
+
+// SmokeConfig shrinks the run for CI: same seeds, same procedure, smaller
+// population and fewer lookups.
+func SmokeConfig() Config {
+	return Config{Seeds: DefaultSeeds, Flows: 20_000, Ops: 150_000, Batch: 16, Shards: 8, Repeats: 2}
+}
+
+// Kind is the BLIS experiment classification.
+type Kind string
+
+const (
+	// KindDominance predicts arm A strictly beats arm B on the metric.
+	KindDominance Kind = "statistical/dominance"
+	// KindEquivalence predicts arm A is within the equivalence band of B.
+	KindEquivalence Kind = "statistical/equivalence"
+)
+
+// Experiment is one registered hypothesis.
+type Experiment struct {
+	Name       string // directory name under hypotheses/
+	Title      string // the hypothesis statement
+	Kind       Kind
+	ArmA, ArmB string // display names; A is the predicted winner (dominance) or candidate (equivalence)
+	// Run measures both arms for one seed and returns the per-arm cost.
+	Run func(cfg Config, seed uint64) (SeedResult, error)
+}
+
+// SeedResult is one seed's measurement: ns per lookup for each arm, plus
+// the improvement of A over B oriented positive-is-better (the Improvement
+// convention of internal/benchjson).
+type SeedResult struct {
+	Seed        uint64
+	ANsPerOp    float64
+	BNsPerOp    float64
+	Improvement float64
+}
+
+// Result is one experiment's full outcome.
+type Result struct {
+	Experiment Experiment
+	Seeds      []SeedResult
+	Verdict    Verdict
+}
+
+// Registry returns every experiment, in report order.
+func Registry() []Experiment {
+	return []Experiment{
+		shardBatchExperiment(),
+		pinnedReaderExperiment(),
+	}
+}
+
+// Find returns the named experiment.
+func Find(name string) (Experiment, bool) {
+	for _, e := range Registry() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunExperiment measures every seed and classifies the outcome.
+func RunExperiment(e Experiment, cfg Config) (Result, error) {
+	res := Result{Experiment: e}
+	for _, seed := range cfg.Seeds {
+		sr, err := e.Run(cfg, seed)
+		if err != nil {
+			return res, fmt.Errorf("hypotheses: %s seed %d: %w", e.Name, seed, err)
+		}
+		sr.Seed = seed
+		imp, ok := benchjson.Improvement("ns/op", sr.BNsPerOp, sr.ANsPerOp)
+		if !ok {
+			return res, fmt.Errorf("hypotheses: %s seed %d: degenerate measurement (A %v ns, B %v ns)",
+				e.Name, seed, sr.ANsPerOp, sr.BNsPerOp)
+		}
+		sr.Improvement = imp
+		res.Seeds = append(res.Seeds, sr)
+	}
+	imps := make([]float64, len(res.Seeds))
+	for i, sr := range res.Seeds {
+		imps[i] = sr.Improvement
+	}
+	th := benchjson.DefaultThresholds()
+	switch e.Kind {
+	case KindEquivalence:
+		res.Verdict = ClassifyEquivalence(imps, th)
+	default:
+		res.Verdict = ClassifyDominance(imps, th)
+	}
+	return res, nil
+}
+
+// Render writes one experiment's FINDINGS-ready results block: the per-seed
+// table (BLIS: per-seed values for transparency), the mean/min/max summary
+// and the verdict line.
+func (r Result) Render(w io.Writer) {
+	e := r.Experiment
+	fmt.Fprintf(w, "### %s — %s\n\n", e.Name, e.Title)
+	fmt.Fprintf(w, "Type: %s · A = %s · B = %s\n\n", e.Kind, e.ArmA, e.ArmB)
+	fmt.Fprintf(w, "| seed | A ns/lookup | B ns/lookup | A vs B |\n")
+	fmt.Fprintf(w, "|---|---|---|---|\n")
+	for _, sr := range r.Seeds {
+		fmt.Fprintf(w, "| %d | %.1f | %.1f | %+.1f%% |\n",
+			sr.Seed, sr.ANsPerOp, sr.BNsPerOp, sr.Improvement*100)
+	}
+	v := r.Verdict
+	fmt.Fprintf(w, "\nImprovement across seeds: mean %+.1f%%, min %+.1f%%, max %+.1f%%\n",
+		v.Mean*100, v.Min*100, v.Max*100)
+	fmt.Fprintf(w, "**Verdict: %s** — %s\n\n", v.Class, v.Detail)
+}
+
+// Document emits the machine-readable artifact for a set of results: a
+// halo-bench/v1 document with one benchmark per (experiment, seed, arm), so
+// cmd/benchdiff can compare harness runs across commits like any other
+// perf artifact.
+func Document(cfg Config, results []Result) *benchjson.Document {
+	doc := &benchjson.Document{
+		Schema:    benchjson.SchemaVersion,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Seeds:     append([]uint64(nil), cfg.Seeds...),
+		Config: map[string]string{
+			"tool":    "hypotheses",
+			"flows":   fmt.Sprint(cfg.Flows),
+			"ops":     fmt.Sprint(cfg.Ops),
+			"batch":   fmt.Sprint(cfg.Batch),
+			"shards":  fmt.Sprint(cfg.Shards),
+			"repeats": fmt.Sprint(cfg.Repeats),
+		},
+		Benchmarks: []benchjson.Benchmark{},
+	}
+	for _, r := range results {
+		for _, sr := range r.Seeds {
+			for _, arm := range []struct {
+				name string
+				ns   float64
+			}{
+				{"A=" + r.Experiment.ArmA, sr.ANsPerOp},
+				{"B=" + r.Experiment.ArmB, sr.BNsPerOp},
+			} {
+				doc.Benchmarks = append(doc.Benchmarks, benchjson.Benchmark{
+					Name:       fmt.Sprintf("Hypothesis/%s/%s/seed=%d", r.Experiment.Name, arm.name, sr.Seed),
+					Procs:      1, // arms are measured single-goroutine
+					Iterations: cfg.Ops,
+					Metrics: map[string]float64{
+						"ns/op":       arm.ns,
+						"lookups/sec": 1e9 / arm.ns,
+					},
+				})
+			}
+		}
+	}
+	return doc
+}
+
+// --- measurement machinery -------------------------------------------------
+
+// arm serves one batch of keys, writing results[i] for each key.
+type arm func(keys [][]byte, results []flowserve.Result)
+
+// buildPopulation generates a uniform flow population for a seed and packs
+// the header keys into one arena, exactly as cmd/flowload does.
+func buildPopulation(flows int, seed uint64) (*trafficgen.Workload, [][]byte) {
+	scn := trafficgen.Scenario{Name: "hypothesis", Flows: flows, Rules: 1, Popularity: trafficgen.Uniform}
+	w := trafficgen.Generate(scn, seed)
+	arena := make([]byte, len(w.Flows)*packet.HeaderKeyLen)
+	keys := make([][]byte, len(w.Flows))
+	for i, f := range w.Flows {
+		k := arena[i*packet.HeaderKeyLen : (i+1)*packet.HeaderKeyLen]
+		f.PutHeaderKey(k)
+		keys[i] = k
+	}
+	return w, keys
+}
+
+// newServingTable builds and fills a table for the population.
+func newServingTable(cfg Config, keys [][]byte) (*flowserve.Table, error) {
+	entries := uint64(len(keys)) + uint64(len(keys))/8 + 1024
+	tbl, err := flowserve.New(flowserve.Config{Shards: cfg.Shards, Entries: entries, KeyLen: packet.HeaderKeyLen})
+	if err != nil {
+		return nil, err
+	}
+	for i, k := range keys {
+		if err := tbl.Insert(k, uint64(i)+1); err != nil {
+			return nil, fmt.Errorf("install flow %d: %w", i, err)
+		}
+	}
+	return tbl, nil
+}
+
+// timeArms measures both arms of an experiment over the identical key
+// sequence (the stream resets to the same seed every pass). Each arm gets a
+// warm-up pass, then the timed passes run INTERLEAVED in ABBA order —
+// A,B then B,A, alternating — so a background-noise episode (GC, cron, a
+// co-tenant burst) lands on both arms instead of biasing whichever ran
+// second, and neither arm systematically enjoys the first slot after
+// warm-up; the fastest pass per arm is kept, the standard way to cut
+// scheduler noise out of a single-goroutine measurement. Every hit is
+// verified against the installed value; a miss or wrong value is a hard
+// error, so a broken arm can never "win" by skipping work. Latencies also
+// land in hist (batch granularity) when non-nil.
+func timeArms(w *trafficgen.Workload, keys [][]byte, cfg Config, seed uint64, armA, armB arm, hist *stats.Histogram) (aNsPerOp, bNsPerOp float64, err error) {
+	bkeys := make([][]byte, cfg.Batch)
+	bidx := make([]int, cfg.Batch)
+	results := make([]flowserve.Result, cfg.Batch)
+
+	pass := func(serve arm, ops int64, timed bool) (time.Duration, error) {
+		stream := w.NewStream(seed ^ 0x48595054) // "HYPT"; same sequence every pass
+		var elapsed time.Duration
+		for done := int64(0); done < ops; done += int64(cfg.Batch) {
+			for j := 0; j < cfg.Batch; j++ {
+				fi := stream.NextFlow()
+				bidx[j] = fi
+				bkeys[j] = keys[fi]
+			}
+			t0 := time.Now()
+			serve(bkeys, results)
+			d := time.Since(t0)
+			elapsed += d
+			if timed && hist != nil {
+				hist.Observe(uint64(d.Nanoseconds()))
+			}
+			for j := 0; j < cfg.Batch; j++ {
+				if !results[j].OK {
+					return 0, fmt.Errorf("flow %d missed (population is read-only)", bidx[j])
+				}
+				if results[j].Value != uint64(bidx[j])+1 {
+					return 0, fmt.Errorf("flow %d returned value %d, want %d", bidx[j], results[j].Value, bidx[j]+1)
+				}
+			}
+		}
+		return elapsed, nil
+	}
+
+	warm := cfg.Ops / 10
+	if warm < int64(cfg.Batch) {
+		warm = int64(cfg.Batch)
+	}
+	if _, err := pass(armA, warm, false); err != nil {
+		return 0, 0, err
+	}
+	if _, err := pass(armB, warm, false); err != nil {
+		return 0, 0, err
+	}
+	var bestA, bestB time.Duration
+	for r := 0; r < cfg.Repeats; r++ {
+		first, second := armA, armB
+		if r%2 == 1 {
+			first, second = armB, armA
+		}
+		d1, err := pass(first, cfg.Ops, true)
+		if err != nil {
+			return 0, 0, err
+		}
+		d2, err := pass(second, cfg.Ops, true)
+		if err != nil {
+			return 0, 0, err
+		}
+		dA, dB := d1, d2
+		if r%2 == 1 {
+			dA, dB = d2, d1
+		}
+		if bestA == 0 || dA < bestA {
+			bestA = dA
+		}
+		if bestB == 0 || dB < bestB {
+			bestB = dB
+		}
+	}
+	ops := float64(cfg.Ops)
+	return float64(bestA.Nanoseconds()) / ops, float64(bestB.Nanoseconds()) / ops, nil
+}

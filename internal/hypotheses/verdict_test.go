@@ -1,0 +1,68 @@
+package hypotheses
+
+import (
+	"testing"
+
+	"halo/internal/benchjson"
+)
+
+func TestClassifyDominance(t *testing.T) {
+	th := benchjson.DefaultThresholds() // significant 0.20, equivalence 0.05
+	cases := []struct {
+		name string
+		imps []float64
+		want string
+	}{
+		{"all big wins", []float64{0.40, 0.35, 0.52}, VerdictSignificant},
+		{"exactly at tier", []float64{0.20, 0.25, 0.30}, VerdictSignificant},
+		{"consistent moderate win", []float64{0.15, 0.18, 0.12}, VerdictDirectional},
+		{"one thin seed", []float64{0.40, 0.08, 0.35}, VerdictInconclusive},
+		{"tiny wins", []float64{0.02, 0.03, 0.01}, VerdictInconclusive},
+		{"one seed contradicts", []float64{0.30, -0.12, 0.25}, VerdictRefuted},
+		{"all seeds contradict", []float64{-0.30, -0.22, -0.25}, VerdictRefuted},
+		{"contradiction within noise band", []float64{0.25, -0.04, 0.30}, VerdictInconclusive},
+		{"no seeds", nil, VerdictInconclusive},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			v := ClassifyDominance(c.imps, th)
+			if v.Class != c.want {
+				t.Errorf("ClassifyDominance(%v) = %s (%s), want %s", c.imps, v.Class, v.Detail, c.want)
+			}
+		})
+	}
+}
+
+func TestClassifyEquivalence(t *testing.T) {
+	th := benchjson.DefaultThresholds()
+	cases := []struct {
+		name string
+		imps []float64
+		want string
+	}{
+		{"dead even", []float64{0.00, 0.01, -0.01}, VerdictEquivalent},
+		{"band edges", []float64{0.05, -0.05, 0.02}, VerdictEquivalent},
+		{"consistently slower", []float64{-0.12, -0.15, -0.09}, VerdictNotEquivalent},
+		{"consistently faster", []float64{0.12, 0.15, 0.09}, VerdictNotEquivalent},
+		{"seeds disagree", []float64{0.12, -0.10, 0.01}, VerdictInconclusive},
+		{"no seeds", nil, VerdictInconclusive},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			v := ClassifyEquivalence(c.imps, th)
+			if v.Class != c.want {
+				t.Errorf("ClassifyEquivalence(%v) = %s (%s), want %s", c.imps, v.Class, v.Detail, c.want)
+			}
+		})
+	}
+}
+
+func TestVerdictSummary(t *testing.T) {
+	v := ClassifyDominance([]float64{0.10, 0.20, 0.30}, benchjson.DefaultThresholds())
+	if v.Mean < 0.199 || v.Mean > 0.201 {
+		t.Errorf("Mean = %v, want 0.20", v.Mean)
+	}
+	if v.Min != 0.10 || v.Max != 0.30 {
+		t.Errorf("Min/Max = %v/%v, want 0.10/0.30", v.Min, v.Max)
+	}
+}

@@ -63,6 +63,31 @@ func PositiveInts(name, value string) ([]int, error) {
 	return ns, nil
 }
 
+// Uint64s is Strings with every token parsed as an unsigned 64-bit integer
+// (decimal, or hex with an 0x prefix) — the shape of seed lists.
+func Uint64s(name, value string) ([]uint64, error) {
+	toks, err := Strings(name, value)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint64, len(toks))
+	for i, tok := range toks {
+		n, err := strconv.ParseUint(strings.TrimPrefix(tok, "0x"), base(tok), 64)
+		if err != nil {
+			return nil, fmt.Errorf("-%s: bad token %q at position %d: want an unsigned integer", name, tok, i+1)
+		}
+		out[i] = n
+	}
+	return out, nil
+}
+
+func base(tok string) int {
+	if strings.HasPrefix(tok, "0x") {
+		return 16
+	}
+	return 10
+}
+
 // Enum is Strings with every token checked against the allowed set.
 func Enum(name, value string, allowed ...string) ([]string, error) {
 	toks, err := Strings(name, value)

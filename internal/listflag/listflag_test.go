@@ -64,3 +64,22 @@ func TestEnum(t *testing.T) {
 		t.Fatalf("unknown-token error = %v", err)
 	}
 }
+
+func TestUint64s(t *testing.T) {
+	got, err := Uint64s("seeds", "42,123,0x48414c4f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{42, 123, 0x48414c4f}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Uint64s[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if _, err := Uint64s("seeds", "42,-1"); err == nil {
+		t.Error("negative token accepted")
+	}
+	if _, err := Uint64s("seeds", "42,,123"); err == nil {
+		t.Error("empty token accepted")
+	}
+}

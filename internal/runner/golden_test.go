@@ -1,0 +1,91 @@
+package runner
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"halo/internal/experiments"
+	"halo/internal/stats"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files with current output")
+
+// TestStatsDocumentGolden pins the exact bytes of a `halobench -json`
+// document (schema halo-stats/v1) for the table4 experiment — the one
+// experiment that is purely analytic, so its document is deterministic and
+// machine-independent. Any schema drift (renamed fields, reordered keys, new
+// counters, changed encoding) shows up here at PR time instead of silently
+// breaking downstream tooling (cmd/benchdiff consumes these documents via
+// benchjson.DecodeAny).
+//
+// Intentional schema changes: regenerate with
+//
+//	go test ./internal/runner -run StatsDocumentGolden -update-golden
+//
+// and describe the delta in EXPERIMENTS.md (see the "stats-document schema
+// delta" methodology note).
+func TestStatsDocumentGolden(t *testing.T) {
+	r, ok := experiments.Find("table4")
+	if !ok {
+		t.Fatal("experiment table4 not registered")
+	}
+	cfg := experiments.DefaultConfig()
+	cfg.Quick = true
+	cfg.Seed = 0x48414c4f
+
+	doc, err := RunDoc(Options{Workers: 1}, cfg, []experiments.Runner{r}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := stats.Encode(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The emitted bytes must themselves validate (decode → re-encode →
+	// byte-identical), the same contract `halobench -validate` checks.
+	if _, err := stats.Validate(data); err != nil {
+		t.Fatalf("emitted document does not validate: %v", err)
+	}
+
+	golden := filepath.Join("testdata", "table4_quick_stats.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(data))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update-golden)", err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Fatalf("halo-stats/v1 document shape drifted from golden file.\n%s\n"+
+			"If the schema change is intentional, regenerate with -update-golden "+
+			"and record the delta in EXPERIMENTS.md.", firstDiff(want, data))
+	}
+}
+
+// firstDiff renders the first divergent line of two byte slices.
+func firstDiff(want, got []byte) string {
+	wl := bytes.Split(want, []byte("\n"))
+	gl := bytes.Split(got, []byte("\n"))
+	n := len(wl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(wl[i], gl[i]) {
+			return fmt.Sprintf("first diff at line %d:\n  golden: %s\n  got:    %s", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: golden %d, got %d", len(wl), len(gl))
+}

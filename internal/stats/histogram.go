@@ -111,11 +111,19 @@ func (h *Histogram) sortedIdxs() []int {
 }
 
 // Quantile returns the upper bound of the bucket containing the q-th
-// quantile observation (q in [0,1]). Deterministic: the result depends only
-// on the bucket counts, never on observation order.
+// quantile observation (q in [0,1]; out-of-range values clamp, NaN reads as
+// 0). Deterministic: the result depends only on the bucket counts, never on
+// observation order. A histogram with no populated buckets — empty, or
+// decoded from a document whose count and bucket string disagree — returns
+// 0 rather than panicking.
 func (h *Histogram) Quantile(q float64) uint64 {
-	if h.count == 0 {
+	if h.count == 0 || len(h.buckets) == 0 {
 		return 0
+	}
+	if math.IsNaN(q) || q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
 	}
 	target := uint64(math.Ceil(q * float64(h.count)))
 	if target == 0 {

@@ -3,6 +3,7 @@ package stats
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"testing"
 )
 
@@ -181,4 +182,62 @@ func TestValidateRejectsTamperedBytes(t *testing.T) {
 	if _, err := Validate(tampered); err == nil {
 		t.Error("Validate accepted whitespace-tampered bytes")
 	}
+}
+
+// Regression: Quantile must never panic or return NaN-derived garbage on
+// degenerate histograms — empty, single-bucket, inconsistent decode (count
+// set but no buckets), or out-of-range/NaN quantile arguments.
+func TestHistogramQuantileDegenerate(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		h := NewHistogram()
+		for _, q := range []float64{0, 0.5, 1} {
+			if got := h.Quantile(q); got != 0 {
+				t.Errorf("empty histogram Quantile(%v) = %d, want 0", q, got)
+			}
+		}
+	})
+
+	t.Run("single-bucket", func(t *testing.T) {
+		h := NewHistogram()
+		h.Observe(7)
+		h.Observe(7)
+		for _, q := range []float64{0, 0.5, 0.99, 1} {
+			if got := h.Quantile(q); got != 7 {
+				t.Errorf("single-bucket Quantile(%v) = %d, want 7", q, got)
+			}
+		}
+	})
+
+	t.Run("count-without-buckets", func(t *testing.T) {
+		// A document whose count and bucket string disagree decodes to a
+		// histogram with count > 0 but no populated buckets; Quantile used to
+		// index an empty slice and panic.
+		var h Histogram
+		if err := h.UnmarshalJSON([]byte(`{"count":3,"sum":12,"buckets":""}`)); err != nil {
+			t.Fatal(err)
+		}
+		if h.Count() != 3 {
+			t.Fatalf("count = %d, want 3", h.Count())
+		}
+		for _, q := range []float64{0, 0.5, 1} {
+			if got := h.Quantile(q); got != 0 {
+				t.Errorf("bucketless Quantile(%v) = %d, want 0", q, got)
+			}
+		}
+	})
+
+	t.Run("bad-q", func(t *testing.T) {
+		h := NewHistogram()
+		h.Observe(3)
+		h.Observe(9)
+		if got := h.Quantile(math.NaN()); got != 3 {
+			t.Errorf("Quantile(NaN) = %d, want 3 (clamps to q=0)", got)
+		}
+		if got := h.Quantile(-0.5); got != 3 {
+			t.Errorf("Quantile(-0.5) = %d, want 3 (clamps to q=0)", got)
+		}
+		if got := h.Quantile(2.5); got != 9 {
+			t.Errorf("Quantile(2.5) = %d, want 9 (clamps to q=1)", got)
+		}
+	})
 }

@@ -1,0 +1,16 @@
+#!/bin/sh
+# bench_serve.sh [out.json] — produce the canonical halo-bench/v1 serving
+# document (cmd/flowload smoke run). Used both to regenerate the committed
+# baseline (baselines/BENCH_serve.json) and by CI, so the stamped workload
+# identity matches by construction.
+#
+#   scripts/bench_serve.sh baselines/BENCH_serve.json
+#
+# Serving throughput is heavily machine- and core-count-dependent, so CI
+# diffs this document report-only (-gate ''): the diff table is for humans,
+# the exit code never gates.
+set -eu
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_serve.json}"
+
+go run ./cmd/flowload -smoke -check -json "$out"

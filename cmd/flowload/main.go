@@ -18,6 +18,10 @@
 //	flowload -shards 1,16 -mix uniform        # specific local points
 //	flowload -remote 127.0.0.1:7411           # drive a flowserved over TCP
 //	flowload -remote :7411 -conns 1,2,4       # sweep client connection counts
+//	flowload -remote /tmp/fs.sock -transport unix   # drive over a unix socket
+//	flowload -rate 500000,1000000             # open loop: offer fixed rates and
+//	                                          #   measure latency from intended
+//	                                          #   send (coordinated-omission-safe)
 //	flowload -json BENCH_serve.json           # write the halo-bench/v1 document
 //	flowload -check                           # local: fail unless max-shard uniform
 //	                                          #   throughput beats 1-shard
@@ -58,6 +62,8 @@ func main() {
 		shardsFl = flag.String("shards", "1,2,4,8", "comma-separated shard counts to sweep (local mode)")
 		connsFl  = flag.String("conns", "1,2,4", "comma-separated client connection counts to sweep (remote mode)")
 		remote   = flag.String("remote", "", "flowserved address; sweep -conns against it instead of local -shards")
+		tport    = flag.String("transport", flowwire.TransportTCP, `remote transport: "tcp" (host:port) or "unix" (socket path)`)
+		ratesFl  = flag.String("rate", "0", "comma-separated offered lookups/sec per point (0 = closed loop)")
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent load-generator goroutines")
 		ops      = flag.Int64("ops", 2_000_000, "total lookups per sweep point")
 		batch    = flag.Int("batch", 16, "keys per LookupMany call")
@@ -103,11 +109,31 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	rates, err := listflag.Ints("rate", *ratesFl)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for _, r := range rates {
+		if r < 0 {
+			fatalf("-rate values must be >= 0 (0 = closed loop)")
+		}
+	}
 	if *workers < 1 || *batch < 1 || *ops < 1 || *flows < 1 {
 		fatalf("-workers, -batch, -ops and -flows must be positive")
 	}
 	if *remote != "" && shardsSet {
 		fmt.Fprintln(os.Stderr, "flowload: -shards is ignored with -remote (shard count is fixed server-side)")
+	}
+	// The transport is part of the workload identity: "local" for in-process
+	// sweeps, else the wire transport. Stamping it into Config makes benchdiff
+	// refuse cross-transport comparisons (UDS vs TCP loopback are different
+	// experiments even at identical sweep settings).
+	transport := "local"
+	if *remote != "" {
+		transport, err = flowwire.CheckTransport(*tport)
+		if err != nil {
+			fatalf("%v", err)
+		}
 	}
 
 	// Stamp the workload identity (seeds + config) into the document so
@@ -127,30 +153,34 @@ func main() {
 		GOARCH:    runtime.GOARCH,
 		Seeds:     []uint64{*seed},
 		Config: map[string]string{
-			"tool":  "flowload",
-			"mode":  mode,
-			"flows": fmt.Sprint(*flows),
-			"ops":   fmt.Sprint(*ops),
-			"batch": fmt.Sprint(*batch),
-			"churn": fmt.Sprint(*churn),
-			"mix":   *mixFlag,
-			"sweep": sweepList,
+			"tool":      "flowload",
+			"mode":      mode,
+			"flows":     fmt.Sprint(*flows),
+			"ops":       fmt.Sprint(*ops),
+			"batch":     fmt.Sprint(*batch),
+			"churn":     fmt.Sprint(*churn),
+			"mix":       *mixFlag,
+			"sweep":     sweepList,
+			"transport": transport,
+			"rate":      *ratesFl,
 		},
 		Benchmarks: []benchjson.Benchmark{},
 	}
-	fmt.Printf("%-34s %10s %12s %10s %10s %10s %10s\n",
-		"point", "lookups", "Mlookups/s", "p50-us", "p95-us", "p99-us", "retries")
+	fmt.Printf("%-40s %10s %12s %9s %9s %9s %9s %8s\n",
+		"point", "lookups", "Mlookups/s", "p50-us", "p95-us", "p99-us", "p99.9-us", "retries")
 
 	cfg := sweepConfig{
-		flows:   *flows,
-		mixes:   mixes,
-		workers: *workers,
-		ops:     *ops,
-		batch:   *batch,
-		churn:   *churn,
-		seed:    *seed,
-		check:   *check,
-		doc:     doc,
+		flows:     *flows,
+		mixes:     mixes,
+		workers:   *workers,
+		ops:       *ops,
+		batch:     *batch,
+		churn:     *churn,
+		seed:      *seed,
+		rates:     rates,
+		transport: transport,
+		check:     *check,
+		doc:       doc,
 	}
 	if *remote != "" {
 		runRemoteSweep(cfg, *remote, connCounts)
@@ -174,15 +204,26 @@ func main() {
 }
 
 type sweepConfig struct {
-	flows   int
-	mixes   []string
-	workers int
-	ops     int64
-	batch   int
-	churn   int
-	seed    uint64
-	check   bool
-	doc     *benchjson.Document
+	flows     int
+	mixes     []string
+	workers   int
+	ops       int64
+	batch     int
+	churn     int
+	seed      uint64
+	rates     []int
+	transport string
+	check     bool
+	doc       *benchjson.Document
+}
+
+// pointName appends the open-loop rate to a sweep point name. Closed-loop
+// points keep their historical names so longitudinal diffs line up.
+func pointName(base string, rate int) string {
+	if rate > 0 {
+		return fmt.Sprintf("%s/rate=%d", base, rate)
+	}
+	return base
 }
 
 // runLocalSweep builds one in-process table per (mix, shards) point and
@@ -212,20 +253,25 @@ func runLocalSweep(cfg sweepConfig, shardCounts []int) {
 				return snap.Counters
 			}}
 			fillNs := install(be, keys, 1)
-			res := runPoint(w, keys, be, pointConfig{
-				workers: cfg.workers,
-				ops:     cfg.ops,
-				batch:   cfg.batch,
-				churn:   cfg.churn,
-				seed:    cfg.seed,
-			})
-			res.fillNsPerOp = fillNs
-			name := fmt.Sprintf("FlowServe/mix=%s/shards=%d", mix, sc)
-			emit(cfg, name, res)
-			if throughput[mix] == nil {
-				throughput[mix] = map[int]float64{}
+			for _, rate := range cfg.rates {
+				res := runPoint(w, keys, be, pointConfig{
+					workers: cfg.workers,
+					ops:     cfg.ops,
+					batch:   cfg.batch,
+					churn:   cfg.churn,
+					seed:    cfg.seed,
+					rate:    rate,
+				})
+				res.fillNsPerOp = fillNs
+				name := pointName(fmt.Sprintf("FlowServe/mix=%s/shards=%d", mix, sc), rate)
+				emit(cfg, name, res)
+				if rate == 0 {
+					if throughput[mix] == nil {
+						throughput[mix] = map[int]float64{}
+					}
+					throughput[mix][sc] = res.lookupsPerSec
+				}
 			}
-			throughput[mix][sc] = res.lookupsPerSec
 		}
 	}
 	if cfg.check {
@@ -239,7 +285,7 @@ func runLocalSweep(cfg sweepConfig, shardCounts []int) {
 // in the server's flowserve.lookups counter — a lookup dropped anywhere in
 // the pipeline (client pool, wire, coalescer, batch) breaks the equality.
 func runRemoteSweep(cfg sweepConfig, addr string, connCounts []int) {
-	setup := dialRetry(addr, flowwire.Options{Conns: 2}, 10*time.Second)
+	setup := dialRetry(addr, flowwire.Options{Conns: 2, Transport: cfg.transport}, 10*time.Second)
 	defer setup.Close()
 	hello := setup.Hello()
 	if hello.KeyLen != packet.HeaderKeyLen {
@@ -257,35 +303,42 @@ func runRemoteSweep(cfg sweepConfig, addr string, connCounts []int) {
 	}
 
 	var issuedTotal int64
+	var clientErrTotal uint64
 	for _, mix := range cfg.mixes {
 		w, keys := buildWorkload(mix, cfg.flows, cfg.seed)
 		fillNs := install(backend{w: setup}, keys, 8)
 		for _, nc := range connCounts {
-			cl := dialRetry(addr, flowwire.Options{Conns: nc}, 10*time.Second)
-			before, err := cl.Stats()
-			if err != nil {
-				fatalf("stats: %v", err)
-			}
-			res := runPoint(w, keys, backend{r: cl, w: cl, counters: func() map[string]uint64 {
-				after, err := cl.Stats()
+			for _, rate := range cfg.rates {
+				cl := dialRetry(addr, flowwire.Options{Conns: nc, Transport: cfg.transport}, 10*time.Second)
+				before, err := cl.Stats()
 				if err != nil {
 					fatalf("stats: %v", err)
 				}
-				return counterDelta(before, after)
-			}}, pointConfig{
-				workers: cfg.workers,
-				ops:     cfg.ops,
-				batch:   cfg.batch,
-				churn:   cfg.churn,
-				seed:    cfg.seed,
-			})
-			if err := cl.Err(); err != nil {
-				fatalf("remote/mix=%s/conns=%d: client transport error: %v", mix, nc, err)
+				res := runPoint(w, keys, backend{r: cl, w: cl, counters: func() map[string]uint64 {
+					after, err := cl.Stats()
+					if err != nil {
+						fatalf("stats: %v", err)
+					}
+					return counterDelta(before, after)
+				}}, pointConfig{
+					workers: cfg.workers,
+					ops:     cfg.ops,
+					batch:   cfg.batch,
+					churn:   cfg.churn,
+					seed:    cfg.seed,
+					rate:    rate,
+				})
+				name := pointName(fmt.Sprintf("FlowServe/remote/mix=%s/conns=%d", mix, nc), rate)
+				if err := cl.Err(); err != nil {
+					fatalf("%s: client transport error: %v", name, err)
+				}
+				res.clientErrors = cl.Counters().Errors
+				clientErrTotal += res.clientErrors
+				cl.Close()
+				res.fillNsPerOp = fillNs
+				issuedTotal += res.lookups
+				emit(cfg, name, res)
 			}
-			cl.Close()
-			res.fillNsPerOp = fillNs
-			issuedTotal += res.lookups
-			emit(cfg, fmt.Sprintf("FlowServe/remote/mix=%s/conns=%d", mix, nc), res)
 		}
 		// Different mixes draw different flow populations; colliding keys
 		// would carry stale values, so clear this mix before the next.
@@ -298,10 +351,17 @@ func runRemoteSweep(cfg sweepConfig, addr string, connCounts []int) {
 			fatalf("stats: %v", err)
 		}
 		served := int64(final["flowserve.lookups"] - baseline["flowserve.lookups"])
-		fmt.Fprintf(os.Stderr, "check: issued %d key lookups, server served %d\n", issuedTotal, served)
+		fmt.Fprintf(os.Stderr, "check: issued %d key lookups, server served %d, client errors %d\n",
+			issuedTotal, served, clientErrTotal)
 		if served != issuedTotal {
 			fatalf("check failed: server lookup ledger off by %d (issued %d, served %d)",
 				served-issuedTotal, issuedTotal, served)
+		}
+		// A silently-coerced transport failure would show up as a miss in
+		// the workload (indistinguishable from churn); the client counter
+		// makes it a hard failure instead.
+		if clientErrTotal != 0 {
+			fatalf("check failed: %d client transport errors were coerced into misses", clientErrTotal)
 		}
 		if err := setup.Err(); err != nil {
 			fatalf("check failed: setup client transport error: %v", err)
@@ -312,7 +372,7 @@ func runRemoteSweep(cfg sweepConfig, addr string, connCounts []int) {
 func checkLocalScaling(throughput map[string]map[int]float64, shardCounts []int) {
 	tp, ok := throughput["uniform"]
 	if !ok {
-		fatalf("-check needs the uniform mix in -mix")
+		fatalf("-check needs a closed-loop (rate=0) uniform point: the scaling gate compares saturated throughput")
 	}
 	lo, hi := shardCounts[0], shardCounts[0]
 	for _, sc := range shardCounts {
@@ -354,12 +414,18 @@ func emit(cfg sweepConfig, name string, res pointResult) {
 		fatalf("%s: %d misses in a read-only run", name, res.misses)
 	}
 	mlps := res.lookupsPerSec / 1e6
-	fmt.Printf("%-34s %10d %12.2f %10.1f %10.1f %10.1f %10d\n",
+	fmt.Printf("%-40s %10d %12.2f %9.1f %9.1f %9.1f %9.1f %8d\n",
 		name, res.lookups, mlps,
 		float64(res.hist.Quantile(0.50))/1e3/float64(cfg.batch),
 		float64(res.hist.Quantile(0.95))/1e3/float64(cfg.batch),
 		float64(res.hist.Quantile(0.99))/1e3/float64(cfg.batch),
+		float64(res.hist.Quantile(0.999))/1e3/float64(cfg.batch),
 		res.retries)
+	if res.offeredRate > 0 {
+		achievedPct := 100 * res.lookupsPerSec / res.offeredRate
+		fmt.Fprintf(os.Stderr, "  %s: offered %.0f/s achieved %.0f/s (%.1f%%)\n",
+			name, res.offeredRate, res.lookupsPerSec, achievedPct)
+	}
 	cfg.doc.Benchmarks = append(cfg.doc.Benchmarks, benchjson.Benchmark{
 		Name:       name,
 		Procs:      cfg.workers,
@@ -367,14 +433,18 @@ func emit(cfg sweepConfig, name string, res pointResult) {
 		Metrics: map[string]float64{
 			"ns/op":          1e9 / res.lookupsPerSec,
 			"lookups/sec":    res.lookupsPerSec,
+			"offered-rate":   res.offeredRate,
+			"achieved-rate":  res.lookupsPerSec,
 			"p50-batch-ns":   float64(res.hist.Quantile(0.50)),
 			"p95-batch-ns":   float64(res.hist.Quantile(0.95)),
 			"p99-batch-ns":   float64(res.hist.Quantile(0.99)),
+			"p999-batch-ns":  float64(res.hist.Quantile(0.999)),
 			"batch":          float64(cfg.batch),
 			"misses":         float64(res.misses),
 			"retries":        float64(res.retries),
 			"lock-fallbacks": float64(res.lockFallbacks),
 			"churn-writes":   float64(res.deletes),
+			"client-errors":  float64(res.clientErrors),
 			"fill-ns/op":     res.fillNsPerOp,
 		},
 	})
@@ -479,11 +549,13 @@ type pointConfig struct {
 	batch   int
 	churn   int
 	seed    uint64
+	rate    int // offered lookups/sec; 0 = closed loop
 }
 
 type pointResult struct {
 	lookups       int64
 	lookupsPerSec float64
+	offeredRate   float64 // 0 in closed-loop points
 	fillNsPerOp   float64
 	misses        int64
 	wrongValues   int64
@@ -491,6 +563,7 @@ type pointResult struct {
 	retries       uint64           // seqlock retries during the point
 	lockFallbacks uint64
 	deletes       uint64 // churn writes during the point
+	clientErrors  uint64 // remote points: coerced transport failures
 }
 
 // valueOf is the value installed for flow index i (never zero).
@@ -499,6 +572,14 @@ func valueOf(i int) uint64 { return uint64(i) + 1 }
 // runPoint serves cfg.ops lookups from cfg.workers goroutines through the
 // backend's Reader, with churn through its Writer. The loop is identical
 // for local tables and remote clients — that is the point of the interface.
+//
+// With cfg.rate > 0 the point runs open loop: workers claim batch ticks off
+// a shared fixed-rate schedule (see pacer) and each batch's latency is
+// measured from its *intended* send time, so a stalled server is charged
+// the queueing delay instead of quietly slowing the offered load
+// (coordinated omission). Closed loop (rate 0) measures from the actual
+// send as before. Latency histograms run at high resolution so the p99.9
+// tail is within ~0.4% instead of the default ~6%.
 func runPoint(w *trafficgen.Workload, keys [][]byte, be backend, cfg pointConfig) pointResult {
 	countersBefore := be.counters()
 	var (
@@ -507,9 +588,13 @@ func runPoint(w *trafficgen.Workload, keys [][]byte, be backend, cfg pointConfig
 		wrong   atomic.Int64
 		wg      sync.WaitGroup
 		histMu  sync.Mutex
-		allHist = stats.NewHistogram()
+		allHist = stats.NewHistogramRes(stats.HighResSubBits)
 	)
 	start := time.Now()
+	var pace *pacer
+	if cfg.rate > 0 {
+		pace = newPacer(start, float64(cfg.rate), cfg.batch)
+	}
 	for wi := 0; wi < cfg.workers; wi++ {
 		wg.Add(1)
 		go func(wi int) {
@@ -520,10 +605,11 @@ func runPoint(w *trafficgen.Workload, keys [][]byte, be backend, cfg pointConfig
 			bkeys := make([][]byte, cfg.batch)
 			bidx := make([]int, cfg.batch)
 			results := make([]flowserve.Result, cfg.batch)
-			hist := stats.NewHistogram()
+			hist := stats.NewHistogramRes(stats.HighResSubBits)
 			sinceChurn := 0
 			for {
-				if issued.Add(int64(cfg.batch)) > cfg.ops {
+				claimed := issued.Add(int64(cfg.batch))
+				if claimed > cfg.ops {
 					break
 				}
 				for j := 0; j < cfg.batch; j++ {
@@ -531,7 +617,13 @@ func runPoint(w *trafficgen.Workload, keys [][]byte, be backend, cfg pointConfig
 					bidx[j] = fi
 					bkeys[j] = keys[fi]
 				}
-				t0 := time.Now()
+				var t0 time.Time
+				if pace != nil {
+					tick := claimed/int64(cfg.batch) - 1
+					t0 = pace.wait(tick)
+				} else {
+					t0 = time.Now()
+				}
 				rd.LookupMany(bkeys, results)
 				hist.Observe(uint64(time.Since(t0).Nanoseconds()))
 				for j := 0; j < cfg.batch; j++ {
@@ -567,6 +659,7 @@ func runPoint(w *trafficgen.Workload, keys [][]byte, be backend, cfg pointConfig
 	return pointResult{
 		lookups:       int64(lookups),
 		lookupsPerSec: float64(lookups) / elapsed.Seconds(),
+		offeredRate:   float64(cfg.rate),
 		misses:        misses.Load(),
 		wrongValues:   wrong.Load(),
 		hist:          allHist,

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"runtime"
+	"time"
+)
+
+// pacer hands out the intended send time of each batch tick in a fixed-rate
+// open-loop schedule. The schedule is decided up front — tick i is due at
+// start + i*interval — and never adjusts to how the server is doing. That is
+// the point: a closed loop only issues the next request after the previous
+// one returns, so a server stall quietly throttles the load and the stall
+// barely shows in the latency record (coordinated omission). Here the
+// schedule keeps advancing; a worker that claims a tick whose due time has
+// already passed sends immediately, and the batch's latency is measured from
+// the *intended* send time, so queueing delay a real open-world client would
+// have suffered is charged to the result.
+//
+// Workers share one atomic tick counter (the claim is the only coordination)
+// and call wait(tick) before sending; ticks are interleaved across workers,
+// not partitioned, so the aggregate offered rate is exact regardless of the
+// worker count.
+type pacer struct {
+	start    time.Time
+	interval time.Duration
+}
+
+// newPacer schedules batches so that ratePerSec lookups/sec are offered in
+// aggregate, batch lookups per tick.
+func newPacer(start time.Time, ratePerSec float64, batch int) *pacer {
+	return &pacer{
+		start:    start,
+		interval: time.Duration(float64(batch) / ratePerSec * float64(time.Second)),
+	}
+}
+
+// intended returns tick's scheduled send time.
+func (p *pacer) intended(tick int64) time.Time {
+	return p.start.Add(time.Duration(tick) * p.interval)
+}
+
+// spinThreshold is how much of the wait is left to the scheduler-yield spin.
+// time.Sleep on Linux routinely overshoots by tens of microseconds; handing
+// the tail to a yield loop keeps tick times honest at rates where the
+// interval itself is only a few hundred microseconds.
+const spinThreshold = 100 * time.Microsecond
+
+// wait blocks until tick's intended send time and returns it. A tick already
+// past due returns immediately — the backlog shows up as latency, never as a
+// silently skipped send.
+func (p *pacer) wait(tick int64) time.Time {
+	due := p.intended(tick)
+	for {
+		d := time.Until(due)
+		if d <= 0 {
+			return due
+		}
+		if d > spinThreshold {
+			time.Sleep(d - spinThreshold)
+			continue
+		}
+		runtime.Gosched()
+	}
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPacerIntendedTimesAreFixed(t *testing.T) {
+	start := time.Unix(1000, 0)
+	p := newPacer(start, 16_000, 16) // 1000 batches/sec → 1ms interval
+	if p.interval != time.Millisecond {
+		t.Fatalf("interval = %v, want 1ms", p.interval)
+	}
+	for _, tc := range []struct {
+		tick int64
+		want time.Duration
+	}{{0, 0}, {1, time.Millisecond}, {250, 250 * time.Millisecond}} {
+		if got := p.intended(tc.tick).Sub(start); got != tc.want {
+			t.Fatalf("intended(%d) = start+%v, want start+%v", tc.tick, got, tc.want)
+		}
+	}
+}
+
+func TestPacerWaitHoldsSchedule(t *testing.T) {
+	start := time.Now()
+	p := newPacer(start, 64_000, 16) // 4000 ticks/sec → 250µs interval
+	// Claim ticks in order; each send must not run ahead of its schedule.
+	for tick := int64(0); tick < 40; tick++ {
+		due := p.wait(tick)
+		if now := time.Now(); now.Before(due) {
+			t.Fatalf("tick %d released %v early", tick, due.Sub(now))
+		}
+		if want := p.intended(tick); !due.Equal(want) {
+			t.Fatalf("tick %d due %v, want %v", tick, due, want)
+		}
+	}
+	elapsed := time.Since(start)
+	if want := 39 * p.interval; elapsed < want {
+		t.Fatalf("40 ticks finished in %v, schedule floor is %v", elapsed, want)
+	}
+}
+
+func TestPacerLateTickReturnsImmediately(t *testing.T) {
+	// A pacer whose schedule started well in the past must not sleep: the
+	// backlog is charged as latency, not absorbed by the load generator.
+	p := newPacer(time.Now().Add(-time.Second), 16_000, 16)
+	t0 := time.Now()
+	due := p.wait(500)
+	if waited := time.Since(t0); waited > 50*time.Millisecond {
+		t.Fatalf("late tick blocked for %v", waited)
+	}
+	if lat := time.Since(due); lat < 400*time.Millisecond {
+		t.Fatalf("latency from intended send = %v, want the ~1s backlog visible", lat)
+	}
+}

@@ -1,14 +1,16 @@
-// Command flowserved serves a flowserve table over TCP using the flowwire
-// protocol (DESIGN.md §9), turning the in-process serving runtime into a
-// network-facing flow-classification service. Remote clients (flowload
-// -remote, or any flowwire.Client) look up, insert, update and delete flows
-// through versioned length-prefixed frames; the server coalesces pipelined
-// lookup frames into shard-grouped batch lookups.
+// Command flowserved serves a flowserve table over TCP or a unix-domain
+// socket using the flowwire protocol (DESIGN.md §9), turning the in-process
+// serving runtime into a network-facing flow-classification service. Remote
+// clients (flowload -remote, or any flowwire.Client) look up, insert, update
+// and delete flows through versioned length-prefixed frames; the server
+// coalesces pipelined lookup frames into shard-grouped batch lookups. The
+// wire protocol and runtime are identical on both transports.
 //
 // Usage:
 //
 //	flowserved                                # listen on 127.0.0.1:7411
 //	flowserved -listen :7411 -shards 8        # all interfaces, 8 shards
+//	flowserved -transport unix -listen /tmp/fs.sock   # unix-domain socket
 //	flowserved -entries 2000000               # bigger table
 //
 // On SIGTERM/SIGINT the server drains gracefully: it stops accepting
@@ -35,7 +37,8 @@ import (
 
 func main() {
 	var (
-		listen       = flag.String("listen", "127.0.0.1:7411", "TCP listen address")
+		listen       = flag.String("listen", "127.0.0.1:7411", `listen address: "host:port" for tcp, a socket path for unix`)
+		tport        = flag.String("transport", flowwire.TransportTCP, `transport: "tcp" or "unix"`)
 		shards       = flag.Int("shards", 4, "shard count (power of two)")
 		entries      = flag.Uint64("entries", 1<<20, "total table capacity in entries")
 		keyLen       = flag.Int("keylen", packet.HeaderKeyLen, "fixed key length in bytes")
@@ -68,16 +71,16 @@ func main() {
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
 
 	done := make(chan error, 1)
-	go func() { done <- srv.ListenAndServe(*listen) }()
+	go func() { done <- srv.ListenAndServeOn(*tport, *listen) }()
 
-	// ListenAndServe binds synchronously before accepting, but we learn the
+	// ListenAndServeOn binds synchronously before accepting, but we learn the
 	// address only through srv.Addr; poll briefly so the startup line carries
 	// the resolved port (useful with -listen :0).
 	for i := 0; i < 100 && srv.Addr() == nil; i++ {
 		time.Sleep(time.Millisecond)
 	}
-	fmt.Fprintf(os.Stderr, "flowserved: serving on %s (shards=%d entries=%d keylen=%d)\n",
-		srv.Addr(), tbl.Shards(), tbl.Capacity(), tbl.KeyLen())
+	fmt.Fprintf(os.Stderr, "flowserved: serving on %s!%s (shards=%d entries=%d keylen=%d)\n",
+		*tport, srv.Addr(), tbl.Shards(), tbl.Capacity(), tbl.KeyLen())
 
 	select {
 	case err := <-done:

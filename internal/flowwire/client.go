@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"halo/internal/flowserve"
+	"halo/internal/stats"
 )
 
 // Client errors.
@@ -22,12 +23,19 @@ var (
 	// ErrConnClosed reports the server hanging up with calls in flight
 	// (e.g. it drained); the first underlying cause is kept by Err.
 	ErrConnClosed = errors.New("flowwire: connection closed by server")
-	// ErrCallTimeout reports a reply not arriving inside CallTimeout.
+	// ErrCallTimeout reports a reply not arriving inside CallTimeout. A
+	// timeout is per-call, not sticky: the connection keeps serving other
+	// calls, and the late reply (if it ever lands) is counted and
+	// discarded — never delivered to a different caller.
 	ErrCallTimeout = errors.New("flowwire: call timed out")
 )
 
 // Options parametrises Dial. The zero value works.
 type Options struct {
+	// Transport selects the connection transport: TransportTCP (default)
+	// or TransportUnix, in which case the address is a socket path. The
+	// protocol and every client behavior are transport-independent.
+	Transport string
 	// Conns is the connection-pool size (default 1). Calls round-robin
 	// across the pool; concurrent calls on one connection pipeline —
 	// each is tagged with a reqID and matched to its reply, so many
@@ -44,6 +52,9 @@ type Options struct {
 }
 
 func (o *Options) applyDefaults() {
+	if o.Transport == "" {
+		o.Transport = TransportTCP
+	}
 	if o.Conns <= 0 {
 		o.Conns = 1
 	}
@@ -61,22 +72,37 @@ func (o *Options) applyDefaults() {
 	}
 }
 
+// clientCounters tracks client-side failure visibility. The Reader/Writer
+// interfaces have error-free read signatures, so transport failures are
+// coerced into misses — these counters make that coercion observable: a
+// load driver that sees hits drop can tell a cold table from a broken
+// client (flowload -check fails on a nonzero error delta).
+type clientCounters struct {
+	errors      atomic.Uint64 // calls coerced into a miss/false by a failure
+	timeouts    atomic.Uint64 // calls that hit CallTimeout
+	lateReplies atomic.Uint64 // replies discarded: no caller was waiting
+}
+
 // Client is a remote flowserve table: it implements flowserve.Reader and
 // flowserve.Writer over the wire protocol, so a *Client drops in wherever a
 // *flowserve.Table serves (flowload's -remote mode drives both through one
-// code path). Transport failures are sticky: the first one breaks the
-// client, every later call fails fast, and Err reports the cause — lookups
-// on a broken client return misses, mirroring the interface's error-free
-// read signatures.
+// code path). Connection-level transport failures are sticky: the first one
+// breaks the client, every later call fails fast, and Err reports the
+// cause. Lookups on a broken client return misses, mirroring the
+// interface's error-free read signatures — and every such coercion is
+// counted (Counters, CollectInto), so callers can gate on the delta.
 type Client struct {
 	opts  Options
 	hello HelloInfo
 	conns []*cliConn
 	rr    atomic.Uint64 // round-robin cursor
 
+	calls sync.Pool // *pcall: pooled in-flight call slots
+
 	errOnce sync.Once
 	err     atomic.Value // error: first transport failure
 	closed  atomic.Bool
+	c       clientCounters
 }
 
 var (
@@ -84,50 +110,94 @@ var (
 	_ flowserve.Writer = (*Client)(nil)
 )
 
+// pcall is one in-flight call's slot: the reply channel the readLoop
+// delivers on, a reusable payload buffer the readLoop fills (the reply's
+// Payload aliases it — zero copies, zero steady-state allocations), and the
+// call's pooled timeout timer. Ownership is explicit: a pcall registered in
+// a conn's pending map is owned by the readLoop from the moment it is
+// removed from the map until the channel send; before removal the caller
+// can reclaim it (timeout path) by deleting the map entry under pmu. That
+// handshake is what makes a late reply unable to reach the wrong caller: a
+// pcall is only ever recycled by whichever side provably owns it.
+type pcall struct {
+	ch    chan Frame
+	buf   []byte
+	timer *time.Timer
+}
+
+func (cl *Client) getCall(d time.Duration) *pcall {
+	pc := cl.calls.Get().(*pcall)
+	if pc.timer == nil {
+		pc.timer = time.NewTimer(d)
+	} else {
+		// Drain-before-Reset: the timer is not being received concurrently
+		// (single owner), so this is the safe reuse pattern.
+		if !pc.timer.Stop() {
+			select {
+			case <-pc.timer.C:
+			default:
+			}
+		}
+		pc.timer.Reset(d)
+	}
+	return pc
+}
+
+func (cl *Client) putCall(pc *pcall) {
+	if pc == nil {
+		return
+	}
+	pc.timer.Stop()
+	cl.calls.Put(pc)
+}
+
 // cliConn is one pooled connection: writes serialise on wmu (reqID
-// assignment + frame write + flush), the reader goroutine matches reply
-// reqIDs to waiting calls.
+// assignment + frame encode into the conn-owned wbuf scratch + flush), the
+// reader goroutine matches reply reqIDs to waiting calls.
 type cliConn struct {
 	cl     *Client
 	nc     net.Conn
 	bw     *bufio.Writer
 	wmu    sync.Mutex
+	wbuf   []byte // request frame scratch, guarded by wmu
 	nextID uint64
 
 	pmu     sync.Mutex
-	pending map[uint64]chan Frame
+	pending map[uint64]*pcall
 	dead    bool
 	deadErr error
 }
 
 // Dial connects a pool of opts.Conns connections to a flowserved at addr
-// and performs the HELLO handshake to learn the table geometry.
+// (over opts.Transport) and performs the HELLO handshake to learn the
+// table geometry.
 func Dial(addr string, opts Options) (*Client, error) {
 	opts.applyDefaults()
 	cl := &Client{opts: opts}
+	cl.calls.New = func() any { return &pcall{ch: make(chan Frame, 1)} }
 	for i := 0; i < opts.Conns; i++ {
-		nc, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+		nc, err := dialTransport(opts.Transport, addr, opts.DialTimeout)
 		if err != nil {
 			cl.Close()
-			return nil, fmt.Errorf("flowwire: dial %s: %w", addr, err)
+			return nil, fmt.Errorf("flowwire: dial %s %s: %w", opts.Transport, addr, err)
 		}
-		if tc, ok := nc.(*net.TCPConn); ok {
-			tc.SetNoDelay(true)
-		}
-		c := &cliConn{cl: cl, nc: nc, bw: bufio.NewWriterSize(nc, 64<<10), pending: make(map[uint64]chan Frame)}
+		c := &cliConn{cl: cl, nc: nc, bw: bufio.NewWriterSize(nc, 64<<10), pending: make(map[uint64]*pcall)}
 		cl.conns = append(cl.conns, c)
 		go c.readLoop()
 	}
-	f, err := cl.call(OpHello, nil)
+	pc, f, err := cl.call(OpHello, nil)
 	if err != nil {
 		cl.Close()
 		return nil, fmt.Errorf("flowwire: HELLO: %w", err)
 	}
 	if err := f.Status.Err(OpHello); err != nil {
+		cl.putCall(pc)
 		cl.Close()
 		return nil, fmt.Errorf("flowwire: HELLO: %w", err)
 	}
-	if cl.hello, err = parseHelloReply(f.Payload); err != nil {
+	cl.hello, err = parseHelloReply(f.Payload)
+	cl.putCall(pc)
+	if err != nil {
 		cl.Close()
 		return nil, err
 	}
@@ -153,6 +223,31 @@ func (cl *Client) Err() error {
 	return nil
 }
 
+// ClientCounters is a snapshot of the client-side failure counters.
+type ClientCounters struct {
+	Errors      uint64 // calls coerced into a miss/false by a failure
+	Timeouts    uint64 // calls that hit CallTimeout
+	LateReplies uint64 // replies discarded with no caller waiting
+}
+
+// Counters snapshots the client-side failure counters. In a healthy run
+// every field is zero; flowload surfaces the delta per sweep point and
+// -check fails on nonzero Errors.
+func (cl *Client) Counters() ClientCounters {
+	return ClientCounters{
+		Errors:      cl.c.errors.Load(),
+		Timeouts:    cl.c.timeouts.Load(),
+		LateReplies: cl.c.lateReplies.Load(),
+	}
+}
+
+// CollectInto publishes the client-side counters under flowwire.client.*.
+func (cl *Client) CollectInto(snap *stats.Snapshot) {
+	snap.Add("flowwire.client.errors", cl.c.errors.Load())
+	snap.Add("flowwire.client.timeouts", cl.c.timeouts.Load())
+	snap.Add("flowwire.client.late_replies", cl.c.lateReplies.Load())
+}
+
 func (cl *Client) fail(err error) {
 	cl.errOnce.Do(func() { cl.err.Store(err) })
 }
@@ -166,26 +261,54 @@ func (cl *Client) Close() error {
 	return nil
 }
 
-// readLoop dispatches reply frames to their waiting calls; any read error
-// fails every pending call on the connection and breaks the client.
+// readLoop dispatches reply frames to their waiting calls. A reply whose
+// reqID matches no waiting call lost the race with its call's timeout (or
+// is a server fault): its payload is drained into a loop-local scratch,
+// flowwire.client.late_replies counts it, and the connection keeps serving
+// — it can never be delivered to a different caller, because the caller's
+// pcall was removed from pending under pmu before the caller reclaimed it.
+// Any read error fails every pending call on the connection and breaks the
+// client.
 func (c *cliConn) readLoop() {
 	br := bufio.NewReaderSize(c.nc, 64<<10)
+	var discard []byte
 	var cause error
+	var f Frame
 	for {
-		var f Frame
-		if err := ReadFrame(br, c.cl.opts.MaxFrame, &f); err != nil {
+		plen, err := ReadFrameHeader(br, c.cl.opts.MaxFrame, &f)
+		if err != nil {
 			cause = err
 			break
 		}
 		c.pmu.Lock()
-		ch := c.pending[f.ReqID]
+		pc := c.pending[f.ReqID]
 		delete(c.pending, f.ReqID)
 		c.pmu.Unlock()
-		if ch == nil {
-			cause = fmt.Errorf("flowwire: reply for unknown reqID %d", f.ReqID)
+		if pc == nil {
+			c.cl.c.lateReplies.Add(1)
+			if cap(discard) < plen {
+				discard = make([]byte, plen)
+			}
+			if _, err := io.ReadFull(br, discard[:plen]); err != nil {
+				cause = err
+				break
+			}
+			continue
+		}
+		// The readLoop owns pc from the delete above until the send: the
+		// payload lands in pc's reusable buffer with no intermediate copy.
+		if cap(pc.buf) < plen {
+			pc.buf = make([]byte, plen)
+		}
+		pc.buf = pc.buf[:plen]
+		if _, err := io.ReadFull(br, pc.buf); err != nil {
+			// Claimed but undeliverable: the close below tells the caller.
+			close(pc.ch)
+			cause = err
 			break
 		}
-		ch <- f
+		f.Payload = pc.buf
+		pc.ch <- f
 	}
 	switch {
 	case c.cl.closed.Load():
@@ -200,94 +323,143 @@ func (c *cliConn) readLoop() {
 	c.dead = true
 	c.deadErr = cause
 	waiting := c.pending
-	c.pending = make(map[uint64]chan Frame)
+	c.pending = make(map[uint64]*pcall)
 	c.pmu.Unlock()
 	c.nc.Close()
-	for _, ch := range waiting {
-		close(ch) // a closed channel signals "no reply; see deadErr"
+	for _, pc := range waiting {
+		close(pc.ch) // a closed channel signals "no reply; see deadErr"
 	}
 }
 
 // call sends one request on a pooled connection and waits for its reply.
-func (cl *Client) call(op Op, payload []byte) (Frame, error) {
+// On success the returned pcall owns f.Payload's backing buffer: the caller
+// must finish parsing the payload and then release the slot with putCall.
+// On error the pcall has already been dealt with and nil is returned.
+func (cl *Client) call(op Op, payload []byte) (*pcall, Frame, error) {
 	if cl.closed.Load() {
-		return Frame{}, ErrClientClosed
+		return nil, Frame{}, ErrClientClosed
 	}
 	if err := cl.Err(); err != nil {
-		return Frame{}, err
+		return nil, Frame{}, err
 	}
 	c := cl.conns[cl.rr.Add(1)%uint64(len(cl.conns))]
 
-	ch := make(chan Frame, 1)
+	pc := cl.getCall(cl.opts.CallTimeout)
 	c.wmu.Lock()
 	c.pmu.Lock()
 	if c.dead {
 		err := c.deadErr
 		c.pmu.Unlock()
 		c.wmu.Unlock()
-		return Frame{}, err
+		cl.putCall(pc)
+		return nil, Frame{}, err
 	}
 	c.nextID++
 	id := c.nextID
-	c.pending[id] = ch
+	c.pending[id] = pc
 	c.pmu.Unlock()
-	buf := AppendFrame(make([]byte, 0, headerSize+len(payload)), &Frame{Op: op, ReqID: id, Payload: payload})
-	c.nc.SetWriteDeadline(time.Now().Add(cl.opts.WriteTimeout))
-	_, err := c.bw.Write(buf)
+	// Encode into the conn-owned scratch under wmu: no per-call buffer.
+	c.wbuf = AppendFrameHeader(c.wbuf[:0], op, StatusOK, id, len(payload))
+	c.wbuf = append(c.wbuf, payload...)
+	err := c.nc.SetWriteDeadline(time.Now().Add(cl.opts.WriteTimeout))
 	if err == nil {
-		err = c.bw.Flush()
+		_, err = c.bw.Write(c.wbuf)
+		if err == nil {
+			err = c.bw.Flush()
+		}
+		if err == nil {
+			// Clear the deadline after a successful write: a stale deadline
+			// must not fire under a later, otherwise-healthy write.
+			err = c.nc.SetWriteDeadline(time.Time{})
+		}
 	}
-	c.wmu.Unlock()
 	if err != nil {
+		// The bufio writer may hold partial frame bytes; this connection
+		// must never write again. Mark it dead before releasing wmu so the
+		// next caller fails fast instead of appending to a torn stream.
+		c.pmu.Lock()
+		if !c.dead {
+			c.dead = true
+			c.deadErr = err
+		}
+		c.pmu.Unlock()
 		cl.fail(err)
 		c.nc.Close() // the read loop fails the registered call
 	}
+	c.wmu.Unlock()
 
-	timer := time.NewTimer(cl.opts.CallTimeout)
-	defer timer.Stop()
 	select {
-	case f, ok := <-ch:
+	case f, ok := <-pc.ch:
 		if !ok {
+			// Conn death closed the channel; never recycle a closed-channel
+			// pcall — the pool must only hold live slots.
 			c.pmu.Lock()
 			err := c.deadErr
 			c.pmu.Unlock()
 			if err == nil {
 				err = ErrConnClosed
 			}
-			return Frame{}, err
+			return nil, Frame{}, err
 		}
 		if f.Op != op {
 			err := fmt.Errorf("flowwire: reply op %s to a %s request", f.Op, op)
 			cl.fail(err)
-			return Frame{}, err
+			cl.putCall(pc)
+			return nil, Frame{}, err
 		}
-		return f, nil
-	case <-timer.C:
+		return pc, f, nil
+	case <-pc.timer.C:
+		cl.c.timeouts.Add(1)
 		c.pmu.Lock()
-		delete(c.pending, id)
+		if _, registered := c.pending[id]; registered {
+			// The readLoop never claimed this call: deleting it under pmu
+			// guarantees nothing will ever be sent on pc.ch, so the slot is
+			// ours to recycle.
+			delete(c.pending, id)
+			c.pmu.Unlock()
+			cl.putCall(pc)
+			return nil, Frame{}, ErrCallTimeout
+		}
 		c.pmu.Unlock()
-		cl.fail(ErrCallTimeout)
-		return Frame{}, ErrCallTimeout
+		// The readLoop claimed the call before the timeout could take it
+		// back: a send (or a conn-death close) is committed. Take it and
+		// discard — the reply must not leak into the buffered channel, and
+		// the slot must not be recycled while the readLoop can still touch
+		// it.
+		if _, ok := <-pc.ch; ok {
+			cl.c.lateReplies.Add(1)
+			cl.putCall(pc)
+		}
+		return nil, Frame{}, ErrCallTimeout
 	}
 }
 
 // Lookup implements flowserve.Reader: a blocking single-key remote lookup
-// (the wire LOOKUP op, the paper's LOOKUP_B). Wrong-length keys and
-// transport failures are misses.
+// (the wire LOOKUP op, the paper's LOOKUP_B). Wrong-length keys are misses;
+// transport failures are misses too, and are counted in
+// flowwire.client.errors.
 func (cl *Client) Lookup(key []byte) (uint64, bool) {
 	if len(key) != cl.hello.KeyLen {
 		return 0, false
 	}
-	f, err := cl.call(OpLookup, key)
+	pc, f, err := cl.call(OpLookup, key)
 	if err != nil || f.Status != StatusOK || len(f.Payload) != 9 {
+		cl.c.errors.Add(1)
+		cl.putCall(pc)
 		return 0, false
 	}
-	return binary.LittleEndian.Uint64(f.Payload[1:9]), f.Payload[0] != 0
+	value := binary.LittleEndian.Uint64(f.Payload[1:9])
+	ok := f.Payload[0] != 0
+	cl.putCall(pc)
+	return value, ok
 }
 
 // LookupMany implements flowserve.Reader: all keys travel in one
 // LOOKUP_MANY frame (the paper's batched LOOKUP_NB), with wrong-length keys
-// answered locally as misses. On transport failure every result is a miss.
+// answered locally as misses. On transport failure every result is a miss
+// and flowwire.client.errors counts the call. The request payload is built
+// in a pooled buffer and the reply parsed out of the call slot's reused
+// buffer — the steady-state batch path allocates nothing.
 func (cl *Client) LookupMany(keys [][]byte, results []flowserve.Result) int {
 	n := len(keys)
 	_ = results[:n]
@@ -319,9 +491,13 @@ func (cl *Client) LookupMany(keys [][]byte, results []flowserve.Result) int {
 		return 0
 	}
 
-	payload := appendLookupManyReq(make([]byte, 0, 6+len(valid)*keyLen), valid, keyLen)
-	f, err := cl.call(OpLookupMany, payload)
+	req := getFrameBuf()
+	req.b = appendLookupManyReq(req.b[:0], valid, keyLen)
+	pc, f, err := cl.call(OpLookupMany, req.b)
+	putFrameBuf(req) // call copied the payload onto the wire before returning
 	if err != nil || f.Status != StatusOK {
+		cl.c.errors.Add(1)
+		cl.putCall(pc)
 		for i := range keys {
 			results[i] = flowserve.Result{}
 		}
@@ -334,7 +510,9 @@ func (cl *Client) LookupMany(keys [][]byte, results []flowserve.Result) int {
 		out = make([]flowserve.Result, len(valid))
 	}
 	count, perr := parseLookupManyReply(f.Payload, out)
+	cl.putCall(pc)
 	if perr != nil || count != len(valid) {
+		cl.c.errors.Add(1)
 		cl.fail(fmt.Errorf("flowwire: LOOKUP_MANY reply mismatch: %d results for %d keys (%v)", count, len(valid), perr))
 		for i := range keys {
 			results[i] = flowserve.Result{}
@@ -373,38 +551,57 @@ func (cl *Client) Insert(key []byte, value uint64) error {
 	if len(key) != cl.hello.KeyLen {
 		return flowserve.ErrKeyLen
 	}
-	f, err := cl.call(OpInsert, mutatePayload(value, key))
+	pc, f, err := cl.call(OpInsert, mutatePayload(value, key))
 	if err != nil {
 		return err
 	}
-	return f.Status.Err(OpInsert)
+	err = f.Status.Err(OpInsert)
+	cl.putCall(pc)
+	return err
 }
 
-// Update implements flowserve.Writer; false on absent key or failure.
+// Update implements flowserve.Writer; false on absent key or failure
+// (failures counted in flowwire.client.errors).
 func (cl *Client) Update(key []byte, value uint64) bool {
 	if len(key) != cl.hello.KeyLen {
 		return false
 	}
-	f, err := cl.call(OpUpdate, mutatePayload(value, key))
-	return err == nil && f.Status == StatusOK && len(f.Payload) == 1 && f.Payload[0] != 0
+	pc, f, err := cl.call(OpUpdate, mutatePayload(value, key))
+	if err != nil || f.Status != StatusOK || len(f.Payload) != 1 {
+		cl.c.errors.Add(1)
+		cl.putCall(pc)
+		return false
+	}
+	found := f.Payload[0] != 0
+	cl.putCall(pc)
+	return found
 }
 
-// Delete implements flowserve.Writer; false on absent key or failure.
+// Delete implements flowserve.Writer; false on absent key or failure
+// (failures counted in flowwire.client.errors).
 func (cl *Client) Delete(key []byte) bool {
 	if len(key) != cl.hello.KeyLen {
 		return false
 	}
-	f, err := cl.call(OpDelete, key)
-	return err == nil && f.Status == StatusOK && len(f.Payload) == 1 && f.Payload[0] != 0
+	pc, f, err := cl.call(OpDelete, key)
+	if err != nil || f.Status != StatusOK || len(f.Payload) != 1 {
+		cl.c.errors.Add(1)
+		cl.putCall(pc)
+		return false
+	}
+	found := f.Payload[0] != 0
+	cl.putCall(pc)
+	return found
 }
 
 // Stats fetches the server's counter snapshot (flowwire.* and flowserve.*
 // names) via the STATS op.
 func (cl *Client) Stats() (map[string]uint64, error) {
-	f, err := cl.call(OpStats, nil)
+	pc, f, err := cl.call(OpStats, nil)
 	if err != nil {
 		return nil, err
 	}
+	defer cl.putCall(pc)
 	if err := f.Status.Err(OpStats); err != nil {
 		return nil, err
 	}

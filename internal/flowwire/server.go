@@ -116,9 +116,17 @@ func NewServer(cfg Config) (*Server, error) {
 	return &Server{cfg: cfg, conns: make(map[*srvConn]struct{})}, nil
 }
 
-// ListenAndServe listens on addr ("host:port") and calls Serve.
+// ListenAndServe listens on a TCP addr ("host:port") and calls Serve.
 func (s *Server) ListenAndServe(addr string) error {
-	ln, err := net.Listen("tcp", addr)
+	return s.ListenAndServeOn(TransportTCP, addr)
+}
+
+// ListenAndServeOn listens on the named transport — TransportTCP with a
+// "host:port" addr or TransportUnix with a socket path — and calls Serve.
+// The server runtime is transport-agnostic: every connection runs the same
+// reader→processor→writer pipeline whatever net.Listener accepted it.
+func (s *Server) ListenAndServeOn(transport, addr string) error {
+	ln, err := Listen(transport, addr)
 	if err != nil {
 		return err
 	}
@@ -275,12 +283,15 @@ func (s *Server) CollectInto(snap *stats.Snapshot) {
 }
 
 // request is one parsed frame travelling reader → processor. A non-OK
-// errStatus short-circuits processing into a typed error reply.
+// errStatus short-circuits processing into a typed error reply. payload
+// aliases fb's pooled buffer; the processor releases fb once the request's
+// reply has been emitted (fb is nil for payload-less error requests).
 type request struct {
 	op        Op
 	errStatus Status
 	reqID     uint64
 	payload   []byte
+	fb        *frameBuf
 }
 
 // srvConn is one connection's pipeline: the reader (run by handle) parses
@@ -295,14 +306,15 @@ type srvConn struct {
 	bw  *bufio.Writer
 
 	reqCh chan request
-	repCh chan []byte
+	repCh chan *frameBuf
 
 	// processor scratch: conn-owned, reused across coalesced groups.
-	batch   *flowserve.Batch
-	group   []request
-	keys    [][]byte
-	nkeys   []int
-	results []flowserve.Result
+	batch    *flowserve.Batch
+	group    []request
+	keys     [][]byte
+	nkeys    []int
+	results  []flowserve.Result
+	statuses []Status
 }
 
 func newSrvConn(s *Server, nc net.Conn) *srvConn {
@@ -312,7 +324,7 @@ func newSrvConn(s *Server, nc net.Conn) *srvConn {
 		br:    bufio.NewReaderSize(nc, 64<<10),
 		bw:    bufio.NewWriterSize(nc, 64<<10),
 		reqCh: make(chan request, s.cfg.Window),
-		repCh: make(chan []byte, s.cfg.Window),
+		repCh: make(chan *frameBuf, s.cfg.Window),
 		batch: s.cfg.Table.NewBatch(),
 	}
 }
@@ -350,8 +362,14 @@ func (c *srvConn) read() {
 			return
 		}
 		c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.IdleTimeout))
-		err := ReadFrame(c.br, c.srv.cfg.MaxFrame, &f)
+		// Each in-flight frame's payload lives in a pooled buffer (the
+		// window holds several at once while coalescing); the processor
+		// releases it after the frame's reply is emitted.
+		fb := getFrameBuf()
+		var err error
+		fb.b, err = ReadFrameInto(c.br, c.srv.cfg.MaxFrame, &f, fb.b)
 		if err != nil {
+			putFrameBuf(fb)
 			if err == io.EOF || c.srv.draining.Load() {
 				return // clean close, or drain unblocked the read
 			}
@@ -372,7 +390,7 @@ func (c *srvConn) read() {
 			c.reqCh <- request{op: f.Op, errStatus: st, reqID: f.ReqID}
 			return
 		}
-		req := request{op: f.Op, reqID: f.ReqID, payload: f.Payload}
+		req := request{op: f.Op, reqID: f.ReqID, payload: f.Payload, fb: fb}
 		switch f.Op {
 		case OpHello, OpLookup, OpLookupMany, OpInsert, OpUpdate, OpDelete, OpStats:
 		default:
@@ -404,10 +422,12 @@ func (c *srvConn) process() {
 		}
 		if req.errStatus != StatusOK {
 			c.reply(&Frame{Op: req.op, Status: req.errStatus, ReqID: req.reqID})
+			putFrameBuf(req.fb)
 			continue
 		}
 		if req.op != OpLookup && req.op != OpLookupMany {
 			c.serveOne(&req)
+			putFrameBuf(req.fb)
 			continue
 		}
 		c.group = append(c.group[:0], req)
@@ -429,6 +449,12 @@ func (c *srvConn) process() {
 			}
 		}
 		c.serveLookups()
+		for i := range c.group {
+			// Keys aliased these payload buffers until the batch replies
+			// were encoded; now the whole group can go back to the pool.
+			putFrameBuf(c.group[i].fb)
+			c.group[i].fb = nil
+		}
 	}
 }
 
@@ -439,7 +465,11 @@ func (c *srvConn) serveLookups() {
 	keyLen := c.srv.cfg.Table.KeyLen()
 	c.keys = c.keys[:0]
 	c.nkeys = c.nkeys[:0]
-	statuses := make([]Status, len(c.group)) // small; group ≤ CoalesceFrames
+	c.statuses = c.statuses[:0]
+	for range c.group {
+		c.statuses = append(c.statuses, StatusOK)
+	}
+	statuses := c.statuses
 	for i := range c.group {
 		req := &c.group[i]
 		before := len(c.keys)
@@ -481,17 +511,24 @@ func (c *srvConn) serveLookups() {
 			c.reply(&Frame{Op: req.op, Status: statuses[i], ReqID: req.reqID})
 			continue
 		}
+		// Reply frames are built header-then-payload straight into a pooled
+		// buffer: no intermediate payload slice, no per-reply make.
 		switch req.op {
 		case OpLookup:
-			var p [9]byte
+			fb := getFrameBuf()
+			fb.b = AppendFrameHeader(fb.b[:0], OpLookup, StatusOK, req.reqID, 9)
+			ok := byte(0)
 			if res[0].OK {
-				p[0] = 1
+				ok = 1
 			}
-			binary.LittleEndian.PutUint64(p[1:], res[0].Value)
-			c.reply(&Frame{Op: OpLookup, ReqID: req.reqID, Payload: p[:]})
+			fb.b = append(fb.b, ok)
+			fb.b = binary.LittleEndian.AppendUint64(fb.b, res[0].Value)
+			c.send(fb)
 		case OpLookupMany:
-			payload := appendLookupManyReply(make([]byte, 0, 4+9*n), res)
-			c.reply(&Frame{Op: OpLookupMany, ReqID: req.reqID, Payload: payload})
+			fb := getFrameBuf()
+			fb.b = AppendFrameHeader(fb.b[:0], OpLookupMany, StatusOK, req.reqID, 4+9*n)
+			fb.b = appendLookupManyReply(fb.b, res)
+			c.send(fb)
 		}
 	}
 }
@@ -550,13 +587,22 @@ func (c *srvConn) serveOne(req *request) {
 	}
 }
 
-// reply encodes a frame and hands it to the writer.
+// reply encodes a frame into a pooled buffer and hands it to the writer.
 func (c *srvConn) reply(f *Frame) {
-	c.repCh <- AppendFrame(make([]byte, 0, headerSize+len(f.Payload)), f)
+	fb := getFrameBuf()
+	fb.b = AppendFrame(fb.b[:0], f)
+	c.send(fb)
+}
+
+// send hands an already-encoded pooled frame to the writer, which releases
+// it after the bytes reach the bufio writer.
+func (c *srvConn) send(fb *frameBuf) {
+	c.repCh <- fb
 }
 
 // write flushes encoded replies, batching the flush across whatever is
-// queued. On a write error the remaining replies are discarded (the client
+// queued, and returns each pooled buffer once its bytes are in the bufio
+// writer. On a write error the remaining replies are discarded (the client
 // is gone) but the channel is still drained so the processor never blocks.
 func (c *srvConn) write() {
 	failed := false
@@ -573,12 +619,13 @@ func (c *srvConn) write() {
 		}
 		flushPending = false
 	}
-	writeOne := func(buf []byte) {
+	writeOne := func(fb *frameBuf) {
+		defer putFrameBuf(fb)
 		if failed {
 			return
 		}
 		c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout))
-		if _, err := c.bw.Write(buf); err != nil {
+		if _, err := c.bw.Write(fb.b); err != nil {
 			failed = true
 			c.srv.c.writeErrors.Add(1)
 			c.nc.Close()
@@ -587,8 +634,8 @@ func (c *srvConn) write() {
 		flushPending = true
 		c.srv.c.repliesWritten.Add(1)
 	}
-	for buf := range c.repCh {
-		writeOne(buf)
+	for fb := range c.repCh {
+		writeOne(fb)
 		// Opportunistically drain queued replies into the same flush.
 	inner:
 		for {

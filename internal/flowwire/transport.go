@@ -1,0 +1,86 @@
+package flowwire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"time"
+)
+
+// Transport names. The wire protocol is byte-identical on every transport;
+// only the dial/listen plumbing differs, so the Reader/Writer surface (and
+// the frame codec, and the server runtime) is shared verbatim. Benchmark
+// documents stamp the transport into their workload identity so benchdiff
+// refuses cross-transport comparisons.
+const (
+	// TransportTCP serves "host:port" addresses over TCP (loopback or
+	// cross-host). The historical default.
+	TransportTCP = "tcp"
+	// TransportUnix serves a filesystem socket path over unix-domain
+	// stream sockets: same syscall count as TCP but no packetization,
+	// checksumming or loopback queueing — the cheap same-host transport.
+	TransportUnix = "unix"
+)
+
+// ErrBadTransport reports an unknown -transport value.
+var ErrBadTransport = errors.New(`flowwire: unknown transport (want "tcp" or "unix")`)
+
+// CheckTransport validates a transport name ("" means TransportTCP).
+func CheckTransport(transport string) (string, error) {
+	switch transport {
+	case "", TransportTCP:
+		return TransportTCP, nil
+	case TransportUnix:
+		return TransportUnix, nil
+	}
+	return "", fmt.Errorf("%w: %q", ErrBadTransport, transport)
+}
+
+// Listen opens a listener for the given transport: a TCP "host:port" or a
+// unix socket path. For unix, a stale socket file left by a dead server is
+// detected (it refuses connections) and removed before listening, so
+// flowserved restarts cleanly; a live server's socket is left alone and the
+// bind fails as it should. The returned *net.UnixListener unlinks its
+// socket on Close.
+func Listen(transport, addr string) (net.Listener, error) {
+	transport, err := CheckTransport(transport)
+	if err != nil {
+		return nil, err
+	}
+	if transport == TransportUnix {
+		removeStaleSocket(addr)
+	}
+	return net.Listen(transport, addr)
+}
+
+// removeStaleSocket unlinks addr if it is a socket file nobody answers on.
+func removeStaleSocket(addr string) {
+	fi, err := os.Lstat(addr)
+	if err != nil || fi.Mode()&os.ModeSocket == 0 {
+		return // absent, or not a socket: let Listen report the real error
+	}
+	nc, err := net.DialTimeout(TransportUnix, addr, 250*time.Millisecond)
+	if err == nil {
+		nc.Close() // a live server owns it
+		return
+	}
+	os.Remove(addr)
+}
+
+// dialTransport connects to addr over the named transport, applying the
+// TCP-only socket options where they exist.
+func dialTransport(transport, addr string, timeout time.Duration) (net.Conn, error) {
+	transport, err := CheckTransport(transport)
+	if err != nil {
+		return nil, err
+	}
+	nc, err := net.DialTimeout(transport, addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return nc, nil
+}

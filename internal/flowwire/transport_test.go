@@ -1,0 +1,189 @@
+package flowwire
+
+import (
+	"errors"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"halo/internal/flowserve"
+)
+
+// startServerOn runs a server over a fresh table on the given transport and
+// returns the dial address (TCP "host:port" or a unix socket path).
+func startServerOn(t testing.TB, transport string, tblCfg flowserve.Config, srvCfg Config) (*Server, *flowserve.Table, string) {
+	t.Helper()
+	tbl, err := flowserve.New(tblCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvCfg.Table = tbl
+	srv, err := NewServer(srvCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := "127.0.0.1:0"
+	if transport == TransportUnix {
+		addr = filepath.Join(t.TempDir(), "flowserved.sock")
+	}
+	ln, err := Listen(transport, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		srv.Close()
+		if err := <-serveErr; err != nil && err != ErrServerClosed {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return srv, tbl, ln.Addr().String()
+}
+
+// TestUnixTransportOps runs the full op surface over a unix-domain socket:
+// the wire protocol and server runtime are transport-agnostic, so everything
+// that works on TCP must work identically here.
+func TestUnixTransportOps(t *testing.T) {
+	_, tbl, addr := startServerOn(t, TransportUnix, flowserve.Config{Shards: 4, Entries: 4096, KeyLen: 20}, Config{})
+	cl := dialTest(t, addr, Options{Transport: TransportUnix, Conns: 2})
+
+	if h := cl.Hello(); h.KeyLen != 20 || h.Shards != 4 || h.Capacity != tbl.Capacity() {
+		t.Fatalf("HELLO over unix = %+v", h)
+	}
+	const n = 300
+	for i := uint64(0); i < n; i++ {
+		if err := cl.Insert(wkey(i), i*3); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		if v, ok := cl.Lookup(wkey(i)); !ok || v != i*3 {
+			t.Fatalf("lookup %d = (%d,%v)", i, v, ok)
+		}
+	}
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = wkey(uint64(i))
+	}
+	results := make([]flowserve.Result, n)
+	if hits := cl.LookupMany(keys, results); hits != n {
+		t.Fatalf("LookupMany hits = %d, want %d", hits, n)
+	}
+	if !cl.Update(wkey(7), 999) {
+		t.Fatal("update failed")
+	}
+	if v, _ := cl.Lookup(wkey(7)); v != 999 {
+		t.Fatalf("post-update value = %d", v)
+	}
+	if !cl.Delete(wkey(8)) {
+		t.Fatal("delete failed")
+	}
+	if _, ok := cl.Lookup(wkey(8)); ok {
+		t.Fatal("deleted key still present")
+	}
+	if err := cl.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if c := cl.Counters(); c.Errors != 0 {
+		t.Fatalf("clean unix run counted errors: %+v", c)
+	}
+}
+
+// TestListenRemovesStaleUnixSocket pins flowserved restart behavior: a
+// socket file left behind by a dead server (nobody accepting) is unlinked
+// and rebound; a live server's socket is not stolen.
+func TestListenRemovesStaleUnixSocket(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stale.sock")
+
+	// Manufacture a stale socket: bind, keep the file past Close.
+	ua, err := net.ResolveUnixAddr("unix", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ul, err := net.ListenUnix("unix", ua)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ul.SetUnlinkOnClose(false)
+	ul.Close()
+
+	ln, err := Listen(TransportUnix, path)
+	if err != nil {
+		t.Fatalf("Listen over stale socket: %v", err)
+	}
+	defer ln.Close()
+
+	// A second bind while the first is live must still fail.
+	if ln2, err := Listen(TransportUnix, path); err == nil {
+		ln2.Close()
+		t.Fatal("Listen stole a live server's socket")
+	}
+}
+
+func TestBadTransportRejected(t *testing.T) {
+	if _, err := Listen("sctp", "x"); !errors.Is(err, ErrBadTransport) {
+		t.Fatalf("Listen error = %v, want ErrBadTransport", err)
+	}
+	if _, err := Dial("x", Options{Transport: "sctp"}); !errors.Is(err, ErrBadTransport) {
+		t.Fatalf("Dial error = %v, want ErrBadTransport", err)
+	}
+	if _, err := Listen("", "127.0.0.1:0"); err != nil {
+		t.Fatalf(`Listen("") should default to tcp, got %v`, err)
+	}
+}
+
+// TestMalformedFramesBothTransports runs the protocol-violation suite over
+// both transports: typed rejects for unknown op / bad version, and a hard
+// close for an oversized frame — identical behavior regardless of transport.
+func TestMalformedFramesBothTransports(t *testing.T) {
+	for _, transport := range []string{TransportTCP, TransportUnix} {
+		t.Run(transport, func(t *testing.T) {
+			_, _, addr := startServerOn(t, transport, flowserve.Config{Shards: 1, Entries: 128, KeyLen: 20}, Config{MaxFrame: 1 << 16})
+			dial := func() net.Conn {
+				nc, err := net.DialTimeout(transport, addr, 5*time.Second)
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { nc.Close() })
+				return nc
+			}
+
+			// Unknown op: typed reject, connection survives.
+			nc := dial()
+			nc.Write(AppendFrame(nil, &Frame{Op: Op(99), ReqID: 1}))
+			if f := readReply(t, nc); f.Status != StatusErrOp || f.ReqID != 1 {
+				t.Fatalf("unknown op reply = %+v", f)
+			}
+			nc.Write(AppendFrame(nil, &Frame{Op: OpLookup, ReqID: 2, Payload: wkey(1)}))
+			if f := readReply(t, nc); f.Status != StatusOK || f.ReqID != 2 {
+				t.Fatalf("lookup after reject = %+v", f)
+			}
+
+			// Bad version: typed reject, then the server hangs up.
+			nc = dial()
+			bad := AppendFrame(nil, &Frame{Op: OpLookup, ReqID: 3, Payload: wkey(1)})
+			bad[4] = Version + 1
+			nc.Write(bad)
+			if f := readReply(t, nc); f.Status != StatusErrVersion || f.ReqID != 3 {
+				t.Fatalf("bad version reply = %+v", f)
+			}
+			assertClosed(t, nc)
+
+			// Oversized length prefix: unrecoverable, reject + close.
+			nc = dial()
+			nc.Write(AppendFrameHeader(nil, OpLookup, StatusOK, 4, 1<<20)[:4])
+			if f := readReply(t, nc); f.Status != StatusErrOversized {
+				t.Fatalf("oversized reply = %+v", f)
+			}
+			assertClosed(t, nc)
+
+			// Truncated frame: peer dies mid-payload; server just closes.
+			nc = dial()
+			full := AppendFrame(nil, &Frame{Op: OpLookup, ReqID: 5, Payload: wkey(1)})
+			nc.Write(full[:len(full)-4])
+			nc.Close()
+		})
+	}
+}

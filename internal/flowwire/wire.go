@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"halo/internal/flowserve"
 )
@@ -179,6 +180,12 @@ type Frame struct {
 	Status  Status
 	ReqID   uint64
 	Payload []byte
+
+	// hdr is the header read scratch. A stack array would escape through
+	// the io.Reader interface call and cost one heap allocation per frame;
+	// frames on the hot paths are long-lived, so reading into the frame's
+	// own storage keeps ReadFrameHeader allocation-free.
+	hdr [headerSize]byte
 }
 
 // Frame-read errors. ErrFrameTooLarge and ErrBadVersion carry enough for
@@ -190,54 +197,99 @@ var (
 	ErrBadReserved   = errors.New("flowwire: nonzero reserved header byte")
 )
 
+// AppendFrameHeader encodes the 16-byte header of a frame whose payloadLen
+// payload bytes the caller appends next. Splitting the header from the
+// payload lets hot paths build replies directly into one reused buffer —
+// header, then payload — with no intermediate payload slice.
+func AppendFrameHeader(dst []byte, op Op, status Status, reqID uint64, payloadLen int) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(headerRest+payloadLen))
+	dst = append(dst, Version, byte(op), byte(status), 0)
+	return binary.LittleEndian.AppendUint64(dst, reqID)
+}
+
 // AppendFrame encodes f onto dst and returns the extended slice.
 func AppendFrame(dst []byte, f *Frame) []byte {
-	n := headerRest + len(f.Payload)
-	dst = binary.LittleEndian.AppendUint32(dst, uint32(n))
-	dst = append(dst, Version, byte(f.Op), byte(f.Status), 0)
-	dst = binary.LittleEndian.AppendUint64(dst, f.ReqID)
+	dst = AppendFrameHeader(dst, f.Op, f.Status, f.ReqID, len(f.Payload))
 	return append(dst, f.Payload...)
 }
 
-// ReadFrame reads one frame from r into f, allocating f.Payload (each frame
-// owns its payload: the server holds several in flight while coalescing).
-// maxFrame bounds the accepted length (0 means DefaultMaxFrame). io.EOF is
-// returned untouched on a clean close before any header byte; a partial
-// header or body yields io.ErrUnexpectedEOF.
-func ReadFrame(r io.Reader, maxFrame uint32, f *Frame) error {
+// ReadFrameHeader reads and validates one frame header from r, populating
+// f's identifying fields (Op, Status, ReqID; Payload is reset to nil) and
+// returning the payload length that follows on the stream. The caller owns
+// reading those bytes — into a pooled buffer (client), a reusable scratch
+// (server), or a discard buffer (late replies). maxFrame bounds the
+// accepted length (0 means DefaultMaxFrame). io.EOF is returned untouched
+// on a clean close before any header byte; a partial header yields
+// io.ErrUnexpectedEOF. The identifying fields are populated before the
+// validity checks, so a server can echo op and reqID in a typed error
+// reply.
+func ReadFrameHeader(r io.Reader, maxFrame uint32, f *Frame) (int, error) {
 	if maxFrame == 0 {
 		maxFrame = DefaultMaxFrame
 	}
-	var hdr [headerSize]byte
+	hdr := f.hdr[:]
 	if _, err := io.ReadFull(r, hdr[:lenSize]); err != nil {
-		return err
+		return 0, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[:lenSize])
 	if n < headerRest {
-		return ErrShortFrame
+		return 0, ErrShortFrame
 	}
 	if lenSize+uint64(n) > uint64(maxFrame) {
-		return fmt.Errorf("%w: %d bytes (limit %d)", ErrFrameTooLarge, lenSize+uint64(n), maxFrame)
+		return 0, fmt.Errorf("%w: %d bytes (limit %d)", ErrFrameTooLarge, lenSize+uint64(n), maxFrame)
 	}
 	if _, err := io.ReadFull(r, hdr[lenSize:]); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
-		return err
+		return 0, err
 	}
-	// Populate the identifying fields before the validity checks, so a
-	// server can echo op and reqID in the typed error reply.
 	f.Op = Op(hdr[5])
 	f.Status = Status(hdr[6])
 	f.ReqID = binary.LittleEndian.Uint64(hdr[8:16])
 	f.Payload = nil
 	if hdr[4] != Version {
-		return fmt.Errorf("%w: got %d, want %d", ErrBadVersion, hdr[4], Version)
+		return 0, fmt.Errorf("%w: got %d, want %d", ErrBadVersion, hdr[4], Version)
 	}
 	if hdr[7] != 0 {
-		return ErrBadReserved
+		return 0, ErrBadReserved
 	}
-	payloadLen := int(n) - headerRest
+	return int(n) - headerRest, nil
+}
+
+// ReadFrameInto reads one frame from r into f, reusing buf for the payload
+// and growing it as needed; it returns the possibly-grown buffer for the
+// caller to keep. f.Payload aliases the returned buffer, so the frame is
+// valid only until the buffer's next reuse — the zero-copy contract the
+// client and server hot paths rely on (DESIGN.md §10). A payload read that
+// dies mid-body yields io.ErrUnexpectedEOF.
+func ReadFrameInto(r io.Reader, maxFrame uint32, f *Frame, buf []byte) ([]byte, error) {
+	payloadLen, err := ReadFrameHeader(r, maxFrame, f)
+	if err != nil {
+		return buf, err
+	}
+	if cap(buf) < payloadLen {
+		buf = make([]byte, payloadLen)
+	}
+	buf = buf[:payloadLen]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return buf, err
+	}
+	f.Payload = buf
+	return buf, nil
+}
+
+// ReadFrame reads one frame from r into f, allocating a fresh f.Payload the
+// caller owns indefinitely. Tests and cold paths use this; hot paths use
+// ReadFrameInto with reused scratch.
+func ReadFrame(r io.Reader, maxFrame uint32, f *Frame) error {
+	payloadLen, err := ReadFrameHeader(r, maxFrame, f)
+	if err != nil {
+		return err
+	}
 	f.Payload = make([]byte, payloadLen)
 	if _, err := io.ReadFull(r, f.Payload); err != nil {
 		if err == io.EOF {
@@ -246,6 +298,23 @@ func ReadFrame(r io.Reader, maxFrame uint32, f *Frame) error {
 		return err
 	}
 	return nil
+}
+
+// frameBuf is a pooled byte buffer carrying one encoded frame or payload
+// across the hot paths: server replies travel processor→writer as
+// *frameBuf, request payloads reader→processor, and the client builds
+// LOOKUP_MANY request payloads in one. Pooling the wrapper (not the bare
+// slice) keeps Put/Get free of interface-conversion allocations.
+type frameBuf struct{ b []byte }
+
+var frameBufPool = sync.Pool{New: func() any { return &frameBuf{b: make([]byte, 0, 512)} }}
+
+func getFrameBuf() *frameBuf { return frameBufPool.Get().(*frameBuf) }
+
+func putFrameBuf(fb *frameBuf) {
+	if fb != nil {
+		frameBufPool.Put(fb)
+	}
 }
 
 // HelloInfo is the table geometry a HELLO reply reports.

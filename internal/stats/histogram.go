@@ -24,49 +24,92 @@ import (
 	"strings"
 )
 
-// Histogram counts cycle-valued observations in log-scaled buckets: values
-// below 16 get exact buckets; larger values land in power-of-two octaves
-// split into 16 linear sub-buckets, bounding the relative quantization
-// error at 1/16 (~6%). Quantiles return a bucket's upper bound, so they are
-// exact integers that do not depend on observation order.
+// Sub-bucket resolution bounds. DefaultSubBits is the historical layout (16
+// sub-buckets per octave, ~6% relative error) every simulator document uses;
+// its encoding is byte-identical to histograms that predate configurable
+// resolution. Higher resolutions exist for tail quantiles: at p99.9 a 6%
+// bucket width swallows the entire tail signal, so latency-measuring load
+// generators use NewHistogramRes(HighResSubBits) (~0.4% relative error).
+const (
+	DefaultSubBits = 4
+	HighResSubBits = 8
+	maxSubBits     = 10
+)
+
+// Histogram counts observations in log-scaled buckets: values below
+// 2^subBits get exact buckets; larger values land in power-of-two octaves
+// split into 2^subBits linear sub-buckets, bounding the relative
+// quantization error at 2^-subBits. Quantiles return a bucket's upper
+// bound, so they are exact integers that do not depend on observation
+// order.
 type Histogram struct {
 	count   uint64
 	sum     uint64
 	buckets map[int]uint64
+	subBits uint8 // 0 reads as DefaultSubBits (zero-value and decode compat)
 }
 
-// NewHistogram returns an empty histogram.
+// NewHistogram returns an empty histogram at the default resolution (16
+// sub-buckets per octave, ~6% relative error).
 func NewHistogram() *Histogram { return &Histogram{} }
 
-// bucketIndex maps a value to its bucket: 0..15 exact, then 16 sub-buckets
-// per power-of-two octave.
-func bucketIndex(v uint64) int {
-	if v < 16 {
-		return int(v)
+// NewHistogramRes returns an empty histogram with 2^subBits sub-buckets per
+// octave. subBits outside [DefaultSubBits, maxSubBits] is clamped. Use
+// HighResSubBits when tail quantiles (p99.9) must stay meaningful.
+func NewHistogramRes(subBits int) *Histogram {
+	if subBits < DefaultSubBits {
+		subBits = DefaultSubBits
 	}
-	exp := bits.Len64(v) - 1 // >= 4
-	sub := int((v >> (uint(exp) - 4)) & 15)
-	return 16 + (exp-4)*16 + sub
+	if subBits > maxSubBits {
+		subBits = maxSubBits
+	}
+	return &Histogram{subBits: uint8(subBits)}
 }
 
-// bucketUpper returns the largest value that maps to bucket idx — the value
-// quantiles report.
-func bucketUpper(idx int) uint64 {
-	if idx < 16 {
+// res returns the effective sub-bucket bits (the zero value is the default
+// resolution, so pre-existing zero-valued and decoded histograms keep their
+// historical layout).
+func (h *Histogram) res() uint {
+	if h.subBits == 0 {
+		return DefaultSubBits
+	}
+	return uint(h.subBits)
+}
+
+// bucketIndexRes maps a value to its bucket at resolution b: 0..2^b-1
+// exact, then 2^b sub-buckets per power-of-two octave.
+func bucketIndexRes(v uint64, b uint) int {
+	if v < 1<<b {
+		return int(v)
+	}
+	exp := uint(bits.Len64(v)) - 1 // >= b
+	sub := int((v >> (exp - b)) & (1<<b - 1))
+	return 1<<b + int(exp-b)<<b + sub
+}
+
+// bucketUpperRes returns the largest value that maps to bucket idx at
+// resolution b — the value quantiles report.
+func bucketUpperRes(idx int, b uint) uint64 {
+	if idx < 1<<b {
 		return uint64(idx)
 	}
-	rel := idx - 16
-	exp := uint(rel/16) + 4
-	sub := uint64(rel % 16)
-	return (uint64(1) << exp) + (sub+1)<<(exp-4) - 1
+	rel := idx - 1<<b
+	exp := uint(rel>>b) + b
+	sub := uint64(rel & (1<<b - 1))
+	return (uint64(1) << exp) + (sub+1)<<(exp-b) - 1
 }
+
+// bucketIndex and bucketUpper are the default-resolution mappings (kept as
+// named functions: the simulator documents and their tests pin this layout).
+func bucketIndex(v uint64) int   { return bucketIndexRes(v, DefaultSubBits) }
+func bucketUpper(idx int) uint64 { return bucketUpperRes(idx, DefaultSubBits) }
 
 // Observe records one value.
 func (h *Histogram) Observe(v uint64) {
 	if h.buckets == nil {
 		h.buckets = make(map[int]uint64)
 	}
-	h.buckets[bucketIndex(v)]++
+	h.buckets[bucketIndexRes(v, h.res())]++
 	h.count++
 	h.sum += v
 }
@@ -85,7 +128,10 @@ func (h *Histogram) Mean() float64 {
 	return float64(h.sum) / float64(h.count)
 }
 
-// Merge adds another histogram's observations into h.
+// Merge adds another histogram's observations into h. Matching resolutions
+// merge bucket-for-bucket; a mismatched resolution is re-quantized through
+// each source bucket's upper bound (deterministic, at the coarser of the two
+// error bounds), with count and sum carried over exactly.
 func (h *Histogram) Merge(o *Histogram) {
 	if o == nil || o.count == 0 {
 		return
@@ -93,8 +139,15 @@ func (h *Histogram) Merge(o *Histogram) {
 	if h.buckets == nil {
 		h.buckets = make(map[int]uint64)
 	}
-	for idx, c := range o.buckets {
-		h.buckets[idx] += c
+	if h.res() == o.res() {
+		for idx, c := range o.buckets {
+			h.buckets[idx] += c
+		}
+	} else {
+		b, ob := h.res(), o.res()
+		for idx, c := range o.buckets {
+			h.buckets[bucketIndexRes(bucketUpperRes(idx, ob), b)] += c
+		}
 	}
 	h.count += o.count
 	h.sum += o.sum
@@ -134,17 +187,24 @@ func (h *Histogram) Quantile(q float64) uint64 {
 	for _, idx := range idxs {
 		cum += h.buckets[idx]
 		if cum >= target {
-			return bucketUpper(idx)
+			return bucketUpperRes(idx, h.res())
 		}
 	}
-	return bucketUpper(idxs[len(idxs)-1])
+	return bucketUpperRes(idxs[len(idxs)-1], h.res())
 }
 
 // MarshalJSON emits {"count":N,"sum":S,"buckets":"idx:count,idx:count"} with
-// buckets in ascending index order — a compact, byte-stable encoding.
+// buckets in ascending index order — a compact, byte-stable encoding. A
+// non-default resolution adds a "res" field; default-resolution histograms
+// keep the historical byte shape exactly.
 func (h *Histogram) MarshalJSON() ([]byte, error) {
 	var b bytes.Buffer
-	fmt.Fprintf(&b, `{"count":%d,"sum":%d,"buckets":"`, h.count, h.sum)
+	b.WriteString(`{"count":`)
+	fmt.Fprintf(&b, `%d,"sum":%d,`, h.count, h.sum)
+	if h.res() != DefaultSubBits {
+		fmt.Fprintf(&b, `"res":%d,`, h.res())
+	}
+	b.WriteString(`"buckets":"`)
 	for i, idx := range h.sortedIdxs() {
 		if i > 0 {
 			b.WriteByte(',')
@@ -160,6 +220,7 @@ func (h *Histogram) UnmarshalJSON(data []byte) error {
 	var wire struct {
 		Count   uint64 `json:"count"`
 		Sum     uint64 `json:"sum"`
+		Res     uint8  `json:"res"`
 		Buckets string `json:"buckets"`
 	}
 	if err := json.Unmarshal(data, &wire); err != nil {
@@ -168,6 +229,10 @@ func (h *Histogram) UnmarshalJSON(data []byte) error {
 	h.count = wire.Count
 	h.sum = wire.Sum
 	h.buckets = nil
+	if wire.Res != 0 && (wire.Res < DefaultSubBits || wire.Res > maxSubBits) {
+		return fmt.Errorf("stats: histogram resolution %d out of range", wire.Res)
+	}
+	h.subBits = wire.Res
 	if wire.Buckets == "" {
 		return nil
 	}

@@ -1,0 +1,38 @@
+#!/bin/sh
+# bench_serve_remote.sh <transport> [out.json] — run a flowserved instance on
+# the given transport (tcp or unix), drive it with the flowload remote smoke
+# (closed-loop points plus one open-loop fixed-rate point), and archive the
+# halo-bench/v1 document. The document stamps the transport into its workload
+# identity, so benchdiff refuses to compare a tcp artifact against a unix one
+# — per-transport baselines stay apples-to-apples by construction.
+#
+#   scripts/bench_serve_remote.sh tcp  BENCH_serve_remote_tcp.json
+#   scripts/bench_serve_remote.sh unix BENCH_serve_remote_unix.json
+#
+# Exits nonzero if the zero-loss drain ledger, the client-error gate, or the
+# graceful drain fails.
+set -eu
+cd "$(dirname "$0")/.."
+transport="${1:-tcp}"
+out="${2:-BENCH_serve_remote_$transport.json}"
+case "$transport" in
+tcp) addr="127.0.0.1:7411" ;;
+unix) addr="${TMPDIR:-/tmp}/flowserved-bench.sock" ;;
+*)
+	echo "bench_serve_remote.sh: unknown transport $transport (want tcp or unix)" >&2
+	exit 2
+	;;
+esac
+
+go build -o flowserved.bench ./cmd/flowserved
+./flowserved.bench -transport "$transport" -listen "$addr" -shards 4 -entries 65536 &
+srv=$!
+status=0
+go run ./cmd/flowload -remote "$addr" -transport "$transport" -smoke -check \
+	-conns 2,4 -rate 0,200000 -json "$out" || status=$?
+# SIGTERM → graceful drain; flowserved exits 0 only if every accepted frame
+# was answered (zero-loss drain ledger).
+kill -TERM "$srv"
+wait "$srv" || status=$?
+rm -f flowserved.bench
+exit "$status"

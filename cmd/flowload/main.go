@@ -19,6 +19,7 @@
 //	flowload -remote 127.0.0.1:7411           # drive a flowserved over TCP
 //	flowload -remote :7411 -conns 1,2,4       # sweep client connection counts
 //	flowload -remote /tmp/fs.sock -transport unix   # drive over a unix socket
+//	flowload -remote /tmp/fs.sock -transport shm    # drive over shared-memory rings
 //	flowload -rate 500000,1000000             # open loop: offer fixed rates and
 //	                                          #   measure latency from intended
 //	                                          #   send (coordinated-omission-safe)
@@ -62,7 +63,7 @@ func main() {
 		shardsFl = flag.String("shards", "1,2,4,8", "comma-separated shard counts to sweep (local mode)")
 		connsFl  = flag.String("conns", "1,2,4", "comma-separated client connection counts to sweep (remote mode)")
 		remote   = flag.String("remote", "", "flowserved address; sweep -conns against it instead of local -shards")
-		tport    = flag.String("transport", flowwire.TransportTCP, `remote transport: "tcp" (host:port) or "unix" (socket path)`)
+		tport    = flag.String("transport", flowwire.TransportTCP, `remote transport: "tcp" (host:port), "unix" or "shm" (socket path)`)
 		ratesFl  = flag.String("rate", "0", "comma-separated offered lookups/sec per point (0 = closed loop)")
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent load-generator goroutines")
 		ops      = flag.Int64("ops", 2_000_000, "total lookups per sweep point")

@@ -1,16 +1,18 @@
-// Command flowserved serves a flowserve table over TCP or a unix-domain
-// socket using the flowwire protocol (DESIGN.md §9), turning the in-process
-// serving runtime into a network-facing flow-classification service. Remote
-// clients (flowload -remote, or any flowwire.Client) look up, insert, update
-// and delete flows through versioned length-prefixed frames; the server
-// coalesces pipelined lookup frames into shard-grouped batch lookups. The
-// wire protocol and runtime are identical on both transports.
+// Command flowserved serves a flowserve table over TCP, a unix-domain
+// socket, or a shared-memory ring using the flowwire protocol (DESIGN.md
+// §9, §11), turning the in-process serving runtime into a network-facing
+// flow-classification service. Remote clients (flowload -remote, or any
+// flowwire.Client) look up, insert, update and delete flows through
+// versioned length-prefixed frames; the server coalesces pipelined lookup
+// frames into shard-grouped batch lookups. The wire protocol and runtime
+// are identical on every transport.
 //
 // Usage:
 //
 //	flowserved                                # listen on 127.0.0.1:7411
 //	flowserved -listen :7411 -shards 8        # all interfaces, 8 shards
 //	flowserved -transport unix -listen /tmp/fs.sock   # unix-domain socket
+//	flowserved -transport shm -listen /tmp/fs.sock    # shared-memory rings
 //	flowserved -entries 2000000               # bigger table
 //
 // On SIGTERM/SIGINT the server drains gracefully: it stops accepting
@@ -38,7 +40,7 @@ import (
 func main() {
 	var (
 		listen       = flag.String("listen", "127.0.0.1:7411", `listen address: "host:port" for tcp, a socket path for unix`)
-		tport        = flag.String("transport", flowwire.TransportTCP, `transport: "tcp" or "unix"`)
+		tport        = flag.String("transport", flowwire.TransportTCP, `transport: "tcp", "unix" or "shm"`)
 		shards       = flag.Int("shards", 4, "shard count (power of two)")
 		entries      = flag.Uint64("entries", 1<<20, "total table capacity in entries")
 		keyLen       = flag.Int("keylen", packet.HeaderKeyLen, "fixed key length in bytes")

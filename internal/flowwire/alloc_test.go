@@ -125,3 +125,4 @@ func benchLoopbackLookupMany(b *testing.B, transport string) {
 
 func BenchmarkLoopbackLookupManyTCP(b *testing.B)  { benchLoopbackLookupMany(b, TransportTCP) }
 func BenchmarkLoopbackLookupManyUnix(b *testing.B) { benchLoopbackLookupMany(b, TransportUnix) }
+func BenchmarkLoopbackLookupManyShm(b *testing.B)  { benchLoopbackLookupMany(b, TransportShm) }

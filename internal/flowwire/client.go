@@ -32,9 +32,10 @@ var (
 
 // Options parametrises Dial. The zero value works.
 type Options struct {
-	// Transport selects the connection transport: TransportTCP (default)
-	// or TransportUnix, in which case the address is a socket path. The
-	// protocol and every client behavior are transport-independent.
+	// Transport selects the connection transport: TransportTCP (default),
+	// or TransportUnix / TransportShm, in which case the address is a
+	// filesystem path. The protocol and every client behavior are
+	// transport-independent.
 	Transport string
 	// Conns is the connection-pool size (default 1). Calls round-robin
 	// across the pool; concurrent calls on one connection pipeline —

@@ -1,0 +1,19 @@
+//go:build !unix
+
+package flowwire
+
+import (
+	"errors"
+	"os"
+)
+
+// errShmUnsupported gates the shm transport on platforms without a usable
+// mmap: CheckTransport still accepts "shm" everywhere (flag parsing stays
+// uniform), but Listen and Dial fail with this error at setup time.
+var errShmUnsupported = errors.New("flowwire: shm transport requires a unix-like OS")
+
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return nil, errShmUnsupported
+}
+
+func munmap(mem []byte) error { return nil }

@@ -1,0 +1,18 @@
+//go:build unix
+
+package flowwire
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f shared and read-write. The fd can be closed
+// immediately after — the mapping keeps the pages alive.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+}
+
+func munmap(mem []byte) error {
+	return syscall.Munmap(mem)
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package flowwire
+
+const raceEnabled = false

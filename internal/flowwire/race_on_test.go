@@ -1,0 +1,7 @@
+//go:build race
+
+package flowwire
+
+// raceEnabled lets allocation-count gates skip under the race detector,
+// whose instrumentation allocates on synchronization operations.
+const raceEnabled = true

@@ -122,7 +122,8 @@ func (s *Server) ListenAndServe(addr string) error {
 }
 
 // ListenAndServeOn listens on the named transport — TransportTCP with a
-// "host:port" addr or TransportUnix with a socket path — and calls Serve.
+// "host:port" addr, or TransportUnix / TransportShm with a filesystem
+// path — and calls Serve.
 // The server runtime is transport-agnostic: every connection runs the same
 // reader→processor→writer pipeline whatever net.Listener accepted it.
 func (s *Server) ListenAndServeOn(transport, addr string) error {

@@ -1,0 +1,365 @@
+package flowwire
+
+import (
+	"io"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Spin/park policy (DESIGN.md §11). A waiter that finds its ring
+// empty/full yields through the Go scheduler up to its conn's spin budget
+// before parking — and the right budget depends on where the peer runs,
+// which is why the handshake exchanges PIDs:
+//
+//   - Same process (tests, benchmarks, the hypothesis harness): Gosched
+//     hands the core straight to the peer goroutine, so a few yields
+//     almost always cover the gap and steady state never parks — zero
+//     syscalls per frame. Full budget.
+//   - Cross-process, multiple cores: the peer may be mid-frame on another
+//     core; a short spin bridges those sub-microsecond gaps without
+//     burning a core the peer needs.
+//   - Cross-process, one core: spinning is pure poison — the peer cannot
+//     run until this side sleeps, so every yield just delays the
+//     handover. Park immediately and let the doorbell do its job.
+const (
+	shmSpinYields      = 256 // same-process budget
+	shmSpinYieldsCross = 32  // cross-process budget when cores are plural
+
+	// shmParkBackstop bounds every park even without a deadline: the
+	// wake protocol has no lost-wakeup window (see parked/recheck below),
+	// but a bounded sleep turns any future protocol bug into a latency
+	// blip instead of a hang, and keeps parked readers responsive to
+	// deadline changes that raced the park.
+	shmParkBackstop = 10 * time.Millisecond
+)
+
+// spinBudgetFor picks the yield budget for a conn whose peer runs in
+// process peerPid.
+func spinBudgetFor(peerPid int) int {
+	if peerPid == os.Getpid() {
+		return shmSpinYields
+	}
+	if runtime.NumCPU() > 1 {
+		return shmSpinYieldsCross
+	}
+	return 0
+}
+
+// shmConnCounters is the process-wide syscall ledger for the shm
+// transport. Every syscall a connection can make after the handshake goes
+// through exactly two sites — ringDoorbell (a one-byte socket write) and
+// the notifyLoop's blocking socket read (one return per wake) — plus the
+// in-process channel parks, so counting these counts the transport's
+// entire steady-state kernel traffic. The syscall-free acceptance test
+// asserts the per-lookup delta is ~0 under load.
+type shmConnCounters struct {
+	doorbells atomic.Uint64 // doorbell bytes written (one write syscall each)
+	wakes     atomic.Uint64 // doorbell socket reads that returned (one read syscall each)
+	parks     atomic.Uint64 // waiter sleeps after the spin budget ran dry
+}
+
+var shmCounters shmConnCounters
+
+// ShmCounters snapshots the process-wide shm transport event counters:
+// doorbell writes, doorbell wakes and waiter parks since process start.
+// Tests use the delta across a steady-state window to prove the frame
+// path makes no syscalls.
+func ShmCounters() (doorbells, wakes, parks uint64) {
+	return shmCounters.doorbells.Load(), shmCounters.wakes.Load(), shmCounters.parks.Load()
+}
+
+// shmAddr is the net.Addr of both ends of a shm connection: the handshake
+// socket path.
+type shmAddr string
+
+func (a shmAddr) Network() string { return TransportShm }
+func (a shmAddr) String() string  { return string(a) }
+
+// waiter is one blocking site (a conn has two: ring-empty on Read,
+// ring-full on Write). The channel carries wakeups from the notifyLoop and
+// from deadline changes; the timer is reused across parks so the park path
+// stays allocation-free after its first use.
+type waiter struct {
+	ch    chan struct{}
+	timer *time.Timer
+}
+
+func newWaiter() waiter { return waiter{ch: make(chan struct{}, 1)} }
+
+// signal wakes a parked waiter (or pre-arms the channel for the next
+// park — a spurious wake costs one recheck loop, never correctness).
+func (w *waiter) signal() {
+	select {
+	case w.ch <- struct{}{}:
+	default:
+	}
+}
+
+// sleep blocks until a signal, the duration elapsing, or closeCh closing.
+func (w *waiter) sleep(d time.Duration, closeCh <-chan struct{}) {
+	if w.timer == nil {
+		w.timer = time.NewTimer(d)
+	} else {
+		if !w.timer.Stop() {
+			select {
+			case <-w.timer.C:
+			default:
+			}
+		}
+		w.timer.Reset(d)
+	}
+	select {
+	case <-w.ch:
+	case <-w.timer.C:
+	case <-closeCh:
+	}
+}
+
+// shmConn is one end of a shared-memory connection: a net.Conn whose byte
+// stream lives in the mapped segment's rings. rx is the ring this side
+// consumes, tx the one it produces; the handshake socket stays open as the
+// doorbell and liveness channel. The steady-state Read/Write paths touch
+// only the rings — memcpy plus two atomic cursors — and ring the doorbell
+// (one syscall) only when the peer has declared itself parked.
+type shmConn struct {
+	seg  *shmSegment
+	rx   *spscRing
+	tx   *spscRing
+	door *net.UnixConn
+	addr shmAddr
+
+	spinBudget int
+
+	rxWait waiter
+	txWait waiter
+
+	readDeadline  atomic.Int64 // unix nanos; 0 = none
+	writeDeadline atomic.Int64
+
+	closeOnce sync.Once
+	closeCh   chan struct{}
+	closed    atomic.Bool
+	peerGone  atomic.Bool // notifyLoop saw EOF/error on the doorbell socket
+}
+
+// newShmConn wires a conn over a bound segment. server picks which ring is
+// consumed: the server consumes req and produces rep, the client the
+// reverse; peerPid (learned in the handshake) sets the spin budget. The
+// finalizer — not Close — unmaps the segment, so a reader racing Close can
+// never touch unmapped pages.
+func newShmConn(seg *shmSegment, door *net.UnixConn, addr string, server bool, peerPid int) *shmConn {
+	c := &shmConn{
+		seg:        seg,
+		door:       door,
+		addr:       shmAddr(addr),
+		spinBudget: spinBudgetFor(peerPid),
+		rxWait:     newWaiter(),
+		txWait:     newWaiter(),
+		closeCh:    make(chan struct{}),
+	}
+	if server {
+		c.rx, c.tx = &seg.req, &seg.rep
+	} else {
+		c.rx, c.tx = &seg.rep, &seg.req
+	}
+	runtime.SetFinalizer(c, func(fc *shmConn) { munmap(fc.seg.mem) })
+	go c.notifyLoop()
+	return c
+}
+
+// notifyLoop is the single reader of the doorbell socket: it turns each
+// doorbell byte (or the peer hanging up) into local wakeups. Keeping one
+// blocked reader per conn means a doorbell can never be consumed by the
+// "wrong" waiter — both are signalled and recheck their own ring.
+func (c *shmConn) notifyLoop() {
+	buf := make([]byte, 16)
+	for {
+		_, err := c.door.Read(buf)
+		if err != nil {
+			c.peerGone.Store(true)
+			c.rxWait.signal()
+			c.txWait.signal()
+			return
+		}
+		shmCounters.wakes.Add(1)
+		c.rxWait.signal()
+		c.txWait.signal()
+	}
+}
+
+var doorbellByte = [1]byte{1}
+
+// ringDoorbell wakes the peer with one byte on the handshake socket. No
+// deadline and no error handling: the peer's notifyLoop drains the socket
+// continuously, so a blocked or failed write means the peer is gone — a
+// condition the local notifyLoop reports independently.
+func (c *shmConn) ringDoorbell() {
+	shmCounters.doorbells.Add(1)
+	c.door.Write(doorbellByte[:])
+}
+
+func deadlineExpired(dl int64) bool {
+	return dl != 0 && time.Now().UnixNano() >= dl
+}
+
+// Read implements net.Conn: it returns any available bytes (≥1), blocking
+// with the spin-then-park policy while the ring is empty. A dead peer's
+// residual bytes are drained before io.EOF.
+func (c *shmConn) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	for {
+		if n := c.rx.read(p); n > 0 {
+			// Space was freed: wake the peer's producer if it parked on a
+			// full ring. The flag is read-mostly-zero, so test with a load
+			// before the swap; swap-to-zero means one doorbell per park.
+			if c.rx.prod.Load() != 0 && c.rx.prod.Swap(0) == 1 {
+				c.ringDoorbell()
+			}
+			return n, nil
+		}
+		if c.closed.Load() {
+			return 0, net.ErrClosed
+		}
+		if c.peerGone.Load() {
+			// The flag is set after the peer's final bytes were published;
+			// one more read catches a publish that raced the hangup.
+			if n := c.rx.read(p); n > 0 {
+				return n, nil
+			}
+			return 0, io.EOF
+		}
+		if deadlineExpired(c.readDeadline.Load()) {
+			return 0, os.ErrDeadlineExceeded
+		}
+		if c.spin(c.rx.readable) {
+			continue
+		}
+		if err := c.park(&c.rxWait, c.rx.cons, c.rx.readable, &c.readDeadline); err != nil {
+			return 0, err
+		}
+	}
+}
+
+// Write implements net.Conn: the full buffer is written (possibly in ring
+// chunks), blocking while the ring is full. Partial progress is reported
+// with the error, matching net.Conn semantics.
+func (c *shmConn) Write(p []byte) (int, error) {
+	total := 0
+	for len(p) > 0 {
+		if c.closed.Load() {
+			return total, net.ErrClosed
+		}
+		if c.peerGone.Load() {
+			return total, io.ErrClosedPipe
+		}
+		if n := c.tx.write(p); n > 0 {
+			// Bytes were published: wake the peer's consumer if parked.
+			if c.tx.cons.Load() != 0 && c.tx.cons.Swap(0) == 1 {
+				c.ringDoorbell()
+			}
+			total += n
+			p = p[n:]
+			continue
+		}
+		if deadlineExpired(c.writeDeadline.Load()) {
+			return total, os.ErrDeadlineExceeded
+		}
+		if c.spin(c.tx.writable) {
+			continue
+		}
+		if err := c.park(&c.txWait, c.tx.prod, c.tx.writable, &c.writeDeadline); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// spin yields through the scheduler up to the conn's spin budget, returning
+// true as soon as ready() reports progress is possible (or the conn state
+// changed, which the caller's loop re-examines).
+func (c *shmConn) spin(ready func() int) bool {
+	for i := 0; i < c.spinBudget; i++ {
+		runtime.Gosched()
+		if ready() > 0 || c.closed.Load() || c.peerGone.Load() {
+			return true
+		}
+	}
+	return false
+}
+
+// park publishes the waiting flag, rechecks the ring (the Dekker-style
+// store-then-load pairing with the peer's publish-then-swap means at least
+// one side always observes the other — no lost wakeups), then sleeps until
+// a doorbell, the deadline, the backstop or close. Callers loop.
+func (c *shmConn) park(w *waiter, flag *atomic.Uint32, ready func() int, deadline *atomic.Int64) error {
+	shmCounters.parks.Add(1)
+	flag.Store(1)
+	if ready() > 0 || c.closed.Load() || c.peerGone.Load() {
+		flag.Store(0)
+		return nil
+	}
+	wait := shmParkBackstop
+	if dl := deadline.Load(); dl != 0 {
+		rem := time.Until(time.Unix(0, dl))
+		if rem <= 0 {
+			flag.Store(0)
+			return os.ErrDeadlineExceeded
+		}
+		if rem < wait {
+			wait = rem
+		}
+	}
+	w.sleep(wait, c.closeCh)
+	flag.Store(0)
+	return nil
+}
+
+// Close tears the connection down: wakes every waiter, hangs up the
+// doorbell socket (the peer's notifyLoop turns that into EOF), and leaves
+// the segment mapped for the finalizer — an in-flight Read on another
+// goroutine may still be touching the pages.
+func (c *shmConn) Close() error {
+	c.closeOnce.Do(func() {
+		c.closed.Store(true)
+		close(c.closeCh)
+		c.door.Close()
+	})
+	return nil
+}
+
+func (c *shmConn) LocalAddr() net.Addr  { return c.addr }
+func (c *shmConn) RemoteAddr() net.Addr { return c.addr }
+
+func storeDeadline(dst *atomic.Int64, t time.Time) {
+	if t.IsZero() {
+		dst.Store(0)
+	} else {
+		dst.Store(t.UnixNano())
+	}
+}
+
+// SetReadDeadline implements net.Conn; a parked or spinning reader
+// observes the new deadline promptly (the signal wakes a parked one).
+func (c *shmConn) SetReadDeadline(t time.Time) error {
+	storeDeadline(&c.readDeadline, t)
+	c.rxWait.signal()
+	return nil
+}
+
+func (c *shmConn) SetWriteDeadline(t time.Time) error {
+	storeDeadline(&c.writeDeadline, t)
+	c.txWait.signal()
+	return nil
+}
+
+func (c *shmConn) SetDeadline(t time.Time) error {
+	c.SetReadDeadline(t)
+	c.SetWriteDeadline(t)
+	return nil
+}

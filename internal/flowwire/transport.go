@@ -21,10 +21,16 @@ const (
 	// stream sockets: same syscall count as TCP but no packetization,
 	// checksumming or loopback queueing — the cheap same-host transport.
 	TransportUnix = "unix"
+	// TransportShm serves a filesystem path like unix, but the path only
+	// brokers connection setup: each connection's byte stream lives in a
+	// pair of SPSC rings inside an mmap-shared segment, so the steady-state
+	// frame path makes zero syscalls — the fastest same-host transport
+	// (DESIGN.md §11).
+	TransportShm = "shm"
 )
 
 // ErrBadTransport reports an unknown -transport value.
-var ErrBadTransport = errors.New(`flowwire: unknown transport (want "tcp" or "unix")`)
+var ErrBadTransport = errors.New(`flowwire: unknown transport (want "tcp", "unix" or "shm")`)
 
 // CheckTransport validates a transport name ("" means TransportTCP).
 func CheckTransport(transport string) (string, error) {
@@ -33,23 +39,29 @@ func CheckTransport(transport string) (string, error) {
 		return TransportTCP, nil
 	case TransportUnix:
 		return TransportUnix, nil
+	case TransportShm:
+		return TransportShm, nil
 	}
 	return "", fmt.Errorf("%w: %q", ErrBadTransport, transport)
 }
 
-// Listen opens a listener for the given transport: a TCP "host:port" or a
-// unix socket path. For unix, a stale socket file left by a dead server is
-// detected (it refuses connections) and removed before listening, so
-// flowserved restarts cleanly; a live server's socket is left alone and the
-// bind fails as it should. The returned *net.UnixListener unlinks its
+// Listen opens a listener for the given transport: a TCP "host:port", a
+// unix socket path, or a shm handshake-socket path. For the path-based
+// transports, stale artifacts left by a dead server (a socket nobody
+// answers on; for shm, orphaned segment files too) are removed before
+// listening, so flowserved restarts cleanly; a live server's path is left
+// alone and the bind fails as it should. The returned listener unlinks its
 // socket on Close.
 func Listen(transport, addr string) (net.Listener, error) {
 	transport, err := CheckTransport(transport)
 	if err != nil {
 		return nil, err
 	}
-	if transport == TransportUnix {
+	switch transport {
+	case TransportUnix:
 		removeStaleSocket(addr)
+	case TransportShm:
+		return listenShm(addr, DefaultShmRingBytes)
 	}
 	return net.Listen(transport, addr)
 }
@@ -74,6 +86,9 @@ func dialTransport(transport, addr string, timeout time.Duration) (net.Conn, err
 	transport, err := CheckTransport(transport)
 	if err != nil {
 		return nil, err
+	}
+	if transport == TransportShm {
+		return dialShm(addr, timeout)
 	}
 	nc, err := net.DialTimeout(transport, addr, timeout)
 	if err != nil {

@@ -24,7 +24,7 @@ func startServerOn(t testing.TB, transport string, tblCfg flowserve.Config, srvC
 		t.Fatal(err)
 	}
 	addr := "127.0.0.1:0"
-	if transport == TransportUnix {
+	if transport != TransportTCP {
 		addr = filepath.Join(t.TempDir(), "flowserved.sock")
 	}
 	ln, err := Listen(transport, addr)
@@ -134,15 +134,15 @@ func TestBadTransportRejected(t *testing.T) {
 	}
 }
 
-// TestMalformedFramesBothTransports runs the protocol-violation suite over
-// both transports: typed rejects for unknown op / bad version, and a hard
+// TestMalformedFramesAllTransports runs the protocol-violation suite over
+// every transport: typed rejects for unknown op / bad version, and a hard
 // close for an oversized frame — identical behavior regardless of transport.
-func TestMalformedFramesBothTransports(t *testing.T) {
-	for _, transport := range []string{TransportTCP, TransportUnix} {
+func TestMalformedFramesAllTransports(t *testing.T) {
+	for _, transport := range []string{TransportTCP, TransportUnix, TransportShm} {
 		t.Run(transport, func(t *testing.T) {
 			_, _, addr := startServerOn(t, transport, flowserve.Config{Shards: 1, Entries: 128, KeyLen: 20}, Config{MaxFrame: 1 << 16})
 			dial := func() net.Conn {
-				nc, err := net.DialTimeout(transport, addr, 5*time.Second)
+				nc, err := dialTransport(transport, addr, 5*time.Second)
 				if err != nil {
 					t.Fatal(err)
 				}

@@ -1,7 +1,12 @@
 package hypotheses
 
 import (
+	"fmt"
+	"os"
+	"path/filepath"
+
 	"halo/internal/flowserve"
+	"halo/internal/flowwire"
 )
 
 // shardBatchExperiment: PR 4 replaced naive per-key lookups with
@@ -35,6 +40,83 @@ func shardBatchExperiment() Experiment {
 			aNs, bNs, err := timeArms(w, keys, cfg, seed, batched, naive, nil)
 			if err != nil {
 				return SeedResult{}, err
+			}
+			return SeedResult{ANsPerOp: aNs, BNsPerOp: bNs}, nil
+		},
+	}
+}
+
+// serveOver starts an in-process flowwire server for tbl on the given
+// transport and dials one client to it. The caller owns both closes.
+func serveOver(tbl *flowserve.Table, transport, path string) (*flowwire.Server, *flowwire.Client, error) {
+	srv, err := flowwire.NewServer(flowwire.Config{Table: tbl})
+	if err != nil {
+		return nil, nil, err
+	}
+	ln, err := flowwire.Listen(transport, path)
+	if err != nil {
+		return nil, nil, err
+	}
+	go srv.Serve(ln)
+	cl, err := flowwire.Dial(path, flowwire.Options{Transport: transport})
+	if err != nil {
+		srv.Close()
+		return nil, nil, err
+	}
+	return srv, cl, nil
+}
+
+// shmVsUnixExperiment: PR 8 added the shared-memory ring transport behind
+// the flowwire seam. The claim that justifies it — "for same-host serving,
+// rings beat unix sockets because the steady-state frame path makes no
+// syscalls" — is measured here with both transports serving the identical
+// table through identical clients; only the bytes' path differs (kernel
+// socket buffers vs mapped SPSC rings).
+func shmVsUnixExperiment() Experiment {
+	return Experiment{
+		Name:  "shm-vs-unix-transport",
+		Title: "Shared-memory ring transport beats unix sockets for same-host serving",
+		Kind:  KindDominance,
+		ArmA:  "shm",
+		ArmB:  "unix",
+		Run: func(cfg Config, seed uint64) (SeedResult, error) {
+			w, keys := buildPopulation(cfg.Flows, seed)
+			tbl, err := newServingTable(cfg, keys)
+			if err != nil {
+				return SeedResult{}, err
+			}
+			dir, err := os.MkdirTemp("", "halo-hyp-shm")
+			if err != nil {
+				return SeedResult{}, err
+			}
+			defer os.RemoveAll(dir)
+			shmSrv, shmCl, err := serveOver(tbl, flowwire.TransportShm, filepath.Join(dir, "shm.sock"))
+			if err != nil {
+				return SeedResult{}, fmt.Errorf("shm arm: %w", err)
+			}
+			defer shmSrv.Close()
+			defer shmCl.Close()
+			udsSrv, udsCl, err := serveOver(tbl, flowwire.TransportUnix, filepath.Join(dir, "uds.sock"))
+			if err != nil {
+				return SeedResult{}, fmt.Errorf("unix arm: %w", err)
+			}
+			defer udsSrv.Close()
+			defer udsCl.Close()
+			overShm := func(bkeys [][]byte, results []flowserve.Result) {
+				shmCl.LookupMany(bkeys, results)
+			}
+			overUds := func(bkeys [][]byte, results []flowserve.Result) {
+				udsCl.LookupMany(bkeys, results)
+			}
+			aNs, bNs, err := timeArms(w, keys, cfg, seed, overShm, overUds, nil)
+			if err != nil {
+				return SeedResult{}, err
+			}
+			if err := shmCl.Err(); err != nil {
+				return SeedResult{}, fmt.Errorf("shm client: %w", err)
+			}
+			if err := udsCl.Err(); err != nil {
+				return SeedResult{}, fmt.Errorf("unix client: %w", err)
 			}
 			return SeedResult{ANsPerOp: aNs, BNsPerOp: bNs}, nil
 		},

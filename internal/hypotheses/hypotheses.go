@@ -101,6 +101,7 @@ func Registry() []Experiment {
 	return []Experiment{
 		shardBatchExperiment(),
 		pinnedReaderExperiment(),
+		shmVsUnixExperiment(),
 	}
 }
 

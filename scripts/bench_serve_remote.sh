@@ -1,13 +1,14 @@
 #!/bin/sh
 # bench_serve_remote.sh <transport> [out.json] — run a flowserved instance on
-# the given transport (tcp or unix), drive it with the flowload remote smoke
-# (closed-loop points plus one open-loop fixed-rate point), and archive the
-# halo-bench/v1 document. The document stamps the transport into its workload
-# identity, so benchdiff refuses to compare a tcp artifact against a unix one
-# — per-transport baselines stay apples-to-apples by construction.
+# the given transport (tcp, unix or shm), drive it with the flowload remote
+# smoke (closed-loop points plus one open-loop fixed-rate point), and archive
+# the halo-bench/v1 document. The document stamps the transport into its
+# workload identity, so benchdiff refuses to compare artifacts across
+# transports — per-transport baselines stay apples-to-apples by construction.
 #
 #   scripts/bench_serve_remote.sh tcp  BENCH_serve_remote_tcp.json
 #   scripts/bench_serve_remote.sh unix BENCH_serve_remote_unix.json
+#   scripts/bench_serve_remote.sh shm  BENCH_serve_remote_shm.json
 #
 # Exits nonzero if the zero-loss drain ledger, the client-error gate, or the
 # graceful drain fails.
@@ -18,8 +19,9 @@ out="${2:-BENCH_serve_remote_$transport.json}"
 case "$transport" in
 tcp) addr="127.0.0.1:7411" ;;
 unix) addr="${TMPDIR:-/tmp}/flowserved-bench.sock" ;;
+shm) addr="${TMPDIR:-/tmp}/flowserved-bench-shm.sock" ;;
 *)
-	echo "bench_serve_remote.sh: unknown transport $transport (want tcp or unix)" >&2
+	echo "bench_serve_remote.sh: unknown transport $transport (want tcp, unix or shm)" >&2
 	exit 2
 	;;
 esac

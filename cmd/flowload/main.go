@@ -23,6 +23,9 @@
 //	flowload -rate 500000,1000000             # open loop: offer fixed rates and
 //	                                          #   measure latency from intended
 //	                                          #   send (coordinated-omission-safe)
+//	flowload -grow -check                     # force 3 shard doublings under Zipf
+//	                                          #   lookups; gate migration p99 at
+//	                                          #   -growp99x (2x) of steady state
 //	flowload -json BENCH_serve.json           # write the halo-bench/v1 document
 //	flowload -check                           # local: fail unless max-shard uniform
 //	                                          #   throughput beats 1-shard
@@ -73,6 +76,9 @@ func main() {
 		jsonPath = flag.String("json", "", "write the halo-bench/v1 document to this file")
 		check    = flag.Bool("check", false, "fail the scaling gate (local) or the zero-loss gate (remote)")
 		smoke    = flag.Bool("smoke", false, "small fast settings for CI (overrides -flows/-ops)")
+		grow     = flag.Bool("grow", false, "resize churn workload (local only): force -growdoublings shard doublings under Zipf lookups and measure migration-phase latency")
+		growDbl  = flag.Int("growdoublings", 3, "shard doublings the -grow workload sizes the table to force")
+		growP99x = flag.Float64("growp99x", 2.0, "-grow -check: max allowed migration-p99 / steady-p99 batch latency ratio")
 	)
 	flag.Parse()
 
@@ -125,6 +131,17 @@ func main() {
 	if *remote != "" && shardsSet {
 		fmt.Fprintln(os.Stderr, "flowload: -shards is ignored with -remote (shard count is fixed server-side)")
 	}
+	if *grow {
+		if *remote != "" {
+			fatalf("-grow is local-only: it drives Table.Grow/ResizeStep directly")
+		}
+		if *growDbl < 1 {
+			fatalf("-growdoublings must be >= 1")
+		}
+		if *growP99x <= 0 {
+			fatalf("-growp99x must be positive")
+		}
+	}
 	// The transport is part of the workload identity: "local" for in-process
 	// sweeps, else the wire transport. Stamping it into Config makes benchdiff
 	// refuse cross-transport comparisons (UDS vs TCP loopback are different
@@ -143,9 +160,14 @@ func main() {
 	// host's GOMAXPROCS and is recorded per benchmark as Procs instead.
 	mode := "local"
 	sweepList := "shards=" + *shardsFl
+	mixStamp := *mixFlag
 	if *remote != "" {
 		mode = "remote"
 		sweepList = "conns=" + *connsFl
+	}
+	if *grow {
+		mode = "grow"
+		mixStamp = "zipf" // the grow workload is Zipf by construction
 	}
 	doc := &benchjson.Document{
 		Schema:    benchjson.SchemaVersion,
@@ -160,15 +182,22 @@ func main() {
 			"ops":       fmt.Sprint(*ops),
 			"batch":     fmt.Sprint(*batch),
 			"churn":     fmt.Sprint(*churn),
-			"mix":       *mixFlag,
+			"mix":       mixStamp,
 			"sweep":     sweepList,
 			"transport": transport,
 			"rate":      *ratesFl,
 		},
 		Benchmarks: []benchjson.Benchmark{},
 	}
-	fmt.Printf("%-40s %10s %12s %9s %9s %9s %9s %8s\n",
-		"point", "lookups", "Mlookups/s", "p50-us", "p95-us", "p99-us", "p99.9-us", "retries")
+	if *grow {
+		// The grow workload's identity includes its sizing knobs: documents
+		// produced with different doubling counts are different experiments.
+		doc.Config["grow_doublings"] = fmt.Sprint(*growDbl)
+		doc.Config["grow_p99x"] = fmt.Sprint(*growP99x)
+	} else {
+		fmt.Printf("%-40s %10s %12s %9s %9s %9s %9s %8s\n",
+			"point", "lookups", "Mlookups/s", "p50-us", "p95-us", "p99-us", "p99.9-us", "retries")
+	}
 
 	cfg := sweepConfig{
 		flows:     *flows,
@@ -183,9 +212,12 @@ func main() {
 		check:     *check,
 		doc:       doc,
 	}
-	if *remote != "" {
+	switch {
+	case *grow:
+		runGrowSweep(cfg, shardCounts, *growDbl, *growP99x)
+	case *remote != "":
 		runRemoteSweep(cfg, *remote, connCounts)
-	} else {
+	default:
 		runLocalSweep(cfg, shardCounts)
 	}
 

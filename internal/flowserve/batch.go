@@ -14,9 +14,8 @@ type Batch struct {
 	t *Table
 
 	kw    [][maxKeyWords]uint64
+	h     []uint64
 	sig   []uint16
-	b1    []uint64
-	b2    []uint64
 	shard []uint32
 
 	count []uint32 // per-shard key count, then prefix-summed into offsets
@@ -32,16 +31,14 @@ func (t *Table) NewBatch() *Batch {
 func (b *Batch) grow(n int) {
 	if cap(b.kw) < n {
 		b.kw = make([][maxKeyWords]uint64, n)
+		b.h = make([]uint64, n)
 		b.sig = make([]uint16, n)
-		b.b1 = make([]uint64, n)
-		b.b2 = make([]uint64, n)
 		b.shard = make([]uint32, n)
 		b.order = make([]uint32, n)
 	}
 	b.kw = b.kw[:n]
+	b.h = b.h[:n]
 	b.sig = b.sig[:n]
-	b.b1 = b.b1[:n]
-	b.b2 = b.b2[:n]
 	b.shard = b.shard[:n]
 	b.order = b.order[:n]
 }
@@ -53,15 +50,18 @@ func (b *Batch) grow(n int) {
 // single seqlock window, amortising the read protocol (and its cache-line
 // traffic) over the group.
 //
-// Keys of the wrong length are counted misses, as in Lookup. results must
-// be at least len(keys) long.
+// The issue pass records only the primary hash per key; candidate buckets
+// are derived per region inside the probe, because an in-flight resize
+// gives a shard two bucket geometries at once. Keys of the wrong length are
+// misses counted in the table-level badlen counter, as in Lookup. results
+// must be at least len(keys) long.
 func (b *Batch) LookupMany(keys [][]byte, results []Result) int {
 	t := b.t
 	n := len(keys)
 	_ = results[:n]
 	b.grow(n)
 
-	// Issue pass: hash, signature, shard and candidate buckets per key.
+	// Issue pass: hash, signature and shard per key.
 	badLen := uint64(0)
 	for i, key := range keys {
 		if len(key) != t.keyLen {
@@ -71,11 +71,9 @@ func (b *Batch) LookupMany(keys [][]byte, results []Result) int {
 		}
 		keyToWords(key, &b.kw[i])
 		h := hashfn.Hash(hashfn.SeedPrimary, key)
+		b.h[i] = h
 		b.sig[i] = hashfn.Signature(h)
-		si := hashfn.ShardIndex(h, uint64(len(t.shards)))
-		b.shard[i] = uint32(si)
-		sh := t.shards[si]
-		b.b1[i], b.b2[i] = hashfn.BucketPair(h, sh.bucketCount)
+		b.shard[i] = uint32(hashfn.ShardIndex(h, uint64(len(t.shards))))
 	}
 
 	// Group keys by shard with a counting sort (stable, allocation-free).
@@ -113,7 +111,7 @@ func (b *Batch) LookupMany(keys [][]byte, results []Result) int {
 		start = end
 	}
 	if badLen > 0 {
-		t.shards[0].c.lookups.Add(badLen)
+		t.badLen.Add(badLen)
 		for i, key := range keys {
 			if len(key) != t.keyLen {
 				results[i] = Result{}
@@ -125,7 +123,9 @@ func (b *Batch) LookupMany(keys [][]byte, results []Result) int {
 
 // lookupGroup probes one shard's group of keys under a shared seqlock
 // window. If a writer invalidates the window, the whole group re-probes;
-// after maxOptimistic attempts it runs once under the writer lock.
+// after maxOptimistic attempts it runs once under the writer lock. The
+// shard's region set is loaded once per attempt, so every key in the group
+// probes one consistent old/current pair.
 func (b *Batch) lookupGroup(sh *shard, group []uint32, results []Result) int {
 	nw := b.t.keyWords
 	sh.c.batches.Add(1)
@@ -133,10 +133,10 @@ func (b *Batch) lookupGroup(sh *shard, group []uint32, results []Result) int {
 	sh.c.lookups.Add(uint64(len(group)))
 
 	hits := 0
-	probeAll := func() {
+	probeAll := func(rp *regionPair) {
 		hits = 0
 		for _, i := range group {
-			v, ok := sh.probe(&b.kw[i], nw, b.sig[i], b.b1[i], b.b2[i])
+			v, ok := sh.probe(rp, &b.kw[i], nw, b.h[i], b.sig[i])
 			results[i] = Result{Value: v, OK: ok}
 			if ok {
 				hits++
@@ -150,7 +150,7 @@ func (b *Batch) lookupGroup(sh *shard, group []uint32, results []Result) int {
 			runtime.Gosched()
 			continue
 		}
-		probeAll()
+		probeAll(sh.regions.Load())
 		if sh.seq.Load() == s1 {
 			sh.c.hits.Add(uint64(hits))
 			return hits
@@ -159,7 +159,7 @@ func (b *Batch) lookupGroup(sh *shard, group []uint32, results []Result) int {
 	}
 	sh.c.fallbacks.Add(1)
 	sh.mu.Lock()
-	probeAll()
+	probeAll(sh.regions.Load())
 	sh.mu.Unlock()
 	sh.c.hits.Add(uint64(hits))
 	return hits

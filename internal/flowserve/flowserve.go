@@ -23,9 +23,14 @@
 //   - Batch lookups group keys per shard and validate one sequence window
 //     per group (see batch.go), the software analogue of issuing LOOKUP_NB
 //     for a batch and polling the results with SNAPSHOT_READ.
+//   - Shards grow under live traffic: a resize installs a second, larger
+//     region and migrates buckets incrementally — a bounded number per
+//     writer operation or explicit ResizeStep tick — while readers probe
+//     old-then-new under the same sequence window and never block
+//     (see resize.go and DESIGN.md §12).
 //
-// Layout per shard mirrors rte_hash (and the simulated cuckoo.Table): an
-// array of 8-entry buckets holding packed {signature, slot} words, plus a
+// Layout per shard region mirrors rte_hash (and the simulated cuckoo.Table):
+// an array of 8-entry buckets holding packed {signature, slot} words, plus a
 // key-value array of 8-byte words. Every word readers can observe is an
 // atomic.Uint64, which makes the seqlock race-detector-clean and bounds
 // tearing at word granularity (the seqlock then rules out cross-word mixes).
@@ -39,6 +44,7 @@ import (
 	"sync/atomic"
 
 	"halo/internal/hashfn"
+	"halo/internal/stats"
 )
 
 // EntriesPerBucket matches the simulated table and rte_hash: eight entries
@@ -59,11 +65,21 @@ const MaxKeyLen = 64
 // maxKeyWords is MaxKeyLen in 8-byte words; probe scratch is sized to it.
 const maxKeyWords = MaxKeyLen / 8
 
+// maxPerShard is the exclusive upper bound on a shard's slot count: slot
+// indexes are stored as uint32 both in bucket entries and the free list, so
+// a shard holding 1<<32 entries would need a slot index that wraps to zero.
+const maxPerShard = 1 << 32
+
+// defaultMigrateBuckets is how many old-region buckets a writer operation
+// migrates while a resize is in flight, when Config.MigrateBuckets is zero.
+const defaultMigrateBuckets = 2
+
 // Common errors.
 var (
 	ErrTableFull = errors.New("flowserve: shard full (displacement path exhausted)")
 	ErrKeyLen    = errors.New("flowserve: key length does not match table")
 	ErrKeyExists = errors.New("flowserve: key already present")
+	ErrShrink    = errors.New("flowserve: Grow target does not exceed current capacity")
 )
 
 // Config parametrises table creation.
@@ -77,6 +93,17 @@ type Config struct {
 	Entries uint64
 	// KeyLen is the fixed key size in bytes (1..MaxKeyLen).
 	KeyLen int
+
+	// GrowAt, when non-zero, enables auto-grow: a shard whose load factor
+	// exceeds GrowAt after an insert (or that fails an insert outright)
+	// starts an incremental doubling. Must be in (0,1). Zero disables
+	// auto-grow; Table.Grow still works.
+	GrowAt float64
+	// MigrateBuckets bounds the per-writer-operation migration quantum
+	// during a resize: each Insert/Update/Delete moves at most this many
+	// old-region buckets before doing its own work. Zero means
+	// defaultMigrateBuckets; readers never migrate.
+	MigrateBuckets int
 }
 
 // Table is a sharded concurrent flow table. Lookups are safe from any number
@@ -86,6 +113,12 @@ type Table struct {
 	shards   []*shard
 	keyLen   int
 	keyWords int
+
+	// badLen counts lookups whose key length does not match the table.
+	// Such keys never hash to a shard, so charging any shard's counters
+	// would skew that shard's hit ratio; they are a table-level miss class
+	// of their own (flowserve.lookup.badlen).
+	badLen atomic.Uint64
 
 	// batchPool recycles Batch scratch for Table.LookupMany callers that do
 	// not pin their own Batch.
@@ -103,9 +136,21 @@ func New(cfg Config) (*Table, error) {
 	if cfg.Entries == 0 {
 		return nil, errors.New("flowserve: zero capacity")
 	}
+	if cfg.GrowAt != 0 && (cfg.GrowAt <= 0 || cfg.GrowAt >= 1) {
+		return nil, fmt.Errorf("flowserve: GrowAt %v out of range (0,1)", cfg.GrowAt)
+	}
+	if cfg.MigrateBuckets < 0 {
+		return nil, fmt.Errorf("flowserve: MigrateBuckets %d negative", cfg.MigrateBuckets)
+	}
 	perShard := (cfg.Entries + uint64(cfg.Shards) - 1) / uint64(cfg.Shards)
-	if perShard > 1<<32 {
+	// >= (not >): slot indexes are uint32, so exactly 1<<32 entries would
+	// truncate to a zero capacity (see maxPerShard).
+	if perShard >= maxPerShard {
 		return nil, fmt.Errorf("flowserve: %d entries per shard exceeds slot index width", perShard)
+	}
+	quantum := cfg.MigrateBuckets
+	if quantum == 0 {
+		quantum = defaultMigrateBuckets
 	}
 	t := &Table{
 		shards:   make([]*shard, cfg.Shards),
@@ -113,7 +158,7 @@ func New(cfg Config) (*Table, error) {
 		keyWords: (cfg.KeyLen + 7) / 8,
 	}
 	for i := range t.shards {
-		t.shards[i] = newShard(perShard, t.keyWords)
+		t.shards[i] = newShard(perShard, cfg.KeyLen, t.keyWords, cfg.GrowAt, quantum)
 	}
 	t.batchPool = newBatchPool(t)
 	return t, nil
@@ -125,13 +170,21 @@ func (t *Table) KeyLen() int { return t.keyLen }
 // Shards returns the number of shards.
 func (t *Table) Shards() int { return len(t.shards) }
 
-// Capacity returns the total key-value capacity.
+// Capacity returns the total key-value capacity. During a resize a shard
+// reports its new (larger) region's capacity — that is where every key,
+// resident or incoming, ends up.
 func (t *Table) Capacity() uint64 {
 	var c uint64
 	for _, sh := range t.shards {
-		c += uint64(sh.capacity)
+		c += sh.regions.Load().cur.capacity
 	}
 	return c
+}
+
+// LoadFactor returns Size()/Capacity() — a racy-but-monotonic-enough gauge
+// under concurrent writes, exact when quiescent.
+func (t *Table) LoadFactor() float64 {
+	return float64(t.Size()) / float64(t.Capacity())
 }
 
 // Size returns the number of live entries (a racy sum under concurrent
@@ -144,27 +197,28 @@ func (t *Table) Size() uint64 {
 	return n
 }
 
-// route hashes a key and resolves the owning shard and probe coordinates.
-func (t *Table) route(key []byte, kw *[maxKeyWords]uint64) (sh *shard, sig uint16, b1, b2 uint64) {
+// route hashes a key and resolves the owning shard. Bucket indexes are NOT
+// derived here: they depend on a region's bucket count, which changes under
+// resize, so each probe derives them from the region it is about to scan.
+func (t *Table) route(key []byte, kw *[maxKeyWords]uint64) (sh *shard, h uint64, sig uint16) {
 	keyToWords(key, kw)
-	h := hashfn.Hash(hashfn.SeedPrimary, key)
+	h = hashfn.Hash(hashfn.SeedPrimary, key)
 	sig = hashfn.Signature(h)
 	sh = t.shards[hashfn.ShardIndex(h, uint64(len(t.shards)))]
-	b1, b2 = hashfn.BucketPair(h, sh.bucketCount)
 	return
 }
 
 // Lookup finds a key and returns its value. Safe for unbounded concurrency.
-// A mismatched key length is a counted miss, matching the simulated table's
-// accounting.
+// A mismatched key length is a miss counted in the table-level badlen
+// counter (it belongs to no shard).
 func (t *Table) Lookup(key []byte) (value uint64, ok bool) {
 	if len(key) != t.keyLen {
-		t.shards[0].c.lookups.Add(1)
+		t.badLen.Add(1)
 		return 0, false
 	}
 	var kw [maxKeyWords]uint64
-	sh, sig, b1, b2 := t.route(key, &kw)
-	return sh.lookup(&kw, t.keyWords, sig, b1, b2)
+	sh, h, sig := t.route(key, &kw)
+	return sh.lookup(&kw, t.keyWords, h, sig)
 }
 
 // Insert adds a key-value pair. Inserting an existing key returns
@@ -174,8 +228,8 @@ func (t *Table) Insert(key []byte, value uint64) error {
 		return ErrKeyLen
 	}
 	var kw [maxKeyWords]uint64
-	sh, sig, b1, b2 := t.route(key, &kw)
-	return sh.insert(&kw, t.keyWords, sig, b1, b2, value)
+	sh, h, sig := t.route(key, &kw)
+	return sh.insert(&kw, t.keyWords, h, sig, value)
 }
 
 // Update changes the value of an existing key, reporting whether it was
@@ -185,8 +239,8 @@ func (t *Table) Update(key []byte, value uint64) bool {
 		return false
 	}
 	var kw [maxKeyWords]uint64
-	sh, sig, b1, b2 := t.route(key, &kw)
-	return sh.update(&kw, t.keyWords, sig, b1, b2, value)
+	sh, h, sig := t.route(key, &kw)
+	return sh.update(&kw, t.keyWords, h, sig, value)
 }
 
 // Delete removes a key, reporting whether it was present.
@@ -195,8 +249,8 @@ func (t *Table) Delete(key []byte) bool {
 		return false
 	}
 	var kw [maxKeyWords]uint64
-	sh, sig, b1, b2 := t.route(key, &kw)
-	return sh.delete(&kw, t.keyWords, sig, b1, b2)
+	sh, h, sig := t.route(key, &kw)
+	return sh.delete(&kw, t.keyWords, h, sig)
 }
 
 // keyToWords packs a key into little-endian 8-byte words, zero-padding the
@@ -219,17 +273,27 @@ func keyToWords(key []byte, kw *[maxKeyWords]uint64) {
 	}
 }
 
-// shard is one independent sub-table: an 8-entry-bucket cuckoo table whose
-// reader-visible words are all atomics, guarded by a seqlock for readers and
-// a mutex for writers.
-type shard struct {
-	bucketCount uint64
-	capacity    uint32
-	kvStride    int // keyWords + 1 value word
+// wordsToKey unpacks keyToWords' representation back into bytes — the
+// migration path rehashes resident keys for the grown region's bucket
+// geometry, and hashes are computed over bytes.
+func wordsToKey(kw *[maxKeyWords]uint64, keyLen int, out *[MaxKeyLen]byte) []byte {
+	for w := 0; w*8 < keyLen; w++ {
+		v := kw[w]
+		base := w * 8
+		for i := 0; i < 8 && base+i < keyLen; i++ {
+			out[base+i] = byte(v >> (8 * i))
+		}
+	}
+	return out[:keyLen]
+}
 
-	// seq is the seqlock generation: odd while a writer is mutating. Readers
-	// snapshot it before probing and revalidate after.
-	seq atomic.Uint64
+// region is one generation of a shard's storage: the bucket array, the
+// key-value slots it indexes, and the writer-owned free list. A shard has
+// one region in steady state and two while a resize migrates entries from
+// the old (smaller) region to the current one.
+type region struct {
+	bucketCount uint64
+	capacity    uint64
 
 	// entries holds bucketCount*EntriesPerBucket packed bucket entries:
 	// slot<<16 | signature, zero when empty (signatures are never zero).
@@ -239,11 +303,74 @@ type shard struct {
 	// followed by one value word.
 	kv []atomic.Uint64
 
+	// free holds unallocated slots (writer-owned, guarded by the shard mu).
+	free []uint32
+}
+
+// newRegion sizes storage for the requested entry count. The bucket count
+// is the entry count divided by the bucket width rounded UP, then rounded
+// up to a power of two — rounding down first (as the pre-resize code did)
+// left e.g. a 20-entry shard with only 16 addressable bucket entries while
+// Capacity() reported 20, so ErrTableFull fired below advertised capacity.
+func newRegion(entries uint64, keyWords int) *region {
+	want := (entries + EntriesPerBucket - 1) / EntriesPerBucket
+	bc := uint64(2)
+	for bc < want {
+		bc <<= 1
+	}
+	r := &region{
+		bucketCount: bc,
+		capacity:    entries,
+		entries:     make([]atomic.Uint64, bc*EntriesPerBucket),
+		kv:          make([]atomic.Uint64, entries*uint64(keyWords+1)),
+	}
+	r.free = make([]uint32, 0, entries)
+	for i := int64(entries) - 1; i >= 0; i-- {
+		r.free = append(r.free, uint32(i))
+	}
+	return r
+}
+
+// buckets returns the key's candidate bucket pair in this region's
+// geometry.
+func (r *region) buckets(h uint64) (b1, b2 uint64) {
+	return hashfn.BucketPair(h, r.bucketCount)
+}
+
+// regionPair is the reader-visible storage set, swapped atomically. old is
+// nil in steady state; while a resize is in flight readers probe old first,
+// then cur, under one seqlock window.
+type regionPair struct {
+	cur *region
+	old *region
+}
+
+// shard is one independent sub-table: an 8-entry-bucket cuckoo table whose
+// reader-visible words are all atomics, guarded by a seqlock for readers and
+// a mutex for writers.
+type shard struct {
+	kvStride int // keyWords + 1 value word
+	keyLen   int
+
+	// seq is the seqlock generation: odd while a writer is mutating. Readers
+	// snapshot it before probing and revalidate after.
+	seq atomic.Uint64
+
+	// regions is the current storage set. Readers load it once per probe
+	// attempt; writers swap it under mu (the swap itself moves no keys, so
+	// either view is complete).
+	regions atomic.Pointer[regionPair]
+
 	size atomic.Uint64
 	c    shardCounters
 
 	mu   sync.Mutex // serialises writers; also the reader fallback path
-	free []uint32   // free slots (writer-owned)
+
+	// Resize state (writer-owned, guarded by mu).
+	migrated  uint64  // old-region buckets fully migrated
+	growAt    float64 // auto-grow load factor; 0 = disabled
+	quantum   int     // buckets migrated per writer op
+	pauseHist *stats.Histogram // ns per migration step (writer-owned)
 
 	// BFS displacement scratch (writer-owned, guarded by mu).
 	bfsNodes   []pathNode
@@ -270,25 +397,23 @@ type shardCounters struct {
 
 	batches   atomic.Uint64 // per-shard groups served by LookupMany
 	batchKeys atomic.Uint64
+
+	grows           atomic.Uint64 // resizes started (one per doubling)
+	resizeSteps     atomic.Uint64 // bounded migration steps executed
+	migratedBuckets atomic.Uint64
+	migratedKeys    atomic.Uint64
+	resizeStalls    atomic.Uint64 // steps that could not place a key (table truly full)
 }
 
-func newShard(entries uint64, keyWords int) *shard {
-	want := entries / EntriesPerBucket
-	bc := uint64(2)
-	for bc < want {
-		bc <<= 1
-	}
+func newShard(entries uint64, keyLen, keyWords int, growAt float64, quantum int) *shard {
 	sh := &shard{
-		bucketCount: bc,
-		capacity:    uint32(entries),
-		kvStride:    keyWords + 1,
-		entries:     make([]atomic.Uint64, bc*EntriesPerBucket),
-		kv:          make([]atomic.Uint64, entries*uint64(keyWords+1)),
+		kvStride:  keyWords + 1,
+		keyLen:    keyLen,
+		growAt:    growAt,
+		quantum:   quantum,
+		pauseHist: stats.NewHistogramRes(stats.HighResSubBits),
 	}
-	sh.free = make([]uint32, 0, entries)
-	for i := int64(entries) - 1; i >= 0; i-- {
-		sh.free = append(sh.free, uint32(i))
-	}
+	sh.regions.Store(&regionPair{cur: newRegion(entries, keyWords)})
 	return sh
 }
 
@@ -303,43 +428,58 @@ func packEntry(sig uint16, slot uint32) uint64 {
 func (sh *shard) beginWrite() { sh.seq.Add(1) } // even → odd
 func (sh *shard) endWrite()   { sh.seq.Add(1) } // odd → even
 
-// keyEqual compares slot's stored key words against kw. Word loads are
+// keyEqual compares slot's stored key words in r against kw. Word loads are
 // atomic; consistency across words is the seqlock's job.
-func (sh *shard) keyEqual(slot uint32, kw *[maxKeyWords]uint64, nw int) bool {
+func (sh *shard) keyEqual(r *region, slot uint32, kw *[maxKeyWords]uint64, nw int) bool {
 	base := int(slot) * sh.kvStride
 	for i := 0; i < nw; i++ {
-		if sh.kv[base+i].Load() != kw[i] {
+		if r.kv[base+i].Load() != kw[i] {
 			return false
 		}
 	}
 	return true
 }
 
-// probe scans both candidate buckets for the key. It may run concurrently
-// with a writer; callers must validate the sequence window before trusting
-// the result (or hold mu).
-func (sh *shard) probe(kw *[maxKeyWords]uint64, nw int, sig uint16, b1, b2 uint64) (uint64, bool) {
+// probeRegion scans the key's candidate bucket pair in one region. It may
+// run concurrently with a writer; callers must validate the sequence window
+// before trusting the result (or hold mu).
+func (sh *shard) probeRegion(r *region, kw *[maxKeyWords]uint64, nw int, h uint64, sig uint16) (uint64, bool) {
+	b1, b2 := r.buckets(h)
 	for _, b := range [2]uint64{b1, b2} {
 		base := b * EntriesPerBucket
 		for e := uint64(0); e < EntriesPerBucket; e++ {
-			ent := sh.entries[base+e].Load()
+			ent := r.entries[base+e].Load()
 			if uint16(ent) != sig {
 				continue
 			}
 			slot := uint32(ent >> 16)
-			if sh.keyEqual(slot, kw, nw) {
-				return sh.kv[int(slot)*sh.kvStride+nw].Load(), true
+			if sh.keyEqual(r, slot, kw, nw) {
+				return r.kv[int(slot)*sh.kvStride+nw].Load(), true
 			}
 		}
 	}
 	return 0, false
 }
 
+// probe scans old-then-current regions. During a migration every key lives
+// in exactly one region (momentarily in both mid-publish, with the same
+// value either way), so the first match wins.
+func (sh *shard) probe(rp *regionPair, kw *[maxKeyWords]uint64, nw int, h uint64, sig uint16) (uint64, bool) {
+	if rp.old != nil {
+		if v, ok := sh.probeRegion(rp.old, kw, nw, h, sig); ok {
+			return v, ok
+		}
+	}
+	return sh.probeRegion(rp.cur, kw, nw, h, sig)
+}
+
 // lookup runs the seqlock read protocol: snapshot the sequence, probe,
 // revalidate. A probe raced by a writer is discarded and retried; after
 // maxOptimistic attempts the reader takes the writer lock, so — unlike the
-// simulated table's give-up path — a torn result is never returned.
-func (sh *shard) lookup(kw *[maxKeyWords]uint64, nw int, sig uint16, b1, b2 uint64) (uint64, bool) {
+// simulated table's give-up path — a torn result is never returned. The
+// region set is re-loaded inside the window, so a lookup racing a resize
+// swap either sees the pre-swap or post-swap regions, both complete.
+func (sh *shard) lookup(kw *[maxKeyWords]uint64, nw int, h uint64, sig uint16) (uint64, bool) {
 	sh.c.lookups.Add(1)
 	for attempt := 0; attempt < maxOptimistic; attempt++ {
 		s1 := sh.seq.Load()
@@ -349,7 +489,8 @@ func (sh *shard) lookup(kw *[maxKeyWords]uint64, nw int, sig uint16, b1, b2 uint
 			runtime.Gosched()
 			continue
 		}
-		v, ok := sh.probe(kw, nw, sig, b1, b2)
+		rp := sh.regions.Load()
+		v, ok := sh.probe(rp, kw, nw, h, sig)
 		if sh.seq.Load() == s1 {
 			if ok {
 				sh.c.hits.Add(1)
@@ -361,7 +502,7 @@ func (sh *shard) lookup(kw *[maxKeyWords]uint64, nw int, sig uint16, b1, b2 uint
 	// Writer storm: one exclusive probe settles it.
 	sh.c.fallbacks.Add(1)
 	sh.mu.Lock()
-	v, ok := sh.probe(kw, nw, sig, b1, b2)
+	v, ok := sh.probe(sh.regions.Load(), kw, nw, h, sig)
 	sh.mu.Unlock()
 	if ok {
 		sh.c.hits.Add(1)
@@ -369,17 +510,19 @@ func (sh *shard) lookup(kw *[maxKeyWords]uint64, nw int, sig uint16, b1, b2 uint
 	return v, ok
 }
 
-// locate finds the bucket entry holding the key. Caller must hold mu.
-func (sh *shard) locate(kw *[maxKeyWords]uint64, nw int, sig uint16, b1, b2 uint64) (entIdx uint64, slot uint32, found bool) {
+// locateIn finds the bucket entry holding the key in one region. Caller
+// must hold mu.
+func (sh *shard) locateIn(r *region, kw *[maxKeyWords]uint64, nw int, h uint64, sig uint16) (entIdx uint64, slot uint32, found bool) {
+	b1, b2 := r.buckets(h)
 	for _, b := range [2]uint64{b1, b2} {
 		base := b * EntriesPerBucket
 		for e := uint64(0); e < EntriesPerBucket; e++ {
-			ent := sh.entries[base+e].Load()
+			ent := r.entries[base+e].Load()
 			if uint16(ent) != sig {
 				continue
 			}
 			s := uint32(ent >> 16)
-			if sh.keyEqual(s, kw, nw) {
+			if sh.keyEqual(r, s, kw, nw) {
 				return base + e, s, true
 			}
 		}
@@ -387,80 +530,125 @@ func (sh *shard) locate(kw *[maxKeyWords]uint64, nw int, sig uint16, b1, b2 uint
 	return 0, 0, false
 }
 
-// writeKV stores a slot's key words and value. The slot is free (no bucket
-// entry points to it), so this runs outside the seqlock window; the entry
-// store that publishes it orders after these writes.
-func (sh *shard) writeKV(slot uint32, kw *[maxKeyWords]uint64, nw int, value uint64) {
-	base := int(slot) * sh.kvStride
-	for i := 0; i < nw; i++ {
-		sh.kv[base+i].Store(kw[i])
+// locate finds the key in either region of rp, returning the region that
+// holds it. Caller must hold mu.
+func (sh *shard) locate(rp *regionPair, kw *[maxKeyWords]uint64, nw int, h uint64, sig uint16) (r *region, entIdx uint64, slot uint32, found bool) {
+	if rp.old != nil {
+		if entIdx, slot, found = sh.locateIn(rp.old, kw, nw, h, sig); found {
+			return rp.old, entIdx, slot, true
+		}
 	}
-	sh.kv[base+nw].Store(value)
+	if entIdx, slot, found = sh.locateIn(rp.cur, kw, nw, h, sig); found {
+		return rp.cur, entIdx, slot, true
+	}
+	return nil, 0, 0, false
 }
 
-func (sh *shard) insert(kw *[maxKeyWords]uint64, nw int, sig uint16, b1, b2 uint64, value uint64) error {
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if _, _, exists := sh.locate(kw, nw, sig, b1, b2); exists {
-		sh.c.insertExists.Add(1)
-		return ErrKeyExists
+// writeKV stores a slot's key words and value in r. The slot is free (no
+// bucket entry points to it), so this runs outside the seqlock window; the
+// entry store that publishes it orders after these writes.
+func (sh *shard) writeKV(r *region, slot uint32, kw *[maxKeyWords]uint64, nw int, value uint64) {
+	base := int(slot) * sh.kvStride
+	for i := 0; i < nw; i++ {
+		r.kv[base+i].Store(kw[i])
 	}
-	if len(sh.free) == 0 {
-		sh.c.insertFull.Add(1)
-		return ErrTableFull
+	r.kv[base+nw].Store(value)
+}
+
+// placeLocked inserts an already-validated new key into the current region:
+// direct placement into a free candidate entry, else a BFS displacement
+// chain. Caller must hold mu. Returns false when the region cannot take the
+// key (no free slot or no displacement path).
+func (sh *shard) placeLocked(cur *region, kw *[maxKeyWords]uint64, nw int, h uint64, sig uint16, value uint64) bool {
+	if len(cur.free) == 0 {
+		return false
 	}
+	b1, b2 := cur.buckets(h)
 
 	// Direct placement into a free entry of either candidate bucket.
-	if entIdx, ok := sh.freeEntry(b1, b2); ok {
-		slot := sh.free[len(sh.free)-1]
-		sh.free = sh.free[:len(sh.free)-1]
-		sh.writeKV(slot, kw, nw, value)
+	if entIdx, ok := sh.freeEntry(cur, b1, b2); ok {
+		slot := cur.free[len(cur.free)-1]
+		cur.free = cur.free[:len(cur.free)-1]
+		sh.writeKV(cur, slot, kw, nw, value)
 		// Publishing one empty→live entry is atomic on its own, but the
 		// slot may be recycled: a reader that captured the old entry before
 		// the slot was freed could mix old and new key words into a phantom
 		// match. The seqlock window forces such readers to re-probe.
 		sh.beginWrite()
-		sh.entries[entIdx].Store(packEntry(sig, slot))
+		cur.entries[entIdx].Store(packEntry(sig, slot))
 		sh.endWrite()
-		sh.size.Add(1)
-		sh.c.inserts.Add(1)
-		return nil
+		return true
 	}
 
 	// Displacement: BFS for a move chain (read-only, outside the write
 	// window — the mutex already excludes other writers), then apply the
 	// moves and the final placement inside one window.
-	path := sh.findCuckooPath(b1, b2)
+	path := sh.findCuckooPath(cur, b1, b2)
 	if path == nil {
-		sh.c.insertFull.Add(1)
-		return ErrTableFull
+		return false
 	}
-	slot := sh.free[len(sh.free)-1]
-	sh.free = sh.free[:len(sh.free)-1]
-	sh.writeKV(slot, kw, nw, value)
+	slot := cur.free[len(cur.free)-1]
+	cur.free = cur.free[:len(cur.free)-1]
+	sh.writeKV(cur, slot, kw, nw, value)
 	sh.beginWrite()
-	sh.applyCuckooPath(path)
-	entIdx, ok := sh.freeEntry(b1, b2)
+	sh.applyCuckooPath(cur, path)
+	entIdx, ok := sh.freeEntry(cur, b1, b2)
 	if !ok {
 		// The displacement chain freed a slot in b1 or b2 by construction.
 		sh.endWrite()
-		sh.free = append(sh.free, slot)
+		cur.free = append(cur.free, slot)
 		panic("flowserve: displacement path freed no candidate entry")
 	}
-	sh.entries[entIdx].Store(packEntry(sig, slot))
+	cur.entries[entIdx].Store(packEntry(sig, slot))
 	sh.endWrite()
+	sh.c.displacements.Add(uint64(len(path)))
+	return true
+}
+
+func (sh *shard) insert(kw *[maxKeyWords]uint64, nw int, h uint64, sig uint16, value uint64) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.migrateLocked(sh.quantum)
+	rp := sh.regions.Load()
+	if _, _, _, exists := sh.locate(rp, kw, nw, h, sig); exists {
+		sh.c.insertExists.Add(1)
+		return ErrKeyExists
+	}
+	if !sh.placeLocked(rp.cur, kw, nw, h, sig, value) {
+		// Full (or displacement-exhausted) current region: with auto-grow
+		// enabled and no resize already in flight, double and retry into
+		// the fresh region — its candidate buckets start empty.
+		if sh.growAt == 0 || rp.old != nil {
+			sh.c.insertFull.Add(1)
+			return ErrTableFull
+		}
+		sh.startGrowLocked(2 * rp.cur.capacity)
+		rp = sh.regions.Load()
+		if !sh.placeLocked(rp.cur, kw, nw, h, sig, value) {
+			sh.c.insertFull.Add(1)
+			return ErrTableFull
+		}
+	}
 	sh.size.Add(1)
 	sh.c.inserts.Add(1)
-	sh.c.displacements.Add(uint64(len(path)))
+	// Threshold auto-grow: start the next doubling before the shard is
+	// actually full, so the migration amortises over ordinary traffic
+	// instead of stalling an insert.
+	if sh.growAt > 0 && rp.old == nil {
+		cur := sh.regions.Load().cur
+		if float64(sh.size.Load()) > sh.growAt*float64(cur.capacity) {
+			sh.startGrowLocked(2 * cur.capacity)
+		}
+	}
 	return nil
 }
 
-// freeEntry returns the index of an empty entry in b1 or b2.
-func (sh *shard) freeEntry(b1, b2 uint64) (uint64, bool) {
+// freeEntry returns the index of an empty entry in bucket b1 or b2 of r.
+func (sh *shard) freeEntry(r *region, b1, b2 uint64) (uint64, bool) {
 	for _, b := range [2]uint64{b1, b2} {
 		base := b * EntriesPerBucket
 		for e := uint64(0); e < EntriesPerBucket; e++ {
-			if sh.entries[base+e].Load() == 0 {
+			if r.entries[base+e].Load() == 0 {
 				return base + e, true
 			}
 		}
@@ -468,25 +656,27 @@ func (sh *shard) freeEntry(b1, b2 uint64) (uint64, bool) {
 	return 0, false
 }
 
-func (sh *shard) update(kw *[maxKeyWords]uint64, nw int, sig uint16, b1, b2 uint64, value uint64) bool {
+func (sh *shard) update(kw *[maxKeyWords]uint64, nw int, h uint64, sig uint16, value uint64) bool {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	_, slot, found := sh.locate(kw, nw, sig, b1, b2)
+	sh.migrateLocked(sh.quantum)
+	r, _, slot, found := sh.locate(sh.regions.Load(), kw, nw, h, sig)
 	if !found {
 		return false
 	}
 	// A single-word value store is atomic on its own: concurrent readers
 	// see the old or the new value, both of which were live for this key,
 	// so no seqlock window is needed.
-	sh.kv[int(slot)*sh.kvStride+nw].Store(value)
+	r.kv[int(slot)*sh.kvStride+nw].Store(value)
 	sh.c.updates.Add(1)
 	return true
 }
 
-func (sh *shard) delete(kw *[maxKeyWords]uint64, nw int, sig uint16, b1, b2 uint64) bool {
+func (sh *shard) delete(kw *[maxKeyWords]uint64, nw int, h uint64, sig uint16) bool {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	entIdx, slot, found := sh.locate(kw, nw, sig, b1, b2)
+	sh.migrateLocked(sh.quantum)
+	r, entIdx, slot, found := sh.locate(sh.regions.Load(), kw, nw, h, sig)
 	if !found {
 		return false
 	}
@@ -494,9 +684,9 @@ func (sh *shard) delete(kw *[maxKeyWords]uint64, nw int, sig uint16, b1, b2 uint
 	// be recycled by a later insert; bump the seqlock so readers that
 	// captured this entry re-probe instead of reading recycled key words.
 	sh.beginWrite()
-	sh.entries[entIdx].Store(0)
+	r.entries[entIdx].Store(0)
 	sh.endWrite()
-	sh.free = append(sh.free, slot)
+	r.free = append(r.free, slot)
 	sh.size.Add(^uint64(0))
 	sh.c.deletes.Add(1)
 	return true
@@ -516,10 +706,10 @@ type frontierItem struct {
 	node   int
 }
 
-// findCuckooPath BFS-searches for a chain of moves freeing an entry in b1 or
-// b2, mirroring cuckoo.Table.findCuckooPath. Caller must hold mu; the
+// findCuckooPath BFS-searches r for a chain of moves freeing an entry in b1
+// or b2, mirroring cuckoo.Table.findCuckooPath. Caller must hold mu; the
 // returned slice aliases writer-owned scratch.
-func (sh *shard) findCuckooPath(b1, b2 uint64) []pathNode {
+func (sh *shard) findCuckooPath(r *region, b1, b2 uint64) []pathNode {
 	nodes := sh.bfsNodes[:0]
 	queue := append(sh.bfsQueue[:0], frontierItem{b1, -1}, frontierItem{b2, -1})
 	head := 0
@@ -536,22 +726,22 @@ func (sh *shard) findCuckooPath(b1, b2 uint64) []pathNode {
 		head++
 		base := item.bucket * EntriesPerBucket
 		for e := uint64(0); e < EntriesPerBucket; e++ {
-			ent := sh.entries[base+e].Load()
+			ent := r.entries[base+e].Load()
 			if ent == 0 {
 				continue
 			}
-			alt := hashfn.AltBucket(item.bucket, uint16(ent), sh.bucketCount)
+			alt := hashfn.AltBucket(item.bucket, uint16(ent), r.bucketCount)
 			nodes = append(nodes, pathNode{bucket: item.bucket, entry: base + e, parent: item.node})
 			nodeIdx := len(nodes) - 1
 			altBase := alt * EntriesPerBucket
 			for ae := uint64(0); ae < EntriesPerBucket; ae++ {
-				if sh.entries[altBase+ae].Load() == 0 {
+				if r.entries[altBase+ae].Load() == 0 {
 					path := sh.bfsPath[:0]
 					for i := nodeIdx; i >= 0; i = nodes[i].parent {
 						path = append(path, nodes[i])
 					}
-					for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
-						path[l], path[r] = path[r], path[l]
+					for l, rr := 0, len(path)-1; l < rr; l, rr = l+1, rr-1 {
+						path[l], path[rr] = path[rr], path[l]
 					}
 					sh.bfsPath = path
 					return path
@@ -568,16 +758,16 @@ func (sh *shard) findCuckooPath(b1, b2 uint64) []pathNode {
 
 // applyCuckooPath executes the moves leaf-first so no entry is ever
 // unreachable. Caller must hold mu and have opened the seqlock window.
-func (sh *shard) applyCuckooPath(path []pathNode) {
+func (sh *shard) applyCuckooPath(r *region, path []pathNode) {
 	for i := len(path) - 1; i >= 0; i-- {
 		n := path[i]
-		ent := sh.entries[n.entry].Load()
-		alt := hashfn.AltBucket(n.bucket, uint16(ent), sh.bucketCount)
+		ent := r.entries[n.entry].Load()
+		alt := hashfn.AltBucket(n.bucket, uint16(ent), r.bucketCount)
 		altBase := alt * EntriesPerBucket
 		for ae := uint64(0); ae < EntriesPerBucket; ae++ {
-			if sh.entries[altBase+ae].Load() == 0 {
-				sh.entries[altBase+ae].Store(ent)
-				sh.entries[n.entry].Store(0)
+			if r.entries[altBase+ae].Load() == 0 {
+				r.entries[altBase+ae].Store(ent)
+				r.entries[n.entry].Store(0)
 				break
 			}
 		}

@@ -100,9 +100,16 @@ func TestKeyLenMismatch(t *testing.T) {
 	if tbl.Update(short, 1) || tbl.Delete(short) {
 		t.Fatal("Update/Delete of a mismatched-length key succeeded")
 	}
+	// Wrong-length keys hash to no shard, so they must land in the
+	// table-level badlen counter — never in a shard's lookup count, which
+	// would skew that shard's hit ratio (pre-PR they were charged to
+	// shard 0).
 	s := tbl.Stats()
-	if s.Lookups != 1 || s.Hits != 0 || s.Misses != 1 {
-		t.Fatalf("mismatched-length lookup accounting = %+v, want 1 counted miss", s)
+	if s.BadLenLookups != 1 {
+		t.Fatalf("mismatched-length lookup accounting = %+v, want BadLenLookups 1", s)
+	}
+	if s.Lookups != 0 || s.Hits != 0 || s.Misses != 0 {
+		t.Fatalf("mismatched-length lookup leaked into shard counters: %+v", s)
 	}
 }
 
@@ -203,8 +210,9 @@ func TestLookupManyMixedKeyLengths(t *testing.T) {
 			t.Fatalf("key %d = %+v, want a miss", j, results[j])
 		}
 	}
-	if s := tbl.Stats(); s.Lookups != 4 {
-		t.Fatalf("batch counted %d lookups, want 4 (mismatched lengths included)", s.Lookups)
+	if s := tbl.Stats(); s.Lookups != 2 || s.BadLenLookups != 2 {
+		t.Fatalf("batch accounting = %d lookups + %d badlen, want 2 + 2 (mismatched lengths are table-level)",
+			s.Lookups, s.BadLenLookups)
 	}
 }
 
@@ -265,9 +273,15 @@ func TestCollectInto(t *testing.T) {
 	// The full counter family is present (stable schema, zeros included).
 	for _, name := range []string{
 		"flowserve.lookup.retries", "flowserve.lookup.lock_fallbacks",
+		"flowserve.lookup.badlen", "flowserve.capacity",
 		"flowserve.insert.exists", "flowserve.insert.full",
 		"flowserve.updates", "flowserve.displacements",
 		"flowserve.batch.calls", "flowserve.batch.keys",
+		"flowserve.grows", "flowserve.resize.steps",
+		"flowserve.resize.migrated_buckets", "flowserve.resize.migrated_keys",
+		"flowserve.resize.stalls", "flowserve.resize.active",
+		"flowserve.resize.pause_p50_ns", "flowserve.resize.pause_p99_ns",
+		"flowserve.resize.pause_max_ns",
 	} {
 		if _, present := snap.Counters[name]; !present {
 			t.Fatalf("counter %s missing from snapshot", name)

@@ -15,9 +15,15 @@ const (
 	fuzzKeyUniverse  = 96 // ~1.5x capacity: fills the table and keeps colliding
 )
 
+// fuzzMaxCapacity bounds fuzz-driven Grow so a hostile op stream cannot
+// balloon allocations; it still allows several doublings from the seed size.
+const fuzzMaxCapacity = 1 << 12
+
 // applyFuzzOps interprets data as a stream of 4-byte operations
 // (kind, key-lo, key-hi, value) applied to a sharded table and to a plain
-// map reference model, failing on any behavioural divergence. Single
+// map reference model, failing on any behavioural divergence. Grow and
+// ResizeStep are ops in the stream, so the fuzzer interleaves incremental
+// migration with every other operation at arbitrary points. Single
 // goroutine: linearizable semantics are the spec here; concurrency is the
 // stress test's job.
 func applyFuzzOps(t *testing.T, data []byte) {
@@ -33,7 +39,7 @@ func applyFuzzOps(t *testing.T, data []byte) {
 		mk := binary.LittleEndian.Uint16(data[off+1:off+3]) % fuzzKeyUniverse
 		val := uint64(data[off+3])
 		k := key20(uint64(mk))
-		switch kind % 5 {
+		switch kind % 7 {
 		case 0: // insert
 			err := tbl.Insert(k, val)
 			_, exists := model[mk]
@@ -86,6 +92,14 @@ func applyFuzzOps(t *testing.T, data []byte) {
 						off/4, wk, results[j].Value, results[j].OK, want, exists)
 				}
 			}
+		case 5: // grow by an odd increment (exercises irregular region sizes)
+			if c := tbl.Capacity(); c < fuzzMaxCapacity {
+				if err := tbl.Grow(c + 1 + uint64(val)); err != nil {
+					t.Fatalf("op %d: Grow(%d) = %v", off/4, c+1+uint64(val), err)
+				}
+			}
+		case 6: // tick migration forward a few buckets
+			tbl.ResizeStep(1 + int(val%4))
 		}
 		if tbl.Size() != uint64(len(model)) {
 			t.Fatalf("op %d: Size = %d, model has %d entries", off/4, tbl.Size(), len(model))
@@ -128,12 +142,31 @@ func fuzzSeeds() [][]byte {
 		churn.Write(op(3, uint16(i*3)%fuzzKeyUniverse, byte(i+1)))
 		churn.Write(op(4, uint16(i*5)%fuzzKeyUniverse, 0))
 	}
+	var grow bytes.Buffer // fill, grow, interleave migration ticks with churn
+	for i := 0; i < fuzzTableEntries; i++ {
+		grow.Write(op(0, uint16(i), byte(i)))
+	}
+	grow.Write(op(5, 0, 200)) // capacity + 201: irregular region size
+	for i := 0; i < fuzzTableEntries; i++ {
+		grow.Write(op(6, 0, byte(i)))                          // ResizeStep
+		grow.Write(op(2, uint16(i), 0))                        // lookup mid-migration
+		grow.Write(op(1, uint16(i*5)%fuzzKeyUniverse, 0))      // delete
+		grow.Write(op(0, uint16(i*11)%fuzzKeyUniverse, byte(i))) // insert
+		grow.Write(op(4, uint16(i*3)%fuzzKeyUniverse, 0))      // batch
+		if i%16 == 0 {
+			grow.Write(op(5, 0, byte(i))) // stack further grows
+		}
+	}
+	for i := 0; i < fuzzKeyUniverse; i++ {
+		grow.Write(op(2, uint16(i), 0))
+	}
 	return [][]byte{
 		{},
 		op(0, 1, 42),
 		bytes.Repeat(op(0, 5, 9), 3), // duplicate inserts
 		fill.Bytes(),
 		churn.Bytes(),
+		grow.Bytes(),
 	}
 }
 

@@ -1,0 +1,236 @@
+package flowserve
+
+import (
+	"fmt"
+	"time"
+
+	"halo/internal/hashfn"
+)
+
+// Incremental, bounded-pause shard resize (DESIGN.md §12).
+//
+// A resize installs a second, larger region next to the live one and moves
+// buckets across incrementally: every writer operation migrates at most
+// Config.MigrateBuckets old-region buckets before doing its own work, and
+// ResizeStep lets a caller tick migration forward explicitly (e.g. from a
+// maintenance goroutine). The protocol keeps three invariants:
+//
+//  1. Every live key is reachable in old ∪ cur at every instant. A key
+//     moves by first writing its slot in cur, then — inside one seqlock
+//     window — publishing the cur bucket entry and clearing the old one.
+//     Readers probing between those two stores can see the key in both
+//     regions (same value either way), never in neither.
+//  2. Readers are wait-free with respect to migration: they take no lock,
+//     and a migration step invalidates at most the probes racing its
+//     seqlock windows — the same retry cost an insert already imposes.
+//  3. The pause a resize adds to any single writer operation is bounded by
+//     the migration quantum (buckets per step × at most EntriesPerBucket
+//     key moves each), not by the table size. Steps are timed into a
+//     per-shard pause histogram (flowserve.resize.pause_* in stats).
+
+// Grow raises the table's capacity to at least newEntries, spread across
+// shards, by starting an incremental resize on every shard whose capacity
+// must rise. It returns once the resizes are STARTED — migration proceeds
+// in the background as writers touch each shard, or synchronously via
+// ResizeStep. If a previous resize is still in flight on a shard, Grow
+// finishes it first (synchronously) so regions never stack more than two
+// deep. newEntries must exceed the current capacity.
+func (t *Table) Grow(newEntries uint64) error {
+	if newEntries <= t.Capacity() {
+		return ErrShrink
+	}
+	perShard := (newEntries + uint64(len(t.shards)) - 1) / uint64(len(t.shards))
+	if perShard >= maxPerShard {
+		return fmt.Errorf("flowserve: %d entries per shard exceeds slot index width", perShard)
+	}
+	for _, sh := range t.shards {
+		sh.mu.Lock()
+		sh.finishMigrationLocked()
+		if sh.regions.Load().old != nil {
+			// Only reachable when the in-flight resize stalled: the current
+			// region is at 100% occupancy with no displacement path, which
+			// needs deletes, not more regions (at most two may exist).
+			sh.mu.Unlock()
+			return fmt.Errorf("flowserve: shard resize stalled at full occupancy; delete entries and retry Grow")
+		}
+		if perShard > sh.regions.Load().cur.capacity {
+			sh.startGrowLocked(perShard)
+		}
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// Resizing reports whether any shard has a migration in flight.
+func (t *Table) Resizing() bool {
+	for _, sh := range t.shards {
+		if sh.regions.Load().old != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// ResizeStep migrates up to buckets old-region buckets on every shard that
+// is mid-resize (buckets <= 0 means the configured per-op quantum) and
+// reports whether any migration remains. Callers that want growth to
+// complete without waiting for organic write traffic loop:
+//
+//	for t.ResizeStep(64) {
+//	}
+func (t *Table) ResizeStep(buckets int) bool {
+	remaining := false
+	for _, sh := range t.shards {
+		if sh.regions.Load().old == nil {
+			continue
+		}
+		sh.mu.Lock()
+		if buckets <= 0 {
+			sh.migrateLocked(sh.quantum)
+		} else {
+			sh.migrateLocked(buckets)
+		}
+		if sh.regions.Load().old != nil {
+			remaining = true
+		}
+		sh.mu.Unlock()
+	}
+	return remaining
+}
+
+// startGrowLocked installs a fresh region of newCap entries as the current
+// region and demotes the live one to "old", resetting the migration cursor.
+// Caller must hold mu and have no resize in flight. The pointer swap moves
+// no keys, so readers need no seqlock window: both the pre- and post-swap
+// region sets contain every live key.
+func (sh *shard) startGrowLocked(newCap uint64) {
+	rp := sh.regions.Load()
+	if rp.old != nil {
+		panic("flowserve: startGrow with a resize already in flight")
+	}
+	next := newRegion(newCap, sh.kvStride-1)
+	sh.migrated = 0
+	sh.regions.Store(&regionPair{cur: next, old: rp.cur})
+	sh.c.grows.Add(1)
+}
+
+// finishMigrationLocked drains an in-flight resize synchronously. Caller
+// must hold mu.
+func (sh *shard) finishMigrationLocked() {
+	for sh.regions.Load().old != nil {
+		before := sh.migrated
+		sh.migrateLocked(sh.quantum)
+		if sh.regions.Load().old != nil && sh.migrated == before {
+			// A stalled migration (current region truly full) cannot be
+			// drained; the caller is about to grow again, which unsticks it.
+			return
+		}
+	}
+}
+
+// migrateLocked moves up to n old-region buckets into the current region.
+// Caller must hold mu. No-op when no resize is in flight. When the last
+// bucket lands, the old region is dropped and readers fall back to
+// single-region probes.
+func (sh *shard) migrateLocked(n int) {
+	rp := sh.regions.Load()
+	if rp.old == nil {
+		return
+	}
+	start := time.Now()
+	stepped := false
+	for i := 0; i < n && sh.migrated < rp.old.bucketCount; i++ {
+		if !sh.migrateBucketLocked(rp, sh.migrated) {
+			// Could not place a key (current region full): leave the
+			// cursor so a later step — after deletes free slots — retries.
+			sh.c.resizeStalls.Add(1)
+			break
+		}
+		sh.migrated++
+		sh.c.migratedBuckets.Add(1)
+		stepped = true
+	}
+	if stepped {
+		sh.c.resizeSteps.Add(1)
+		sh.pauseHist.Observe(uint64(time.Since(start).Nanoseconds()))
+	}
+	if sh.migrated == rp.old.bucketCount {
+		// Migration complete: drop the old region. Readers holding the
+		// two-region pair keep probing a fully-empty old region until
+		// their next load — harmless.
+		sh.regions.Store(&regionPair{cur: rp.cur})
+	}
+}
+
+// migrateBucketLocked moves every live entry of old bucket b into the
+// current region. Caller must hold mu. Returns false if a key could not be
+// placed (no free slot / displacement path in cur) — the bucket is left
+// partially migrated and safe to retry: moved entries are already cleared
+// from the old bucket.
+func (sh *shard) migrateBucketLocked(rp *regionPair, b uint64) bool {
+	old, cur := rp.old, rp.cur
+	nw := sh.kvStride - 1
+	base := b * EntriesPerBucket
+	var kw [maxKeyWords]uint64
+	var keyBuf [MaxKeyLen]byte
+	for e := uint64(0); e < EntriesPerBucket; e++ {
+		ent := old.entries[base+e].Load()
+		if ent == 0 {
+			continue
+		}
+		sig := uint16(ent)
+		slot := uint32(ent >> 16)
+		kvBase := int(slot) * sh.kvStride
+		for i := 0; i < nw; i++ {
+			kw[i] = old.kv[kvBase+i].Load()
+		}
+		value := old.kv[kvBase+nw].Load()
+
+		// Rehash for the grown region's bucket geometry. The signature is
+		// derived from the same primary hash, so it is unchanged — only
+		// the bucket pair widens.
+		h := hashfn.Hash(hashfn.SeedPrimary, wordsToKey(&kw, sh.keyLen, &keyBuf))
+		if moved := sh.moveEntryLocked(cur, &kw, nw, h, sig, value, old, base+e); !moved {
+			return false
+		}
+		sh.c.migratedKeys.Add(1)
+	}
+	return true
+}
+
+// moveEntryLocked places a migrating key into cur and — inside one seqlock
+// window — publishes the new bucket entry and clears the old one, so
+// readers always find the key in at least one region.
+func (sh *shard) moveEntryLocked(cur *region, kw *[maxKeyWords]uint64, nw int, h uint64, sig uint16, value uint64, old *region, oldEntIdx uint64) bool {
+	if len(cur.free) == 0 {
+		return false
+	}
+	b1, b2 := cur.buckets(h)
+	entIdx, direct := sh.freeEntry(cur, b1, b2)
+	var path []pathNode
+	if !direct {
+		path = sh.findCuckooPath(cur, b1, b2)
+		if path == nil {
+			return false
+		}
+	}
+	slot := cur.free[len(cur.free)-1]
+	cur.free = cur.free[:len(cur.free)-1]
+	sh.writeKV(cur, slot, kw, nw, value)
+	sh.beginWrite()
+	if !direct {
+		sh.applyCuckooPath(cur, path)
+		var ok bool
+		entIdx, ok = sh.freeEntry(cur, b1, b2)
+		if !ok {
+			sh.endWrite()
+			cur.free = append(cur.free, slot)
+			panic("flowserve: migration displacement path freed no candidate entry")
+		}
+		sh.c.displacements.Add(uint64(len(path)))
+	}
+	cur.entries[entIdx].Store(packEntry(sig, slot))
+	old.entries[oldEntIdx].Store(0)
+	sh.endWrite()
+	return true
+}

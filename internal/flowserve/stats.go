@@ -10,6 +10,7 @@ type TableStats struct {
 	Lookups       uint64
 	Hits          uint64
 	Misses        uint64
+	BadLenLookups uint64 // wrong-length keys: table-level, never charged to a shard
 	Retries       uint64 // seqlock revalidation failures (discarded probes)
 	LockFallbacks uint64 // optimistic attempts exhausted → locked probe
 	Inserts       uint64
@@ -20,11 +21,19 @@ type TableStats struct {
 	Displacements uint64
 	BatchCalls    uint64 // per-shard groups served by LookupMany
 	BatchKeys     uint64
+
+	Grows           uint64 // shard resizes started (one per doubling)
+	ResizeSteps     uint64 // bounded migration steps executed
+	MigratedBuckets uint64
+	MigratedKeys    uint64
+	ResizeStalls    uint64 // migration steps that found the new region full
+	ResizingShards  uint64 // shards with a migration in flight right now
 }
 
 // Stats sums the counters across shards.
 func (t *Table) Stats() TableStats {
 	var s TableStats
+	s.BadLenLookups = t.badLen.Load()
 	for _, sh := range t.shards {
 		s.Lookups += sh.c.lookups.Load()
 		s.Hits += sh.c.hits.Load()
@@ -38,20 +47,46 @@ func (t *Table) Stats() TableStats {
 		s.Displacements += sh.c.displacements.Load()
 		s.BatchCalls += sh.c.batches.Load()
 		s.BatchKeys += sh.c.batchKeys.Load()
+		s.Grows += sh.c.grows.Load()
+		s.ResizeSteps += sh.c.resizeSteps.Load()
+		s.MigratedBuckets += sh.c.migratedBuckets.Load()
+		s.MigratedKeys += sh.c.migratedKeys.Load()
+		s.ResizeStalls += sh.c.resizeStalls.Load()
+		if sh.regions.Load().old != nil {
+			s.ResizingShards++
+		}
 	}
 	s.Misses = s.Lookups - s.Hits
 	return s
 }
 
+// ResizePauses returns a merged copy of the per-shard migration-step pause
+// histograms (ns per bounded step). Taking each shard's writer lock briefly
+// is what makes the merge safe against an in-flight step.
+func (t *Table) ResizePauses() *stats.Histogram {
+	h := stats.NewHistogramRes(stats.HighResSubBits)
+	for _, sh := range t.shards {
+		sh.mu.Lock()
+		h.Merge(sh.pauseHist)
+		sh.mu.Unlock()
+	}
+	return h
+}
+
 // CollectInto publishes the table's counters into a snapshot under the
-// flowserve.* names, following the repo-wide CollectInto convention.
+// flowserve.* names, following the repo-wide CollectInto convention. The
+// resize pause histogram is published both as a snapshot histogram
+// (flowserve.resize.pause_ns) and as flattened quantile gauges, which is
+// what crosses the flowwire STATS frame (counters-only JSON).
 func (t *Table) CollectInto(snap *stats.Snapshot) {
 	s := t.Stats()
 	snap.Add("flowserve.shards", uint64(len(t.shards)))
 	snap.Add("flowserve.size", t.Size())
+	snap.Add("flowserve.capacity", t.Capacity())
 	snap.Add("flowserve.lookups", s.Lookups)
 	snap.Add("flowserve.hits", s.Hits)
 	snap.Add("flowserve.misses", s.Misses)
+	snap.Add("flowserve.lookup.badlen", s.BadLenLookups)
 	snap.Add("flowserve.lookup.retries", s.Retries)
 	snap.Add("flowserve.lookup.lock_fallbacks", s.LockFallbacks)
 	snap.Add("flowserve.inserts", s.Inserts)
@@ -62,4 +97,15 @@ func (t *Table) CollectInto(snap *stats.Snapshot) {
 	snap.Add("flowserve.displacements", s.Displacements)
 	snap.Add("flowserve.batch.calls", s.BatchCalls)
 	snap.Add("flowserve.batch.keys", s.BatchKeys)
+	snap.Add("flowserve.grows", s.Grows)
+	snap.Add("flowserve.resize.steps", s.ResizeSteps)
+	snap.Add("flowserve.resize.migrated_buckets", s.MigratedBuckets)
+	snap.Add("flowserve.resize.migrated_keys", s.MigratedKeys)
+	snap.Add("flowserve.resize.stalls", s.ResizeStalls)
+	snap.Add("flowserve.resize.active", s.ResizingShards)
+	pauses := t.ResizePauses()
+	snap.Add("flowserve.resize.pause_p50_ns", pauses.Quantile(0.50))
+	snap.Add("flowserve.resize.pause_p99_ns", pauses.Quantile(0.99))
+	snap.Add("flowserve.resize.pause_max_ns", pauses.Quantile(1.0))
+	snap.MergeHist("flowserve.resize.pause_ns", pauses)
 }

@@ -154,6 +154,177 @@ func TestSeqlockStress(t *testing.T) {
 	t.Logf("stress stats: %+v", s)
 }
 
+// TestResizeStress is the randomized audit of incremental resize under
+// concurrency (run under -race: CI does). A grower floods inserts into an
+// auto-grow table, forcing several shard doublings, while churn writers,
+// a ResizeStep ticker and batch/single readers all run against the moving
+// regions. Same key-class invariants as TestSeqlockStress: residents always
+// hit with their own value, ghosts never hit, churn hits carry the key's own
+// value — through every migration.
+func TestResizeStress(t *testing.T) {
+	const (
+		residents = 1000
+		churners  = 1000
+		ghosts    = 1000
+		growKeys  = 20_000 // grower inserts force >= 3 doublings per shard
+		readers   = 3
+		readerOps = 20_000
+		writerOps = 10_000
+	)
+	tbl := mustNew(t, Config{
+		Shards: 2, Entries: 4096, KeyLen: 20, GrowAt: 0.8, MigrateBuckets: 2,
+	})
+
+	// Key index spaces: [0,residents) resident, then churn, then ghost, then
+	// the grower's fresh keys.
+	const growBase = residents + churners + ghosts
+	key := func(i uint64) []byte { return key20(i) }
+	for i := uint64(0); i < residents; i++ {
+		if err := tbl.Insert(key(i), valueFor(i)); err != nil {
+			t.Fatalf("seed insert %d: %v", i, err)
+		}
+	}
+
+	var fail atomic.Value
+	report := func(msg string) { fail.CompareAndSwap(nil, msg) }
+	var done atomic.Bool
+
+	var wg sync.WaitGroup
+
+	// Grower: monotonically expands the key set, tripping threshold grows.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); i < growKeys && fail.Load() == nil; i++ {
+			if err := tbl.Insert(key(growBase+i), valueFor(growBase+i)); err != nil {
+				report("grower Insert with auto-grow on: " + err.Error())
+				return
+			}
+		}
+	}()
+
+	// Stepper: external migration ticks racing the writers' amortised ones.
+	// Its own WaitGroup — it runs until everyone else is done.
+	var stepWg sync.WaitGroup
+	stepWg.Add(1)
+	go func() {
+		defer stepWg.Done()
+		for !done.Load() && fail.Load() == nil {
+			tbl.ResizeStep(1)
+			runtime.Gosched()
+		}
+	}()
+
+	// Churn writers.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := sim.NewRand(seed)
+			for op := 0; op < writerOps && fail.Load() == nil; op++ {
+				i := residents + rng.Uint64n(churners)
+				k := key(i)
+				if rng.Uint64()&1 == 0 {
+					if err := tbl.Insert(k, valueFor(i)); err != nil && err != ErrKeyExists && err != ErrTableFull {
+						report("churn Insert: " + err.Error())
+					}
+				} else {
+					tbl.Delete(k)
+				}
+			}
+		}(0x9e51<<8 | uint64(w))
+	}
+
+	checkHit := func(i uint64, v uint64, ok bool, class string) {
+		switch {
+		case !ok && class == "resident":
+			report("resident key missed during resize")
+		case ok && class == "ghost":
+			report("ghost key hit during resize (phantom match)")
+		case ok && v != valueFor(i):
+			report(class + " key hit with a foreign value during resize (torn read)")
+		}
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := sim.NewRand(seed)
+			const batchSize = 32
+			batch := tbl.NewBatch()
+			keys := make([][]byte, batchSize)
+			idx := make([]uint64, batchSize)
+			results := make([]Result, batchSize)
+			drawKey := func() uint64 {
+				switch rng.Uint64n(3) {
+				case 0:
+					return rng.Uint64n(residents)
+				case 1:
+					return residents + rng.Uint64n(churners)
+				default:
+					return residents + churners + rng.Uint64n(ghosts)
+				}
+			}
+			class := func(i uint64) string {
+				switch {
+				case i < residents:
+					return "resident"
+				case i < residents+churners:
+					return "churn"
+				default:
+					return "ghost"
+				}
+			}
+			for op := 0; op < readerOps && fail.Load() == nil; op++ {
+				if op%8 == 0 {
+					for j := range keys {
+						idx[j] = drawKey()
+						keys[j] = key(idx[j])
+					}
+					batch.LookupMany(keys, results)
+					for j := range keys {
+						checkHit(idx[j], results[j].Value, results[j].OK, class(idx[j]))
+					}
+				} else {
+					i := drawKey()
+					v, ok := tbl.Lookup(key(i))
+					checkHit(i, v, ok, class(i))
+				}
+			}
+		}(0x6e0a<<8 | uint64(r))
+	}
+
+	wg.Wait()
+	done.Store(true)
+	stepWg.Wait()
+	if msg := fail.Load(); msg != nil {
+		t.Fatal(msg)
+	}
+	for tbl.ResizeStep(64) {
+	}
+
+	// Post-quiescence: every resident and grower key present with its own
+	// value, and the run actually forced the doublings it was sized for.
+	for i := uint64(0); i < residents; i++ {
+		if v, ok := tbl.Lookup(key(i)); !ok || v != valueFor(i) {
+			t.Fatalf("resident key %d = (%d,%v) after resize stress, want (%d,true)", i, v, ok, valueFor(i))
+		}
+	}
+	for i := uint64(0); i < growKeys; i++ {
+		if v, ok := tbl.Lookup(key(growBase + i)); !ok || v != valueFor(growBase+i) {
+			t.Fatalf("grower key %d = (%d,%v) after resize stress", i, v, ok)
+		}
+	}
+	s := tbl.Stats()
+	if s.Grows < 6 {
+		t.Fatalf("Grows = %d, want >= 6 (>= 3 doublings on each of 2 shards): %+v", s.Grows, s)
+	}
+	if s.MigratedKeys == 0 || s.ResizeSteps == 0 {
+		t.Fatalf("resize stress migrated nothing: %+v", s)
+	}
+	t.Logf("resize stress stats: %+v", s)
+}
+
 // TestConcurrentWritersDistinctShardsProgress checks writer parallelism is
 // real: writers pinned to different shards make progress concurrently
 // (the per-shard mutex is not accidentally global).

@@ -1,0 +1,17 @@
+#!/bin/sh
+# bench_serve_grow.sh [out.json] — produce the halo-bench/v1 document for the
+# incremental-resize workload (cmd/flowload -grow smoke run): lookups served
+# while the table doubles itself three times under Zipf traffic, with the
+# migration-phase p99 gated at 2x of steady state (-check).
+#
+#   scripts/bench_serve_grow.sh baselines/BENCH_serve_grow.json
+#
+# Like BENCH_serve.json, the latencies are machine-dependent, so CI diffs
+# this document report-only (-gate ''); the -check gates (lookup ledger
+# balanced, >= 3 doublings per shard, bounded migration p99) are what fail
+# the build.
+set -eu
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_serve_grow.json}"
+
+go run ./cmd/flowload -grow -smoke -check -shards 4 -json "$out"

@@ -16,10 +16,14 @@
 //	flowload                                  # default local sweep (1,2,4,8 shards × uniform,zipf)
 //	flowload -flows 200000 -ops 5000000       # bigger table, longer run
 //	flowload -shards 1,16 -mix uniform        # specific local points
-//	flowload -remote 127.0.0.1:7411           # drive a flowserved over TCP
-//	flowload -remote :7411 -conns 1,2,4       # sweep client connection counts
-//	flowload -remote /tmp/fs.sock -transport unix   # drive over a unix socket
-//	flowload -remote /tmp/fs.sock -transport shm    # drive over shared-memory rings
+//	flowload -remote tcp://127.0.0.1:7411     # drive a flowserved over TCP
+//	flowload -remote tcp://:7411 -conns 1,2,4 # sweep client connection counts
+//	flowload -remote unix:///tmp/fs.sock      # drive over a unix socket
+//	flowload -remote shm:///tmp/fs.sock       # drive over shared-memory rings
+//	flowload -cluster tcp://:7411,tcp://:7412,tcp://:7413
+//	                                          # drive a flowserved cluster through
+//	                                          #   the flowcluster router, live-migrating
+//	                                          #   -migrations hash ranges under load
 //	flowload -rate 500000,1000000             # open loop: offer fixed rates and
 //	                                          #   measure latency from intended
 //	                                          #   send (coordinated-omission-safe)
@@ -31,6 +35,10 @@
 //	                                          #   throughput beats 1-shard
 //	                                          # remote: fail unless the server's lookup
 //	                                          #   counter balances every issued key
+//	                                          # cluster: the same ledger summed across
+//	                                          #   every node, with ≥1 live migration
+//	                                          #   in flight — zero lost or duplicated
+//	                                          #   lookups across cutovers
 //	flowload -smoke                           # small fast settings for CI
 //
 // Every lookup is verified against the installed flow population: a wrong
@@ -51,6 +59,7 @@ import (
 	"time"
 
 	"halo/internal/benchjson"
+	"halo/internal/flowcluster"
 	"halo/internal/flowserve"
 	"halo/internal/flowwire"
 	"halo/internal/listflag"
@@ -65,8 +74,10 @@ func main() {
 		mixFlag  = flag.String("mix", "uniform,zipf", "comma-separated flow mixes (uniform, zipf)")
 		shardsFl = flag.String("shards", "1,2,4,8", "comma-separated shard counts to sweep (local mode)")
 		connsFl  = flag.String("conns", "1,2,4", "comma-separated client connection counts to sweep (remote mode)")
-		remote   = flag.String("remote", "", "flowserved address; sweep -conns against it instead of local -shards")
-		tport    = flag.String("transport", flowwire.TransportTCP, `remote transport: "tcp" (host:port), "unix" or "shm" (socket path)`)
+		remote   = flag.String("remote", "", "flowserved endpoint (tcp://host:port, unix:///path, shm:///path); sweep -conns against it instead of local -shards")
+		clusterF = flag.String("cluster", "", "comma-separated flowserved cluster endpoints; drive them through the flowcluster router")
+		migrateN = flag.Int("migrations", 1, "live range migrations to run under load per cluster sweep point")
+		tport    = flag.String("transport", flowwire.TransportTCP, `deprecated: default transport for a schemeless -remote address`)
 		ratesFl  = flag.String("rate", "0", "comma-separated offered lookups/sec per point (0 = closed loop)")
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent load-generator goroutines")
 		ops      = flag.Int64("ops", 2_000_000, "total lookups per sweep point")
@@ -94,7 +105,7 @@ func main() {
 	if *smoke {
 		*flows = 20_000
 		*ops = 400_000
-		if *remote != "" {
+		if *remote != "" || *clusterF != "" {
 			// Remote smoke pays a round trip per batch; keep CI fast.
 			*ops = 150_000
 		}
@@ -128,11 +139,29 @@ func main() {
 	if *workers < 1 || *batch < 1 || *ops < 1 || *flows < 1 {
 		fatalf("-workers, -batch, -ops and -flows must be positive")
 	}
-	if *remote != "" && shardsSet {
-		fmt.Fprintln(os.Stderr, "flowload: -shards is ignored with -remote (shard count is fixed server-side)")
+	if *remote != "" && *clusterF != "" {
+		fatalf("-remote and -cluster are mutually exclusive")
+	}
+	if (*remote != "" || *clusterF != "") && shardsSet {
+		fmt.Fprintln(os.Stderr, "flowload: -shards is ignored with -remote/-cluster (shard count is fixed server-side)")
+	}
+	var clusterEps []flowwire.Endpoint
+	if *clusterF != "" {
+		if clusterEps, err = flowwire.ParseEndpoints("cluster", *clusterF); err != nil {
+			fatalf("%v", err)
+		}
+		if *migrateN < 0 {
+			fatalf("-migrations must be >= 0")
+		}
+	}
+	var remoteEp flowwire.Endpoint
+	if *remote != "" {
+		if remoteEp, err = flowwire.ParseEndpointDefault(*remote, *tport); err != nil {
+			fatalf("-remote: %v", err)
+		}
 	}
 	if *grow {
-		if *remote != "" {
+		if *remote != "" || *clusterF != "" {
 			fatalf("-grow is local-only: it drives Table.Grow/ResizeStep directly")
 		}
 		if *growDbl < 1 {
@@ -143,15 +172,17 @@ func main() {
 		}
 	}
 	// The transport is part of the workload identity: "local" for in-process
-	// sweeps, else the wire transport. Stamping it into Config makes benchdiff
-	// refuse cross-transport comparisons (UDS vs TCP loopback are different
-	// experiments even at identical sweep settings).
+	// sweeps, else the wire transport ("cluster" for a heterogeneous node
+	// set — the endpoints stamp carries each node's transport). Stamping it
+	// into Config makes benchdiff refuse cross-transport comparisons (UDS vs
+	// TCP loopback are different experiments even at identical sweep
+	// settings).
 	transport := "local"
 	if *remote != "" {
-		transport, err = flowwire.CheckTransport(*tport)
-		if err != nil {
-			fatalf("%v", err)
-		}
+		transport = remoteEp.Transport
+	}
+	if *clusterF != "" {
+		transport = "cluster"
 	}
 
 	// Stamp the workload identity (seeds + config) into the document so
@@ -161,9 +192,12 @@ func main() {
 	mode := "local"
 	sweepList := "shards=" + *shardsFl
 	mixStamp := *mixFlag
-	if *remote != "" {
+	if *remote != "" || *clusterF != "" {
 		mode = "remote"
 		sweepList = "conns=" + *connsFl
+	}
+	if *clusterF != "" {
+		mode = "cluster"
 	}
 	if *grow {
 		mode = "grow"
@@ -215,8 +249,11 @@ func main() {
 	switch {
 	case *grow:
 		runGrowSweep(cfg, shardCounts, *growDbl, *growP99x)
+	case *clusterF != "":
+		doc.Config["migrations"] = fmt.Sprint(*migrateN)
+		runClusterSweep(cfg, clusterEps, connCounts, *migrateN)
 	case *remote != "":
-		runRemoteSweep(cfg, *remote, connCounts)
+		runRemoteSweep(cfg, remoteEp, connCounts)
 	default:
 		runLocalSweep(cfg, shardCounts)
 	}
@@ -317,8 +354,8 @@ func runLocalSweep(cfg sweepConfig, shardCounts []int) {
 // With -check it closes the ledger: every key the workers issued must appear
 // in the server's flowserve.lookups counter — a lookup dropped anywhere in
 // the pipeline (client pool, wire, coalescer, batch) breaks the equality.
-func runRemoteSweep(cfg sweepConfig, addr string, connCounts []int) {
-	setup := dialRetry(addr, flowwire.Options{Conns: 2, Transport: cfg.transport}, 10*time.Second)
+func runRemoteSweep(cfg sweepConfig, ep flowwire.Endpoint, connCounts []int) {
+	setup := dialRetry(ep, flowwire.Options{Conns: 2}, 10*time.Second)
 	defer setup.Close()
 	hello := setup.Hello()
 	if hello.KeyLen != packet.HeaderKeyLen {
@@ -327,13 +364,16 @@ func runRemoteSweep(cfg sweepConfig, addr string, connCounts []int) {
 	if hello.Capacity < uint64(cfg.flows)+uint64(cfg.flows)/8 {
 		fatalf("server capacity %d too small for %d flows", hello.Capacity, cfg.flows)
 	}
+	// The endpoint set and the server's shard-map epoch are workload
+	// identity: an artifact produced against a different topology (or after
+	// a different number of cutovers) is a different experiment, and
+	// benchdiff must refuse the comparison.
+	cfg.doc.Config["endpoints"] = ep.String()
+	cfg.doc.Config["epoch"] = fmt.Sprint(hello.Epoch)
 	fmt.Fprintf(os.Stderr, "flowload: remote %s (shards=%d capacity=%d keylen=%d)\n",
-		addr, hello.Shards, hello.Capacity, hello.KeyLen)
+		ep, hello.Shards, hello.Capacity, hello.KeyLen)
 
-	baseline, err := setup.Stats()
-	if err != nil {
-		fatalf("stats: %v", err)
-	}
+	baseline := snapCounters(setup)
 
 	var issuedTotal int64
 	var clientErrTotal uint64
@@ -342,17 +382,10 @@ func runRemoteSweep(cfg sweepConfig, addr string, connCounts []int) {
 		fillNs := install(backend{w: setup}, keys, 8)
 		for _, nc := range connCounts {
 			for _, rate := range cfg.rates {
-				cl := dialRetry(addr, flowwire.Options{Conns: nc, Transport: cfg.transport}, 10*time.Second)
-				before, err := cl.Stats()
-				if err != nil {
-					fatalf("stats: %v", err)
-				}
+				cl := dialRetry(ep, flowwire.Options{Conns: nc}, 10*time.Second)
+				before := snapCounters(cl)
 				res := runPoint(w, keys, backend{r: cl, w: cl, counters: func() map[string]uint64 {
-					after, err := cl.Stats()
-					if err != nil {
-						fatalf("stats: %v", err)
-					}
-					return counterDelta(before, after)
+					return counterDelta(before, snapCounters(cl))
 				}}, pointConfig{
 					workers: cfg.workers,
 					ops:     cfg.ops,
@@ -379,10 +412,7 @@ func runRemoteSweep(cfg sweepConfig, addr string, connCounts []int) {
 	}
 
 	if cfg.check {
-		final, err := setup.Stats()
-		if err != nil {
-			fatalf("stats: %v", err)
-		}
+		final := snapCounters(setup)
 		served := int64(final["flowserve.lookups"] - baseline["flowserve.lookups"])
 		fmt.Fprintf(os.Stderr, "check: issued %d key lookups, server served %d, client errors %d\n",
 			issuedTotal, served, clientErrTotal)
@@ -400,6 +430,180 @@ func runRemoteSweep(cfg sweepConfig, addr string, connCounts []int) {
 			fatalf("check failed: setup client transport error: %v", err)
 		}
 	}
+}
+
+// runClusterSweep drives a flowserved cluster through the flowcluster
+// router — same workers, same verification, same document schema as the
+// single-node remote sweep; the router is just another Reader/Writer. Per
+// sweep point it live-migrates `migrations` hash ranges while the workers
+// hammer the cluster, so every point exercises WRONG_SHARD redirects and at
+// least one epoch-bumped cutover. With -check it closes the cluster-wide
+// ledger: the flowserve.lookups counters summed across every node must
+// balance every key the workers issued — a lookup lost (or double-served)
+// anywhere across a cutover breaks the equality — and every migration's
+// handoff ledger must have balanced (MoveRange enforces
+// Enqueued == Sent == Acked before returning).
+func runClusterSweep(cfg sweepConfig, eps []flowwire.Endpoint, connCounts []int, migrations int) {
+	setup := dialRouterRetry(eps, flowcluster.Options{Client: flowwire.Options{Conns: 2}}, 10*time.Second)
+	defer setup.Close()
+	if setup.KeyLen() != packet.HeaderKeyLen {
+		fatalf("cluster key length %d, want %d (packet header keys)", setup.KeyLen(), packet.HeaderKeyLen)
+	}
+	// Endpoint set + epoch are workload identity, exactly as in the remote
+	// sweep; the epoch additionally records how many cutovers preceded the
+	// run.
+	cfg.doc.Config["endpoints"] = flowwire.EndpointList(eps)
+	cfg.doc.Config["epoch"] = fmt.Sprint(setup.Epoch())
+	fmt.Fprintf(os.Stderr, "flowload: cluster %s (epoch=%d keylen=%d)\n",
+		flowwire.EndpointList(eps), setup.Epoch(), setup.KeyLen())
+
+	baseline := clusterCounters(setup)
+
+	var issuedTotal int64
+	var routerErrTotal uint64
+	migsTotal := 0
+	for _, mix := range cfg.mixes {
+		w, keys := buildWorkload(mix, cfg.flows, cfg.seed)
+		fillNs := install(backend{w: setup}, keys, 8)
+		for _, nc := range connCounts {
+			for _, rate := range cfg.rates {
+				rt := dialRouterRetry(eps, flowcluster.Options{Client: flowwire.Options{Conns: nc}}, 10*time.Second)
+				before := clusterCounters(rt)
+
+				// Live migrations ride along with the point's load: a mover
+				// goroutine keeps cutting half-ranges over to the next node
+				// while the workers run.
+				stopMig := make(chan struct{})
+				movedc := make(chan int, 1)
+				go func() { movedc <- runMigrations(setup, migrations, stopMig) }()
+
+				res := runPoint(w, keys, backend{r: rt, w: rt, counters: func() map[string]uint64 {
+					return counterDelta(before, clusterCounters(rt))
+				}}, pointConfig{
+					workers: cfg.workers,
+					ops:     cfg.ops,
+					batch:   cfg.batch,
+					churn:   cfg.churn,
+					seed:    cfg.seed,
+					rate:    rate,
+				})
+				close(stopMig)
+				migsTotal += <-movedc
+
+				name := pointName(fmt.Sprintf("FlowServe/cluster/mix=%s/conns=%d", mix, nc), rate)
+				if err := rt.Err(); err != nil {
+					fatalf("%s: router transport error: %v", name, err)
+				}
+				res.clientErrors = rt.Errors()
+				routerErrTotal += res.clientErrors
+				rt.Close()
+				res.fillNsPerOp = fillNs
+				issuedTotal += res.lookups
+				emit(cfg, name, res)
+			}
+		}
+		uninstall(backend{w: setup}, keys, 8)
+	}
+
+	if cfg.check {
+		final := clusterCounters(setup)
+		served := int64(final["flowserve.lookups"] - baseline["flowserve.lookups"])
+		fmt.Fprintf(os.Stderr,
+			"check: issued %d key lookups, cluster served %d, router errors %d, live migrations %d (final epoch %d)\n",
+			issuedTotal, served, routerErrTotal, migsTotal, setup.Epoch())
+		if served != issuedTotal {
+			fatalf("check failed: cluster lookup ledger off by %d (issued %d, served %d)",
+				served-issuedTotal, issuedTotal, served)
+		}
+		if routerErrTotal != 0 {
+			fatalf("check failed: %d router errors were coerced into misses", routerErrTotal)
+		}
+		if migrations > 0 && migsTotal == 0 {
+			fatalf("check failed: no live migration completed under load")
+		}
+		if err := setup.Err(); err != nil {
+			fatalf("check failed: setup router transport error: %v", err)
+		}
+	}
+}
+
+// snapCounters fetches one server's typed stats snapshot and returns its
+// counters.
+func snapCounters(cl *flowwire.Client) map[string]uint64 {
+	snap, err := cl.StatsSnapshot()
+	if err != nil {
+		fatalf("stats: %v", err)
+	}
+	return snap.Counters
+}
+
+// clusterCounters snapshots the cluster-wide counter rollup (every node's
+// typed stats merged, plus the router's own flowcluster.* counters).
+func clusterCounters(r *flowcluster.Router) map[string]uint64 {
+	snap, err := r.StatsSnapshot()
+	if err != nil {
+		fatalf("cluster stats: %v", err)
+	}
+	return snap.Counters
+}
+
+// runMigrations keeps live-migrating ranges until count moves completed or
+// stop closes: it picks a split under the coordinator's current map, moves
+// its lower half to the next node, and lets the cluster settle briefly. A
+// failed move is fatal — MoveRange succeeding IS the zero-loss handoff
+// invariant (the ledger balanced and the cutover map installed everywhere).
+func runMigrations(coord *flowcluster.Router, count int, stop <-chan struct{}) (moved int) {
+	for moved < count {
+		select {
+		case <-stop:
+			return moved
+		default:
+		}
+		m := coord.Map()
+		var picked flowwire.Range
+		var dst int
+		found := false
+		for i := range m.Splits {
+			rg := flowwire.Range{Lo: m.Splits[i].Start}
+			if i+1 < len(m.Splits) {
+				rg.Hi = m.Splits[i+1].Start
+			}
+			var mid uint64
+			if rg.Hi == 0 {
+				mid = rg.Lo + (^uint64(0)-rg.Lo)/2
+			} else {
+				mid = rg.Lo + (rg.Hi-rg.Lo)/2
+			}
+			if mid <= rg.Lo {
+				continue
+			}
+			sub := flowwire.Range{Lo: rg.Lo, Hi: mid}
+			src, ok := m.RangeOwner(sub)
+			if !ok {
+				continue
+			}
+			picked = sub
+			dst = (src + 1) % len(m.Nodes)
+			if dst == src {
+				continue
+			}
+			found = true
+			break
+		}
+		if !found {
+			return moved
+		}
+		mi, err := coord.MoveRange(picked, dst, 30*time.Second)
+		if err != nil {
+			fatalf("live migration %s -> node %d: %v (ledger %+v)", picked, dst, err, mi)
+		}
+		fmt.Fprintf(os.Stderr,
+			"flowload: migrated %s -> node %d (snapshotted=%d forwarded=%d acked=%d conflicts=%d epoch=%d)\n",
+			picked, dst, mi.Snapshotted, mi.Forwarded, mi.Acked, mi.Conflicts, coord.Epoch())
+		moved++
+		time.Sleep(20 * time.Millisecond)
+	}
+	return moved
 }
 
 func checkLocalScaling(throughput map[string]map[int]float64, shardCounts []int) {
@@ -714,15 +918,31 @@ func counterDelta(before, after map[string]uint64) map[string]uint64 {
 
 // dialRetry dials with retries: CI starts flowserved in the background and
 // races it to the first connect, so brief refusals at startup are expected.
-func dialRetry(addr string, opts flowwire.Options, patience time.Duration) *flowwire.Client {
+func dialRetry(ep flowwire.Endpoint, opts flowwire.Options, patience time.Duration) *flowwire.Client {
 	deadline := time.Now().Add(patience)
 	for {
-		cl, err := flowwire.Dial(addr, opts)
+		cl, err := flowwire.DialEndpoint(ep, opts)
 		if err == nil {
 			return cl
 		}
 		if time.Now().After(deadline) {
-			fatalf("dial %s: %v", addr, err)
+			fatalf("dial %s: %v", ep, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// dialRouterRetry is dialRetry for the cluster router: every node must come
+// up before New succeeds.
+func dialRouterRetry(eps []flowwire.Endpoint, opts flowcluster.Options, patience time.Duration) *flowcluster.Router {
+	deadline := time.Now().Add(patience)
+	for {
+		r, err := flowcluster.New(eps, opts)
+		if err == nil {
+			return r
+		}
+		if time.Now().After(deadline) {
+			fatalf("cluster dial %s: %v", flowwire.EndpointList(eps), err)
 		}
 		time.Sleep(100 * time.Millisecond)
 	}

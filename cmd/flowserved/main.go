@@ -9,11 +9,24 @@
 //
 // Usage:
 //
-//	flowserved                                # listen on 127.0.0.1:7411
-//	flowserved -listen :7411 -shards 8        # all interfaces, 8 shards
-//	flowserved -transport unix -listen /tmp/fs.sock   # unix-domain socket
-//	flowserved -transport shm -listen /tmp/fs.sock    # shared-memory rings
-//	flowserved -entries 2000000               # bigger table
+//	flowserved                                    # listen on tcp://127.0.0.1:7411
+//	flowserved -endpoint tcp://:7411 -shards 8    # all interfaces, 8 shards
+//	flowserved -endpoint unix:///tmp/fs.sock      # unix-domain socket
+//	flowserved -endpoint shm:///tmp/fs.sock       # shared-memory rings
+//	flowserved -entries 2000000                   # bigger table
+//
+// Cluster mode makes the node one shard server of a cluster: -cluster names
+// the full bootstrap node set (endpoints, comma-separated) and -endpoint
+// must match one entry — that is this node's identity. The node then serves
+// only the hash ranges its shard map assigns it, answers keys it does not
+// own with a WRONG_SHARD redirect, and accepts live range migrations
+// (DESIGN.md §13):
+//
+//	flowserved -endpoint tcp://10.0.0.1:7411 \
+//	           -cluster tcp://10.0.0.1:7411,tcp://10.0.0.2:7411,tcp://10.0.0.3:7411
+//
+// The legacy -transport/-listen flag pair still works as a shim for the
+// endpoint form.
 //
 // On SIGTERM/SIGINT the server drains gracefully: it stops accepting
 // connections, unblocks idle readers, answers every frame already accepted,
@@ -39,8 +52,10 @@ import (
 
 func main() {
 	var (
-		listen       = flag.String("listen", "127.0.0.1:7411", `listen address: "host:port" for tcp, a socket path for unix`)
-		tport        = flag.String("transport", flowwire.TransportTCP, `transport: "tcp", "unix" or "shm"`)
+		endpoint     = flag.String("endpoint", "", `serving endpoint: tcp://host:port, unix:///path or shm:///path (wins over -transport/-listen)`)
+		cluster      = flag.String("cluster", "", "comma-separated cluster endpoint list (must include -endpoint); enables cluster mode")
+		listen       = flag.String("listen", "127.0.0.1:7411", `deprecated: listen address (use -endpoint)`)
+		tport        = flag.String("transport", flowwire.TransportTCP, `deprecated: transport for -listen (use -endpoint)`)
 		shards       = flag.Int("shards", 4, "shard count (power of two)")
 		entries      = flag.Uint64("entries", 1<<20, "total table capacity in entries")
 		keyLen       = flag.Int("keylen", packet.HeaderKeyLen, "fixed key length in bytes")
@@ -50,6 +65,23 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight work on SIGTERM")
 	)
 	flag.Parse()
+
+	// Resolve the serving endpoint: -endpoint wins; otherwise the legacy
+	// -transport/-listen pair is folded into one.
+	spec := *endpoint
+	if spec == "" {
+		spec = *listen
+	}
+	ep, err := flowwire.ParseEndpointDefault(spec, *tport)
+	if err != nil {
+		fatalf("-endpoint: %v", err)
+	}
+	var clusterEps []flowwire.Endpoint
+	if *cluster != "" {
+		if clusterEps, err = flowwire.ParseEndpoints("cluster", *cluster); err != nil {
+			fatalf("%v", err)
+		}
+	}
 
 	tbl, err := flowserve.New(flowserve.Config{
 		Shards:  *shards,
@@ -64,6 +96,8 @@ func main() {
 		Window:         *window,
 		CoalesceFrames: *coalesce,
 		IdleTimeout:    *idleTimeout,
+		Self:           ep,
+		Cluster:        clusterEps,
 	})
 	if err != nil {
 		fatalf("server: %v", err)
@@ -73,16 +107,20 @@ func main() {
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
 
 	done := make(chan error, 1)
-	go func() { done <- srv.ListenAndServeOn(*tport, *listen) }()
+	go func() { done <- srv.ListenAndServeEndpoint(ep) }()
 
-	// ListenAndServeOn binds synchronously before accepting, but we learn the
-	// address only through srv.Addr; poll briefly so the startup line carries
-	// the resolved port (useful with -listen :0).
+	// ListenAndServeEndpoint binds synchronously before accepting, but we
+	// learn the address only through srv.Addr; poll briefly so the startup
+	// line carries the resolved port (useful with -endpoint tcp://:0).
 	for i := 0; i < 100 && srv.Addr() == nil; i++ {
 		time.Sleep(time.Millisecond)
 	}
-	fmt.Fprintf(os.Stderr, "flowserved: serving on %s!%s (shards=%d entries=%d keylen=%d)\n",
-		*tport, srv.Addr(), tbl.Shards(), tbl.Capacity(), tbl.KeyLen())
+	mode := ""
+	if len(clusterEps) > 0 {
+		mode = fmt.Sprintf(" cluster=%d-node", len(clusterEps))
+	}
+	fmt.Fprintf(os.Stderr, "flowserved: serving on %s://%s (shards=%d entries=%d keylen=%d%s)\n",
+		ep.Transport, srv.Addr(), tbl.Shards(), tbl.Capacity(), tbl.KeyLen(), mode)
 
 	select {
 	case err := <-done:

@@ -1,0 +1,531 @@
+// Package flowcluster is cluster-scale serving: a router that fronts a set
+// of flowserved nodes behind the same flowserve.Reader/Writer surface a
+// single *flowwire.Client (or an in-process *flowserve.Table) presents, so
+// cmd/flowload drives one node or a whole cluster through one code path.
+//
+// Routing is per-key via a versioned shard map (hash-range → node,
+// flowwire.ShardMap) learned from the nodes at dial time. LookupMany groups
+// a batch's keys by owning node and issues the per-node sub-batches
+// concurrently over the pooled per-node clients; mutations route to the
+// range owner. When a node answers WRONG_SHARD — its map is newer than the
+// router's, i.e. a live migration cut over — the router refetches the map
+// from that node and re-routes the rejected keys, so a migration in flight
+// costs redirected-and-retried requests, never lost or duplicated ones
+// (DESIGN.md §13).
+//
+// The router doubles as the migration coordinator: MoveRange drives the
+// losing node's snapshot+double-write engine, waits for the ledger to
+// balance, and performs the epoch-bumped map push that is the cutover.
+package flowcluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"halo/internal/flowserve"
+	"halo/internal/flowwire"
+	"halo/internal/stats"
+)
+
+// maxRedirects bounds WRONG_SHARD re-route rounds per operation. Each
+// round refreshes the map from the rejecting node, so two is already
+// enough for any single cutover; the bound only guards against a
+// misconfigured cluster disagreeing with itself.
+const maxRedirects = 4
+
+// Options parametrises New. The zero value works.
+type Options struct {
+	// Client is the per-node client configuration (pool size, timeouts).
+	// Client.Transport is ignored: each node's endpoint carries its own.
+	Client flowwire.Options
+}
+
+// routerCounters make routing behavior observable under flowcluster.*:
+// redirects and refreshes quantify a migration's cost, errors feed
+// flowload's -check gate exactly like flowwire.client.errors does.
+type routerCounters struct {
+	redirects  atomic.Uint64 // WRONG_SHARD replies followed
+	refreshes  atomic.Uint64 // shard-map refetches
+	errors     atomic.Uint64 // operations coerced to miss/false by failure
+	batches    atomic.Uint64 // LookupMany calls
+	subBatches atomic.Uint64 // per-node sub-batches issued
+	exhausted  atomic.Uint64 // operations that ran out of redirect rounds
+}
+
+// Router is a cluster-aware remote table: flowserve.Reader and
+// flowserve.Writer over a set of flowserved nodes. Safe for concurrent use.
+type Router struct {
+	opts   Options
+	keyLen int
+
+	m atomic.Pointer[flowwire.ShardMap]
+
+	mu      sync.Mutex // guards clients and map refresh/install
+	clients map[string]*flowwire.Client
+
+	closed atomic.Bool
+	c      routerCounters
+}
+
+var (
+	_ flowserve.Reader = (*Router)(nil)
+	_ flowserve.Writer = (*Router)(nil)
+)
+
+// New dials every endpoint, checks the nodes agree on key length, and
+// adopts the highest-epoch shard map any of them reports. The endpoint
+// list may be heterogeneous (tcp next to unix next to shm) — each node's
+// endpoint carries its own transport.
+func New(eps []flowwire.Endpoint, opts Options) (*Router, error) {
+	if len(eps) == 0 {
+		return nil, errors.New("flowcluster: no endpoints")
+	}
+	r := &Router{opts: opts, clients: make(map[string]*flowwire.Client, len(eps))}
+	var best *flowwire.ShardMap
+	for _, ep := range eps {
+		cl, err := r.client(ep)
+		if err != nil {
+			r.Close()
+			return nil, err
+		}
+		if r.keyLen == 0 {
+			r.keyLen = cl.KeyLen()
+		} else if cl.KeyLen() != r.keyLen {
+			r.Close()
+			return nil, fmt.Errorf("flowcluster: %s serves %d-byte keys, %s %d-byte", eps[0], r.keyLen, ep, cl.KeyLen())
+		}
+		m, err := cl.FetchShardMap()
+		if err != nil {
+			r.Close()
+			return nil, fmt.Errorf("flowcluster: fetch shard map from %s: %w", ep, err)
+		}
+		if m != nil && (best == nil || m.Epoch > best.Epoch) {
+			best = m
+		}
+	}
+	if best == nil {
+		r.Close()
+		return nil, errors.New("flowcluster: no node reports a shard map (not a cluster?)")
+	}
+	r.m.Store(best)
+	return r, nil
+}
+
+// Map returns the router's current shard map.
+func (r *Router) Map() *flowwire.ShardMap { return r.m.Load() }
+
+// Epoch returns the current map epoch — benchmark documents stamp it into
+// their workload identity.
+func (r *Router) Epoch() uint64 { return r.m.Load().Epoch }
+
+// KeyLen returns the cluster's fixed key length.
+func (r *Router) KeyLen() int { return r.keyLen }
+
+// client returns (dialing on demand) the pooled client for ep. Nodes that
+// join via a pushed map are dialed the first time a key routes to them.
+func (r *Router) client(ep flowwire.Endpoint) (*flowwire.Client, error) {
+	key := ep.String()
+	r.mu.Lock()
+	cl := r.clients[key]
+	r.mu.Unlock()
+	if cl != nil {
+		return cl, nil
+	}
+	ncl, err := flowwire.DialEndpoint(ep, r.opts.Client)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if cl = r.clients[key]; cl != nil { // lost the dial race
+		r.mu.Unlock()
+		ncl.Close()
+		return cl, nil
+	}
+	r.clients[key] = ncl
+	r.mu.Unlock()
+	return ncl, nil
+}
+
+// refreshFrom refetches the shard map from the node that just rejected a
+// request and installs it if newer. The rejecting node is the right source:
+// on a cutover it is the one guaranteed to already hold the bumped map.
+func (r *Router) refreshFrom(cl *flowwire.Client) {
+	r.c.refreshes.Add(1)
+	m, err := cl.FetchShardMap()
+	if err != nil || m == nil {
+		return
+	}
+	r.install(m)
+}
+
+// install adopts m if it is newer than the current map.
+func (r *Router) install(m *flowwire.ShardMap) {
+	r.mu.Lock()
+	if cur := r.m.Load(); cur == nil || m.Epoch > cur.Epoch {
+		r.m.Store(m)
+	}
+	r.mu.Unlock()
+}
+
+// Err returns the first sticky transport failure of any per-node client.
+func (r *Router) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, cl := range r.clients {
+		if err := cl.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close tears down every per-node client.
+func (r *Router) Close() error {
+	r.closed.Store(true)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, cl := range r.clients {
+		cl.Close()
+	}
+	return nil
+}
+
+// CollectInto publishes the router's own counters (flowcluster.*) plus each
+// per-node client's counters (flowwire.client.*, summed).
+func (r *Router) CollectInto(snap *stats.Snapshot) {
+	snap.Add("flowcluster.redirects", r.c.redirects.Load())
+	snap.Add("flowcluster.map_refreshes", r.c.refreshes.Load())
+	snap.Add("flowcluster.errors", r.c.errors.Load())
+	snap.Add("flowcluster.batches", r.c.batches.Load())
+	snap.Add("flowcluster.subbatches", r.c.subBatches.Load())
+	snap.Add("flowcluster.redirects_exhausted", r.c.exhausted.Load())
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, cl := range r.clients {
+		cl.CollectInto(snap)
+	}
+}
+
+// Errors returns the router-level error count (flowload's -check gate).
+func (r *Router) Errors() uint64 { return r.c.errors.Load() }
+
+// StatsSnapshot aggregates every node's typed stats plus the router's own
+// counters into one cluster rollup — per-node and cluster-level aggregation
+// share the stats.Snapshot.Merge code path.
+func (r *Router) StatsSnapshot() (*stats.Snapshot, error) {
+	rollup := stats.NewSnapshot()
+	m := r.m.Load()
+	for _, ep := range m.Nodes {
+		cl, err := r.client(ep)
+		if err != nil {
+			return nil, err
+		}
+		snap, err := cl.StatsSnapshot()
+		if err != nil {
+			return nil, fmt.Errorf("flowcluster: stats from %s: %w", ep, err)
+		}
+		rollup.Merge(snap)
+	}
+	r.CollectInto(rollup)
+	return rollup, nil
+}
+
+// route resolves key's owning node under the current map.
+func (r *Router) route(key []byte) (*flowwire.Client, error) {
+	m := r.m.Load()
+	owner := m.OwnerOfKey(key)
+	return r.client(m.Nodes[owner])
+}
+
+// Lookup implements flowserve.Reader, following WRONG_SHARD redirects.
+func (r *Router) Lookup(key []byte) (uint64, bool) {
+	if len(key) != r.keyLen {
+		return 0, false
+	}
+	for round := 0; round <= maxRedirects; round++ {
+		cl, err := r.route(key)
+		if err != nil {
+			r.c.errors.Add(1)
+			return 0, false
+		}
+		v, ok, err := cl.LookupE(key)
+		if err == nil {
+			return v, ok
+		}
+		var ws *flowwire.WrongShardError
+		if errors.As(err, &ws) {
+			r.c.redirects.Add(1)
+			r.refreshFrom(cl)
+			continue
+		}
+		r.c.errors.Add(1)
+		return 0, false
+	}
+	r.c.exhausted.Add(1)
+	r.c.errors.Add(1)
+	return 0, false
+}
+
+// LookupMany implements flowserve.Reader: keys are grouped by owning node
+// under the current map, the per-node sub-batches issued concurrently, and
+// any WRONG_SHARD-rejected sub-batch re-grouped under the refreshed map and
+// retried. Failed keys (transport errors, redirect rounds exhausted) are
+// misses, counted in flowcluster.errors.
+func (r *Router) LookupMany(keys [][]byte, results []flowserve.Result) int {
+	n := len(keys)
+	_ = results[:n]
+	r.c.batches.Add(1)
+	pending := make([]int, 0, n)
+	for i := range keys {
+		results[i] = flowserve.Result{}
+		if len(keys[i]) == r.keyLen {
+			pending = append(pending, i)
+		}
+	}
+	for round := 0; round <= maxRedirects && len(pending) > 0; round++ {
+		pending = r.lookupRound(keys, results, pending)
+	}
+	if len(pending) > 0 {
+		r.c.exhausted.Add(1)
+		r.c.errors.Add(uint64(len(pending)))
+	}
+	hits := 0
+	for i := range results[:n] {
+		if results[i].OK {
+			hits++
+		}
+	}
+	return hits
+}
+
+// lookupRound issues one routing round for the pending key indexes and
+// returns the indexes that need re-routing (WRONG_SHARD) under the map the
+// round refreshed.
+func (r *Router) lookupRound(keys [][]byte, results []flowserve.Result, pending []int) (retry []int) {
+	m := r.m.Load()
+	groups := make(map[int][]int)
+	for _, i := range pending {
+		owner := m.OwnerOfKey(keys[i])
+		groups[owner] = append(groups[owner], i)
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for owner, idxs := range groups {
+		r.c.subBatches.Add(1)
+		wg.Add(1)
+		go func(owner int, idxs []int) {
+			defer wg.Done()
+			cl, err := r.client(m.Nodes[owner])
+			if err != nil {
+				r.c.errors.Add(uint64(len(idxs)))
+				return
+			}
+			sub := make([][]byte, len(idxs))
+			for j, i := range idxs {
+				sub[j] = keys[i]
+			}
+			res := make([]flowserve.Result, len(idxs))
+			_, err = cl.LookupManyE(sub, res)
+			if err == nil {
+				for j, i := range idxs {
+					results[i] = res[j]
+				}
+				return
+			}
+			var ws *flowwire.WrongShardError
+			if errors.As(err, &ws) {
+				r.c.redirects.Add(1)
+				r.refreshFrom(cl)
+				mu.Lock()
+				retry = append(retry, idxs...)
+				mu.Unlock()
+				return
+			}
+			r.c.errors.Add(uint64(len(idxs)))
+		}(owner, idxs)
+	}
+	wg.Wait()
+	return retry
+}
+
+// Insert implements flowserve.Writer, routing to the range owner and
+// following redirects. Table-semantics errors pass through untyped-free
+// (flowserve.ErrKeyExists etc.), exactly as a single Client's would.
+func (r *Router) Insert(key []byte, value uint64) error {
+	if len(key) != r.keyLen {
+		return flowserve.ErrKeyLen
+	}
+	for round := 0; round <= maxRedirects; round++ {
+		cl, err := r.route(key)
+		if err != nil {
+			return err
+		}
+		err = cl.Insert(key, value)
+		var ws *flowwire.WrongShardError
+		if errors.As(err, &ws) {
+			r.c.redirects.Add(1)
+			r.refreshFrom(cl)
+			continue
+		}
+		return err
+	}
+	r.c.exhausted.Add(1)
+	return fmt.Errorf("flowcluster: insert redirected more than %d times", maxRedirects)
+}
+
+// Update implements flowserve.Writer; false on absent key or failure
+// (failures counted in flowcluster.errors).
+func (r *Router) Update(key []byte, value uint64) bool {
+	if len(key) != r.keyLen {
+		return false
+	}
+	for round := 0; round <= maxRedirects; round++ {
+		cl, err := r.route(key)
+		if err != nil {
+			r.c.errors.Add(1)
+			return false
+		}
+		found, err := cl.UpdateE(key, value)
+		if err == nil {
+			return found
+		}
+		var ws *flowwire.WrongShardError
+		if errors.As(err, &ws) {
+			r.c.redirects.Add(1)
+			r.refreshFrom(cl)
+			continue
+		}
+		r.c.errors.Add(1)
+		return false
+	}
+	r.c.exhausted.Add(1)
+	r.c.errors.Add(1)
+	return false
+}
+
+// Delete implements flowserve.Writer; false on absent key or failure
+// (failures counted in flowcluster.errors).
+func (r *Router) Delete(key []byte) bool {
+	if len(key) != r.keyLen {
+		return false
+	}
+	for round := 0; round <= maxRedirects; round++ {
+		cl, err := r.route(key)
+		if err != nil {
+			r.c.errors.Add(1)
+			return false
+		}
+		found, err := cl.DeleteE(key)
+		if err == nil {
+			return found
+		}
+		var ws *flowwire.WrongShardError
+		if errors.As(err, &ws) {
+			r.c.redirects.Add(1)
+			r.refreshFrom(cl)
+			continue
+		}
+		r.c.errors.Add(1)
+		return false
+	}
+	r.c.exhausted.Add(1)
+	r.c.errors.Add(1)
+	return false
+}
+
+// migPollInterval paces MIG_STATUS polls while the snapshot streams.
+const migPollInterval = 5 * time.Millisecond
+
+// MoveRange live-migrates the hash range rg from its current owner to
+// dstNode (an index into the shard map's node list), driving the losing
+// node's snapshot+double-write engine and performing the epoch-bumped map
+// push that cuts over. It returns the losing node's final migration ledger;
+// on success the ledger balances (Enqueued == Sent == Acked) — the zero-loss
+// handoff invariant, the cluster analogue of the drain ledger's
+// accepted + rejected == replied.
+func (r *Router) MoveRange(rg flowwire.Range, dstNode int, timeout time.Duration) (flowwire.MigInfo, error) {
+	m := r.m.Load()
+	if dstNode < 0 || dstNode >= len(m.Nodes) {
+		return flowwire.MigInfo{}, fmt.Errorf("flowcluster: destination node %d of %d", dstNode, len(m.Nodes))
+	}
+	src, ok := m.RangeOwner(rg)
+	if !ok {
+		return flowwire.MigInfo{}, fmt.Errorf("flowcluster: range %s spans multiple owners", rg)
+	}
+	if src == dstNode {
+		return flowwire.MigInfo{}, fmt.Errorf("flowcluster: range %s already owned by node %d", rg, dstNode)
+	}
+	srcCl, err := r.client(m.Nodes[src])
+	if err != nil {
+		return flowwire.MigInfo{}, err
+	}
+	dstCl, err := r.client(m.Nodes[dstNode])
+	if err != nil {
+		return flowwire.MigInfo{}, err
+	}
+	if err := srcCl.MigrateStart(rg, m.Nodes[dstNode]); err != nil {
+		return flowwire.MigInfo{}, fmt.Errorf("flowcluster: MIG_START on node %d: %w", src, err)
+	}
+
+	// Wait for the snapshot to finish streaming and the queue to go quiet.
+	deadline := time.Now().Add(timeout)
+	for {
+		mi, err := srcCl.MigrateStatus()
+		if err != nil {
+			return mi, fmt.Errorf("flowcluster: MIG_STATUS on node %d: %w", src, err)
+		}
+		if mi.Err != "" {
+			return mi, fmt.Errorf("flowcluster: migration failed on node %d: %s", src, mi.Err)
+		}
+		if mi.SnapshotDone && mi.Acked == mi.Enqueued {
+			break
+		}
+		if time.Now().After(deadline) {
+			return mi, fmt.Errorf("flowcluster: migration of %s not drained after %v (enqueued %d, acked %d)",
+				rg, timeout, mi.Enqueued, mi.Acked)
+		}
+		time.Sleep(migPollInterval)
+	}
+
+	// Cutover: bump the epoch, push gaining node first (it must accept the
+	// range before anyone routes there), then the losing node — whose reply
+	// gates on the final queue drain and IS the zero-loss point — then the
+	// rest of the cluster.
+	nm := m.Clone()
+	if err := nm.Assign(rg, uint32(dstNode)); err != nil {
+		return flowwire.MigInfo{}, err
+	}
+	nm.Epoch++
+	if err := dstCl.PushShardMap(nm); err != nil {
+		return flowwire.MigInfo{}, fmt.Errorf("flowcluster: map push to gaining node %d: %w", dstNode, err)
+	}
+	if err := srcCl.PushShardMap(nm); err != nil {
+		return flowwire.MigInfo{}, fmt.Errorf("flowcluster: cutover push to losing node %d: %w", src, err)
+	}
+	for i, ep := range nm.Nodes {
+		if i == src || i == dstNode {
+			continue
+		}
+		cl, err := r.client(ep)
+		if err != nil {
+			return flowwire.MigInfo{}, err
+		}
+		if err := cl.PushShardMap(nm); err != nil {
+			return flowwire.MigInfo{}, fmt.Errorf("flowcluster: map push to node %d: %w", i, err)
+		}
+	}
+	r.install(nm)
+
+	mi, err := srcCl.MigrateStatus()
+	if err != nil {
+		return mi, err
+	}
+	if !mi.Done || mi.Enqueued != mi.Sent || mi.Sent != mi.Acked {
+		return mi, fmt.Errorf("flowcluster: ledger unbalanced after cutover: enqueued %d, sent %d, acked %d",
+			mi.Enqueued, mi.Sent, mi.Acked)
+	}
+	return mi, nil
+}

@@ -1,0 +1,540 @@
+package flowcluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"halo/internal/flowserve"
+	"halo/internal/flowwire"
+)
+
+const testKeyLen = 20
+
+func tkey(i uint64) []byte {
+	k := make([]byte, testKeyLen)
+	binary.LittleEndian.PutUint64(k, i)
+	binary.LittleEndian.PutUint64(k[8:], i*0x9e3779b97f4a7c15)
+	return k
+}
+
+// startCluster brings up n in-process cluster nodes on loopback listeners
+// and returns their endpoints plus the backing tables (the oracle can read
+// node state directly). Listeners are opened first so every node knows the
+// full endpoint set before its server starts.
+func startCluster(t testing.TB, n int) ([]flowwire.Endpoint, []*flowserve.Table) {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	eps := make([]flowwire.Endpoint, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		eps[i] = flowwire.Endpoint{Transport: flowwire.TransportTCP, Addr: ln.Addr().String()}
+	}
+	tbls := make([]*flowserve.Table, n)
+	for i := range lns {
+		tbl, err := flowserve.New(flowserve.Config{Shards: 4, Entries: 1 << 16, KeyLen: testKeyLen})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbls[i] = tbl
+		srv, err := flowwire.NewServer(flowwire.Config{Table: tbl, Self: eps[i], Cluster: eps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		serveErr := make(chan error, 1)
+		ln := lns[i]
+		go func() { serveErr <- srv.Serve(ln) }()
+		t.Cleanup(func() {
+			srv.Close()
+			if err := <-serveErr; err != nil && err != flowwire.ErrServerClosed {
+				t.Errorf("Serve: %v", err)
+			}
+		})
+	}
+	return eps, tbls
+}
+
+func dialRouter(t testing.TB, eps []flowwire.Endpoint) *Router {
+	t.Helper()
+	r, err := New(eps, Options{Client: flowwire.Options{Conns: 2}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+// splitRange returns the full range of the map's i-th split.
+func splitRange(m *flowwire.ShardMap, i int) flowwire.Range {
+	rg := flowwire.Range{Lo: m.Splits[i].Start}
+	if i+1 < len(m.Splits) {
+		rg.Hi = m.Splits[i+1].Start
+	}
+	return rg
+}
+
+func TestClusterBasic(t *testing.T) {
+	eps, tbls := startCluster(t, 3)
+	r := dialRouter(t, eps)
+
+	if r.KeyLen() != testKeyLen {
+		t.Fatalf("KeyLen = %d", r.KeyLen())
+	}
+	if r.Epoch() != 1 {
+		t.Fatalf("bootstrap epoch = %d", r.Epoch())
+	}
+
+	// Oracle: a plain map the cluster must agree with.
+	const n = 2000
+	oracle := make(map[uint64]uint64, n)
+	for i := uint64(0); i < n; i++ {
+		if err := r.Insert(tkey(i), i*3+1); err != nil {
+			t.Fatalf("Insert(%d): %v", i, err)
+		}
+		oracle[i] = i*3 + 1
+	}
+	// Keys landed spread across the nodes, not on one.
+	for i, tbl := range tbls {
+		if sz := tbl.Size(); sz == 0 || sz == n {
+			t.Fatalf("node %d holds %d of %d keys", i, sz, n)
+		}
+	}
+	// Duplicate insert surfaces the table's typed error through the router.
+	if err := r.Insert(tkey(0), 99); err != flowserve.ErrKeyExists {
+		t.Fatalf("duplicate insert = %v", err)
+	}
+
+	// Point lookups, updates, deletes.
+	for i := uint64(0); i < n; i += 7 {
+		if !r.Update(tkey(i), i+100) {
+			t.Fatalf("Update(%d) = false", i)
+		}
+		oracle[i] = i + 100
+	}
+	for i := uint64(0); i < n; i += 13 {
+		if !r.Delete(tkey(i)) {
+			t.Fatalf("Delete(%d) = false", i)
+		}
+		delete(oracle, i)
+	}
+	for i := uint64(0); i < n; i++ {
+		v, ok := r.Lookup(tkey(i))
+		want, wantOK := oracle[i]
+		if ok != wantOK || v != want {
+			t.Fatalf("Lookup(%d) = %d,%v want %d,%v", i, v, ok, want, wantOK)
+		}
+	}
+
+	// Batched lookups, including misses and a bad-length key.
+	keys := make([][]byte, 0, 512)
+	for i := uint64(0); i < 510; i++ {
+		keys = append(keys, tkey(i))
+	}
+	keys = append(keys, tkey(1<<40)) // never inserted
+	keys = append(keys, []byte{1})   // wrong length
+	results := make([]flowserve.Result, len(keys))
+	hits := r.LookupMany(keys, results)
+	wantHits := 0
+	for i := uint64(0); i < 510; i++ {
+		want, wantOK := oracle[i]
+		if results[i].OK != wantOK || results[i].Value != want {
+			t.Fatalf("LookupMany[%d] = %+v want %d,%v", i, results[i], want, wantOK)
+		}
+		if wantOK {
+			wantHits++
+		}
+	}
+	if hits != wantHits || results[510].OK || results[511].OK {
+		t.Fatalf("hits = %d want %d; tail = %+v %+v", hits, wantHits, results[510], results[511])
+	}
+
+	if errs := r.Errors(); errs != 0 {
+		t.Fatalf("router errors = %d", errs)
+	}
+
+	// Cluster stats rollup sees every node's serving counters.
+	snap, err := r.StatsSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["flowwire.frames.accepted"] == 0 {
+		t.Fatalf("rollup missing server counters: %v", snap.Names())
+	}
+	if _, ok := snap.Counters["flowcluster.batches"]; !ok {
+		t.Fatal("rollup missing router counters")
+	}
+}
+
+func TestClusterMigrationUnderLoad(t *testing.T) {
+	eps, tbls := startCluster(t, 3)
+	r := dialRouter(t, eps)
+
+	const n = 4000
+	for i := uint64(0); i < n; i++ {
+		if err := r.Insert(tkey(i), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Hammer the cluster from a second router while the range moves: the
+	// writer keeps updating every key to a generation-stamped value, the
+	// reader checks batches. A stale-map router is exactly the client a
+	// live migration must not lose requests from.
+	loadR := dialRouter(t, eps)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var gens [n]uint64 // gens[i] = last value the writer wrote for key i
+	var genMu sync.Mutex
+	wg.Add(2)
+	go func() { // writer
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(1))
+		for gen := uint64(1); ; gen++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			i := rng.Uint64() % n
+			v := gen<<32 | i
+			if !loadR.Update(tkey(i), v) {
+				// A miss here is a real loss: the key was inserted and
+				// never deleted.
+				select {
+				case <-stop:
+				default:
+					panic(fmt.Sprintf("Update(%d) lost mid-migration", i))
+				}
+				return
+			}
+			genMu.Lock()
+			gens[i] = v
+			genMu.Unlock()
+		}
+	}()
+	go func() { // batched reader
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(2))
+		keys := make([][]byte, 64)
+		results := make([]flowserve.Result, 64)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for j := range keys {
+				keys[j] = tkey(rng.Uint64() % n)
+			}
+			loadR.LookupMany(keys, results)
+			for j := range results {
+				if !results[j].OK {
+					panic(fmt.Sprintf("LookupMany lost key %x mid-migration", keys[j]))
+				}
+			}
+		}
+	}()
+
+	// Move node 0's whole range to node 1, then a sub-range of node 2's to
+	// node 0 — two cutovers under load.
+	m := r.Map()
+	rg0 := splitRange(m, 0)
+	mi, err := r.MoveRange(rg0, 1, 10*time.Second)
+	if err != nil {
+		t.Fatalf("MoveRange 1: %v (ledger %+v)", err, mi)
+	}
+	if !mi.Done || mi.Enqueued != mi.Sent || mi.Sent != mi.Acked || mi.Snapshotted == 0 {
+		t.Fatalf("ledger after move 1: %+v", mi)
+	}
+	if r.Epoch() != 2 {
+		t.Fatalf("epoch after move 1 = %d", r.Epoch())
+	}
+
+	m = r.Map()
+	for i := range m.Splits {
+		rg := splitRange(m, i)
+		if own, ok := m.RangeOwner(rg); ok && own == 2 {
+			// Halve it so node 2 keeps some keys.
+			mid := rg.Lo + (rg.Hi-rg.Lo)/2
+			if rg.Hi == 0 {
+				mid = rg.Lo + (^uint64(0)-rg.Lo)/2
+			}
+			sub := flowwire.Range{Lo: rg.Lo, Hi: mid}
+			mi, err = r.MoveRange(sub, 0, 10*time.Second)
+			if err != nil {
+				t.Fatalf("MoveRange 2: %v (ledger %+v)", err, mi)
+			}
+			break
+		}
+	}
+	if r.Epoch() != 3 {
+		t.Fatalf("epoch after move 2 = %d", r.Epoch())
+	}
+
+	close(stop)
+	wg.Wait()
+
+	// Node 0 surrendered its whole original range but gained half of node
+	// 2's; node 0's table must hold only keys it now owns, and the losing
+	// node purged the moved range.
+	nm := r.Map()
+	for ni, tbl := range tbls {
+		tbl.ScanRange(0, 0, func(key []byte, _ uint64) {
+			if own := nm.OwnerOfKey(key); own != ni {
+				t.Errorf("node %d still holds key %x owned by node %d", ni, key, own)
+			}
+		})
+	}
+
+	// Every key is still present exactly once with the last written value
+	// (or its insert value if the writer never touched it).
+	genMu.Lock()
+	defer genMu.Unlock()
+	for i := uint64(0); i < n; i++ {
+		v, ok := r.Lookup(tkey(i))
+		if !ok {
+			t.Fatalf("key %d lost after migrations", i)
+		}
+		want := gens[i]
+		if want == 0 {
+			want = i
+		}
+		if v != want {
+			t.Fatalf("key %d = %#x, want %#x", i, v, want)
+		}
+	}
+	if errs := loadR.Errors(); errs != 0 {
+		t.Fatalf("load router errors = %d", errs)
+	}
+	if errs := r.Errors(); errs != 0 {
+		t.Fatalf("coordinator router errors = %d", errs)
+	}
+}
+
+// TestClusterPropertyVsOracle runs randomized concurrent workers — each
+// owning a disjoint key partition with a local model map — against the
+// cluster while the main goroutine keeps moving ranges between nodes. Every
+// worker verifies every operation's result against its model as it goes
+// (per-partition ordering makes the model exact without cross-worker
+// coordination), then does a final full sweep. Run under -race in CI with a
+// migration permanently in flight.
+func TestClusterPropertyVsOracle(t *testing.T) {
+	eps, _ := startCluster(t, 3)
+	r := dialRouter(t, eps)
+
+	const (
+		workers      = 4
+		keysPerPart  = 512
+		opsPerWorker = 3000
+	)
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wr := dialRouter(t, eps)
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			model := make(map[uint64]uint64, keysPerPart)
+			base := uint64(w) * keysPerPart
+			fail := func(format string, args ...any) {
+				errc <- fmt.Errorf("worker %d: %s", w, fmt.Sprintf(format, args...))
+			}
+			for op := 0; op < opsPerWorker; op++ {
+				i := base + rng.Uint64()%keysPerPart
+				key := tkey(i)
+				switch rng.Intn(10) {
+				case 0, 1: // insert
+					err := wr.Insert(key, uint64(op)<<16|i)
+					if _, exists := model[i]; exists {
+						if err != flowserve.ErrKeyExists {
+							fail("Insert(%d) on existing = %v", i, err)
+							return
+						}
+					} else if err != nil {
+						fail("Insert(%d) = %v", i, err)
+						return
+					} else {
+						model[i] = uint64(op)<<16 | i
+					}
+				case 2, 3: // update
+					found := wr.Update(key, uint64(op)<<16|i)
+					if _, exists := model[i]; found != exists {
+						fail("Update(%d) = %v, model says %v", i, found, exists)
+						return
+					}
+					if found {
+						model[i] = uint64(op)<<16 | i
+					}
+				case 4: // delete
+					found := wr.Delete(key)
+					if _, exists := model[i]; found != exists {
+						fail("Delete(%d) = %v, model says %v", i, found, exists)
+						return
+					}
+					delete(model, i)
+				case 5, 6, 7: // point lookup
+					v, ok := wr.Lookup(key)
+					want, wantOK := model[i]
+					if ok != wantOK || v != want {
+						fail("Lookup(%d) = %d,%v want %d,%v", i, v, ok, want, wantOK)
+						return
+					}
+				default: // batch lookup of 16 partition keys
+					keys := make([][]byte, 16)
+					idx := make([]uint64, 16)
+					for j := range keys {
+						idx[j] = base + rng.Uint64()%keysPerPart
+						keys[j] = tkey(idx[j])
+					}
+					results := make([]flowserve.Result, 16)
+					wr.LookupMany(keys, results)
+					for j := range results {
+						want, wantOK := model[idx[j]]
+						if results[j].OK != wantOK || results[j].Value != want {
+							fail("LookupMany(%d) = %+v want %d,%v", idx[j], results[j], want, wantOK)
+							return
+						}
+					}
+				}
+			}
+			// Final sweep: the whole partition matches the model.
+			for i := base; i < base+keysPerPart; i++ {
+				v, ok := wr.Lookup(tkey(i))
+				want, wantOK := model[i]
+				if ok != wantOK || v != want {
+					fail("final Lookup(%d) = %d,%v want %d,%v", i, v, ok, want, wantOK)
+					return
+				}
+			}
+			if errs := wr.Errors(); errs != 0 {
+				fail("router errors = %d", errs)
+			}
+		}(w)
+	}
+
+	// Keep cutting ranges over while the workers run: pick a split, move
+	// half of it to a different node. Every move bumps the epoch, so every
+	// worker keeps getting redirected off its stale map.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	rng := rand.New(rand.NewSource(7))
+	moves := 0
+mover:
+	for {
+		select {
+		case <-done:
+			break mover
+		default:
+		}
+		m := r.Map()
+		i := rng.Intn(len(m.Splits))
+		rg := splitRange(m, i)
+		var mid uint64
+		if rg.Hi == 0 {
+			mid = rg.Lo + (^uint64(0)-rg.Lo)/2
+		} else {
+			mid = rg.Lo + (rg.Hi-rg.Lo)/2
+		}
+		if mid <= rg.Lo {
+			continue
+		}
+		sub := flowwire.Range{Lo: rg.Lo, Hi: mid}
+		src, ok := m.RangeOwner(sub)
+		if !ok {
+			continue
+		}
+		dst := (src + 1 + rng.Intn(2)) % 3
+		if dst == src {
+			continue
+		}
+		if _, err := r.MoveRange(sub, dst, 10*time.Second); err != nil {
+			t.Errorf("MoveRange %s -> %d: %v", sub, dst, err)
+			break
+		}
+		moves++
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if moves == 0 {
+		t.Error("no migrations completed during property run")
+	}
+	t.Logf("property run survived %d migrations, final epoch %d", moves, r.Epoch())
+}
+
+// TestWrongShardDirect drives a raw single-node client at a cluster node and
+// checks the typed WRONG_SHARD redirect surfaces with the server's epoch —
+// the contract the router's redirect loop is built on.
+func TestWrongShardDirect(t *testing.T) {
+	eps, _ := startCluster(t, 3)
+	r := dialRouter(t, eps)
+	m := r.Map()
+
+	// Find a key owned by node 1, then ask node 0 for it directly.
+	var key []byte
+	for i := uint64(0); ; i++ {
+		if m.OwnerOfKey(tkey(i)) == 1 {
+			key = tkey(i)
+			break
+		}
+	}
+	if err := r.Insert(key, 77); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := flowwire.DialEndpoint(eps[0], flowwire.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	_, _, err = cl.LookupE(key)
+	var ws *flowwire.WrongShardError
+	if !asWrongShard(err, &ws) || ws.Epoch != m.Epoch {
+		t.Fatalf("LookupE at wrong node = %v, want WrongShardError epoch %d", err, m.Epoch)
+	}
+	if _, err := cl.UpdateE(key, 1); !asWrongShard(err, &ws) {
+		t.Fatalf("UpdateE at wrong node = %v", err)
+	}
+	if _, err := cl.DeleteE(key); !asWrongShard(err, &ws) {
+		t.Fatalf("DeleteE at wrong node = %v", err)
+	}
+	if err := cl.Insert(key, 1); !asWrongShard(err, &ws) {
+		t.Fatalf("Insert at wrong node = %v", err)
+	}
+	// The untyped Lookup coerces the redirect to a miss without wedging the
+	// connection.
+	if _, ok := cl.Lookup(key); ok {
+		t.Fatal("untyped Lookup at wrong node = hit")
+	}
+	if err := cl.Err(); err != nil {
+		t.Fatalf("connection wedged: %v", err)
+	}
+
+	// HELLO advertises the cluster identity.
+	h := cl.Hello()
+	if h.Epoch != m.Epoch || h.NodeID != 0 {
+		t.Fatalf("HELLO = %+v, want epoch %d node 0", h, m.Epoch)
+	}
+}
+
+func asWrongShard(err error, ws **flowwire.WrongShardError) bool {
+	if err == nil {
+		return false
+	}
+	e, ok := err.(*flowwire.WrongShardError)
+	if ok {
+		*ws = e
+	}
+	return ok
+}

@@ -1,0 +1,93 @@
+package flowserve
+
+import "halo/internal/hashfn"
+
+// ScanRange visits every resident key whose primary hash falls in [lo, hi)
+// — hi == 0 meaning "to the end of the 64-bit hash space" — calling
+// emit(key, value) for each. Each shard is scanned atomically under its
+// writer mutex: concurrent lookups are unaffected (they are seqlock-based
+// and never take the mutex on the optimistic path), while writers to the
+// shard being scanned stall for that shard's scan only. The migration
+// snapshot leans on this atomicity: any mutation racing the scan either
+// lands before it (and is captured by the scan) or after it (and is
+// captured by the double-write forwarder that was armed first).
+//
+// The key slice passed to emit is scratch reused across calls — the
+// callback must copy it to retain it, and must not call back into the
+// table (the shard mutex is held).
+func (t *Table) ScanRange(lo, hi uint64, emit func(key []byte, value uint64)) {
+	var kw [maxKeyWords]uint64
+	var kb [MaxKeyLen]byte
+	for _, sh := range t.shards {
+		sh.mu.Lock()
+		rp := sh.regions.Load()
+		for _, r := range [2]*region{rp.old, rp.cur} {
+			if r == nil {
+				continue
+			}
+			for i := range r.entries {
+				ent := r.entries[i].Load()
+				if ent == 0 {
+					continue
+				}
+				slot := uint32(ent >> 16)
+				base := int(slot) * sh.kvStride
+				for w := 0; w < sh.kvStride-1; w++ {
+					kw[w] = r.kv[base+w].Load()
+				}
+				key := wordsToKey(&kw, sh.keyLen, &kb)
+				h := hashfn.Hash(hashfn.SeedPrimary, key)
+				if h < lo || (hi != 0 && h >= hi) {
+					continue
+				}
+				emit(key, r.kv[base+sh.kvStride-1].Load())
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// PurgeRange removes every resident key whose primary hash falls in
+// [lo, hi) (hi == 0 meaning "to the end"), returning how many were
+// removed. The losing node of a shard migration calls it after cutover:
+// the surrendered range's keys now live on the gaining node, and the
+// installed map guarantees no new ones arrive here. Each shard purges
+// atomically under its writer mutex, bumping the seqlock per cleared
+// entry so racing readers re-probe instead of observing recycled slots.
+func (t *Table) PurgeRange(lo, hi uint64) (removed uint64) {
+	var kw [maxKeyWords]uint64
+	var kb [MaxKeyLen]byte
+	for _, sh := range t.shards {
+		sh.mu.Lock()
+		rp := sh.regions.Load()
+		for _, r := range [2]*region{rp.old, rp.cur} {
+			if r == nil {
+				continue
+			}
+			for i := range r.entries {
+				ent := r.entries[i].Load()
+				if ent == 0 {
+					continue
+				}
+				slot := uint32(ent >> 16)
+				base := int(slot) * sh.kvStride
+				for w := 0; w < sh.kvStride-1; w++ {
+					kw[w] = r.kv[base+w].Load()
+				}
+				key := wordsToKey(&kw, sh.keyLen, &kb)
+				h := hashfn.Hash(hashfn.SeedPrimary, key)
+				if h < lo || (hi != 0 && h >= hi) {
+					continue
+				}
+				sh.beginWrite()
+				r.entries[i].Store(0)
+				sh.endWrite()
+				r.free = append(r.free, slot)
+				sh.size.Add(^uint64(0))
+				removed++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return removed
+}

@@ -36,6 +36,11 @@ type Options struct {
 	// or TransportUnix / TransportShm, in which case the address is a
 	// filesystem path. The protocol and every client behavior are
 	// transport-independent.
+	//
+	// Deprecated: dial a parsed Endpoint with DialEndpoint instead, which
+	// carries the transport and address in one value. This field is kept as
+	// a shim for split (transport, addr) callers and is ignored by
+	// DialEndpoint.
 	Transport string
 	// Conns is the connection-pool size (default 1). Calls round-robin
 	// across the pool; concurrent calls on one connection pipeline —
@@ -94,6 +99,7 @@ type clientCounters struct {
 // counted (Counters, CollectInto), so callers can gate on the delta.
 type Client struct {
 	opts  Options
+	ep    Endpoint
 	hello HelloInfo
 	conns []*cliConn
 	rr    atomic.Uint64 // round-robin cursor
@@ -172,9 +178,27 @@ type cliConn struct {
 // Dial connects a pool of opts.Conns connections to a flowserved at addr
 // (over opts.Transport) and performs the HELLO handshake to learn the
 // table geometry.
+//
+// Deprecated: new callers should parse a flowwire.Endpoint and use
+// DialEndpoint; this split (Options.Transport, addr) form is kept as a
+// shim for existing call sites.
 func Dial(addr string, opts Options) (*Client, error) {
+	ep, err := ParseEndpointDefault(addr, opts.Transport)
+	if err != nil {
+		return nil, err
+	}
+	return DialEndpoint(ep, opts)
+}
+
+// DialEndpoint connects a pool of opts.Conns connections to the flowserved
+// at ep (whose transport overrides Options.Transport) and performs the
+// HELLO handshake to learn the table geometry — and, on a cluster node, the
+// node's shard-map epoch and identity.
+func DialEndpoint(ep Endpoint, opts Options) (*Client, error) {
+	opts.Transport = ep.Transport
+	addr := ep.Addr
 	opts.applyDefaults()
-	cl := &Client{opts: opts}
+	cl := &Client{opts: opts, ep: ep}
 	cl.calls.New = func() any { return &pcall{ch: make(chan Frame, 1)} }
 	for i := 0; i < opts.Conns; i++ {
 		nc, err := dialTransport(opts.Transport, addr, opts.DialTimeout)
@@ -211,6 +235,9 @@ func Dial(addr string, opts Options) (*Client, error) {
 
 // Hello returns the table geometry reported at dial time.
 func (cl *Client) Hello() HelloInfo { return cl.hello }
+
+// Endpoint returns the endpoint this client dialed.
+func (cl *Client) Endpoint() Endpoint { return cl.ep }
 
 // KeyLen returns the remote table's fixed key length.
 func (cl *Client) KeyLen() int { return cl.hello.KeyLen }
@@ -435,6 +462,45 @@ func (cl *Client) call(op Op, payload []byte) (*pcall, Frame, error) {
 	}
 }
 
+// replyErr maps a non-OK reply onto the typed error vocabulary. WRONG_SHARD
+// replies carry the server's map epoch in the payload and become a
+// *WrongShardError — the redirect the cluster router follows; everything
+// else goes through Status.Err.
+func replyErr(f *Frame, op Op) error {
+	if f.Status == StatusErrWrongShard {
+		return parseWrongShard(f.Payload)
+	}
+	return f.Status.Err(op)
+}
+
+// LookupE is Lookup with the error surfaced: a WRONG_SHARD redirect, a
+// table-semantics error or a transport failure comes back typed instead of
+// being coerced into a miss. The cluster router routes and retries on it;
+// plain Reader callers use Lookup.
+func (cl *Client) LookupE(key []byte) (uint64, bool, error) {
+	if len(key) != cl.hello.KeyLen {
+		return 0, false, flowserve.ErrKeyLen
+	}
+	pc, f, err := cl.call(OpLookup, key)
+	if err != nil {
+		return 0, false, err
+	}
+	if err := replyErr(&f, OpLookup); err != nil {
+		cl.putCall(pc)
+		return 0, false, err
+	}
+	if len(f.Payload) != 9 {
+		cl.putCall(pc)
+		err := fmt.Errorf("flowwire: LOOKUP reply payload is %d bytes, want 9", len(f.Payload))
+		cl.fail(err)
+		return 0, false, err
+	}
+	value := binary.LittleEndian.Uint64(f.Payload[1:9])
+	ok := f.Payload[0] != 0
+	cl.putCall(pc)
+	return value, ok, nil
+}
+
 // Lookup implements flowserve.Reader: a blocking single-key remote lookup
 // (the wire LOOKUP op, the paper's LOOKUP_B). Wrong-length keys are misses;
 // transport failures are misses too, and are counted in
@@ -443,25 +509,21 @@ func (cl *Client) Lookup(key []byte) (uint64, bool) {
 	if len(key) != cl.hello.KeyLen {
 		return 0, false
 	}
-	pc, f, err := cl.call(OpLookup, key)
-	if err != nil || f.Status != StatusOK || len(f.Payload) != 9 {
+	value, ok, err := cl.LookupE(key)
+	if err != nil {
 		cl.c.errors.Add(1)
-		cl.putCall(pc)
 		return 0, false
 	}
-	value := binary.LittleEndian.Uint64(f.Payload[1:9])
-	ok := f.Payload[0] != 0
-	cl.putCall(pc)
 	return value, ok
 }
 
-// LookupMany implements flowserve.Reader: all keys travel in one
-// LOOKUP_MANY frame (the paper's batched LOOKUP_NB), with wrong-length keys
-// answered locally as misses. On transport failure every result is a miss
-// and flowwire.client.errors counts the call. The request payload is built
-// in a pooled buffer and the reply parsed out of the call slot's reused
-// buffer — the steady-state batch path allocates nothing.
-func (cl *Client) LookupMany(keys [][]byte, results []flowserve.Result) int {
+// LookupManyE is LookupMany with the error surfaced. On a typed error reply
+// (WRONG_SHARD during a shard-map epoch change, a key-length mismatch) or a
+// transport failure, every result is zeroed and the error returned — the
+// caller decides whether to re-route (the cluster router) or coerce to
+// misses (LookupMany). Wrong-length keys are still answered locally as
+// misses without failing the batch.
+func (cl *Client) LookupManyE(keys [][]byte, results []flowserve.Result) (int, error) {
 	n := len(keys)
 	_ = results[:n]
 	keyLen := cl.hello.KeyLen
@@ -489,20 +551,22 @@ func (cl *Client) LookupMany(keys [][]byte, results []flowserve.Result) int {
 		for i := range keys {
 			results[i] = flowserve.Result{}
 		}
-		return 0
+		return 0, nil
 	}
 
 	req := getFrameBuf()
 	req.b = appendLookupManyReq(req.b[:0], valid, keyLen)
 	pc, f, err := cl.call(OpLookupMany, req.b)
 	putFrameBuf(req) // call copied the payload onto the wire before returning
-	if err != nil || f.Status != StatusOK {
-		cl.c.errors.Add(1)
+	if err == nil {
+		err = replyErr(&f, OpLookupMany)
+	}
+	if err != nil {
 		cl.putCall(pc)
 		for i := range keys {
 			results[i] = flowserve.Result{}
 		}
-		return 0
+		return 0, err
 	}
 	var out []flowserve.Result
 	if validIdx == nil {
@@ -513,12 +577,12 @@ func (cl *Client) LookupMany(keys [][]byte, results []flowserve.Result) int {
 	count, perr := parseLookupManyReply(f.Payload, out)
 	cl.putCall(pc)
 	if perr != nil || count != len(valid) {
-		cl.c.errors.Add(1)
-		cl.fail(fmt.Errorf("flowwire: LOOKUP_MANY reply mismatch: %d results for %d keys (%v)", count, len(valid), perr))
+		err := fmt.Errorf("flowwire: LOOKUP_MANY reply mismatch: %d results for %d keys (%v)", count, len(valid), perr)
+		cl.fail(err)
 		for i := range keys {
 			results[i] = flowserve.Result{}
 		}
-		return 0
+		return 0, err
 	}
 	hits := 0
 	if validIdx == nil {
@@ -527,13 +591,28 @@ func (cl *Client) LookupMany(keys [][]byte, results []flowserve.Result) int {
 				hits++
 			}
 		}
-		return hits
+		return hits, nil
 	}
 	for vi, r := range out {
 		results[validIdx[vi]] = r
 		if r.OK {
 			hits++
 		}
+	}
+	return hits, nil
+}
+
+// LookupMany implements flowserve.Reader: all keys travel in one
+// LOOKUP_MANY frame (the paper's batched LOOKUP_NB), with wrong-length keys
+// answered locally as misses. On any failure every result is a miss and
+// flowwire.client.errors counts the call. The request payload is built in a
+// pooled buffer and the reply parsed out of the call slot's reused buffer —
+// the steady-state batch path allocates nothing.
+func (cl *Client) LookupMany(keys [][]byte, results []flowserve.Result) int {
+	hits, err := cl.LookupManyE(keys, results)
+	if err != nil {
+		cl.c.errors.Add(1)
+		return 0
 	}
 	return hits
 }
@@ -547,7 +626,8 @@ func mutatePayload(value uint64, key []byte) []byte {
 
 // Insert implements flowserve.Writer over the wire. Table-semantics
 // failures come back as the flowserve errors (ErrKeyExists, ErrTableFull,
-// ErrKeyLen); transport failures as the underlying error.
+// ErrKeyLen); a redirect as *WrongShardError; transport failures as the
+// underlying error.
 func (cl *Client) Insert(key []byte, value uint64) error {
 	if len(key) != cl.hello.KeyLen {
 		return flowserve.ErrKeyLen
@@ -556,9 +636,34 @@ func (cl *Client) Insert(key []byte, value uint64) error {
 	if err != nil {
 		return err
 	}
-	err = f.Status.Err(OpInsert)
+	err = replyErr(&f, OpInsert)
 	cl.putCall(pc)
 	return err
+}
+
+// UpdateE is Update with the error surfaced (WRONG_SHARD redirect, transport
+// failure) so the cluster router can re-route instead of reporting a miss.
+func (cl *Client) UpdateE(key []byte, value uint64) (bool, error) {
+	if len(key) != cl.hello.KeyLen {
+		return false, flowserve.ErrKeyLen
+	}
+	pc, f, err := cl.call(OpUpdate, mutatePayload(value, key))
+	if err != nil {
+		return false, err
+	}
+	if err := replyErr(&f, OpUpdate); err != nil {
+		cl.putCall(pc)
+		return false, err
+	}
+	if len(f.Payload) != 1 {
+		cl.putCall(pc)
+		err := fmt.Errorf("flowwire: UPDATE reply payload is %d bytes, want 1", len(f.Payload))
+		cl.fail(err)
+		return false, err
+	}
+	found := f.Payload[0] != 0
+	cl.putCall(pc)
+	return found, nil
 }
 
 // Update implements flowserve.Writer; false on absent key or failure
@@ -567,15 +672,36 @@ func (cl *Client) Update(key []byte, value uint64) bool {
 	if len(key) != cl.hello.KeyLen {
 		return false
 	}
-	pc, f, err := cl.call(OpUpdate, mutatePayload(value, key))
-	if err != nil || f.Status != StatusOK || len(f.Payload) != 1 {
+	found, err := cl.UpdateE(key, value)
+	if err != nil {
 		cl.c.errors.Add(1)
-		cl.putCall(pc)
 		return false
+	}
+	return found
+}
+
+// DeleteE is Delete with the error surfaced, mirroring UpdateE.
+func (cl *Client) DeleteE(key []byte) (bool, error) {
+	if len(key) != cl.hello.KeyLen {
+		return false, flowserve.ErrKeyLen
+	}
+	pc, f, err := cl.call(OpDelete, key)
+	if err != nil {
+		return false, err
+	}
+	if err := replyErr(&f, OpDelete); err != nil {
+		cl.putCall(pc)
+		return false, err
+	}
+	if len(f.Payload) != 1 {
+		cl.putCall(pc)
+		err := fmt.Errorf("flowwire: DELETE reply payload is %d bytes, want 1", len(f.Payload))
+		cl.fail(err)
+		return false, err
 	}
 	found := f.Payload[0] != 0
 	cl.putCall(pc)
-	return found
+	return found, nil
 }
 
 // Delete implements flowserve.Writer; false on absent key or failure
@@ -584,20 +710,20 @@ func (cl *Client) Delete(key []byte) bool {
 	if len(key) != cl.hello.KeyLen {
 		return false
 	}
-	pc, f, err := cl.call(OpDelete, key)
-	if err != nil || f.Status != StatusOK || len(f.Payload) != 1 {
+	found, err := cl.DeleteE(key)
+	if err != nil {
 		cl.c.errors.Add(1)
-		cl.putCall(pc)
 		return false
 	}
-	found := f.Payload[0] != 0
-	cl.putCall(pc)
 	return found
 }
 
-// Stats fetches the server's counter snapshot (flowwire.* and flowserve.*
-// names) via the STATS op.
-func (cl *Client) Stats() (map[string]uint64, error) {
+// StatsSnapshot fetches the server's stats as a typed stats.Snapshot —
+// counters (flowwire.* and flowserve.* names) plus histograms — via the
+// STATS op. This is the primary stats surface: the cluster router merges
+// per-node snapshots into its rollup with stats.Snapshot.Merge, the same
+// code path CollectInto feeds.
+func (cl *Client) StatsSnapshot() (*stats.Snapshot, error) {
 	pc, f, err := cl.call(OpStats, nil)
 	if err != nil {
 		return nil, err
@@ -606,9 +732,116 @@ func (cl *Client) Stats() (map[string]uint64, error) {
 	if err := f.Status.Err(OpStats); err != nil {
 		return nil, err
 	}
-	counters := make(map[string]uint64)
-	if err := json.Unmarshal(f.Payload, &counters); err != nil {
+	snap := stats.NewSnapshot()
+	if err := json.Unmarshal(f.Payload, snap); err != nil {
 		return nil, fmt.Errorf("flowwire: STATS payload: %w", err)
 	}
+	return snap, nil
+}
+
+// Stats fetches the server's counter snapshot as a flat name→value map.
+//
+// Deprecated: use StatsSnapshot, which also carries histograms and merges
+// into a stats.Snapshot rollup; this map form is re-expressed on top of it.
+func (cl *Client) Stats() (map[string]uint64, error) {
+	snap, err := cl.StatsSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	counters := make(map[string]uint64, len(snap.Counters))
+	for name, v := range snap.Counters {
+		counters[name] = v
+	}
 	return counters, nil
+}
+
+// FetchShardMap fetches the node's installed shard map via the SHARD_MAP op.
+// A standalone (non-cluster) node reports a nil map at epoch 0.
+func (cl *Client) FetchShardMap() (*ShardMap, error) {
+	pc, f, err := cl.call(OpShardMap, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.putCall(pc)
+	if err := f.Status.Err(OpShardMap); err != nil {
+		return nil, err
+	}
+	if len(f.Payload) == 0 {
+		return nil, nil
+	}
+	return ParseShardMap(f.Payload)
+}
+
+// PushShardMap installs a shard map on the node via the MAP_UPDATE op. On
+// the losing side of a migration the reply gates the handoff: the server
+// only replies after the migration queue for the surrendered range has fully
+// drained into the gaining node, so a returned nil error IS the zero-loss
+// point of the cutover.
+func (cl *Client) PushShardMap(m *ShardMap) error {
+	req := getFrameBuf()
+	req.b = AppendShardMap(req.b[:0], m)
+	pc, f, err := cl.call(OpMapUpdate, req.b)
+	putFrameBuf(req)
+	if err != nil {
+		return err
+	}
+	err = f.Status.Err(OpMapUpdate)
+	cl.putCall(pc)
+	return err
+}
+
+// MigrateStart asks the node (the losing side A) to begin migrating the hash
+// range rg to the node at dst: snapshot+stream the range and double-write
+// every mutation that lands in it until the cutover map arrives.
+func (cl *Client) MigrateStart(rg Range, dst Endpoint) error {
+	req := getFrameBuf()
+	req.b = appendMigStartReq(req.b[:0], rg, dst)
+	pc, f, err := cl.call(OpMigStart, req.b)
+	putFrameBuf(req)
+	if err != nil {
+		return err
+	}
+	err = f.Status.Err(OpMigStart)
+	cl.putCall(pc)
+	return err
+}
+
+// MigrateStatus fetches the node's migration ledger (snapshot progress and
+// the enqueued == sent == acked record counts the coordinator checks).
+func (cl *Client) MigrateStatus() (MigInfo, error) {
+	pc, f, err := cl.call(OpMigStatus, nil)
+	if err != nil {
+		return MigInfo{}, err
+	}
+	defer cl.putCall(pc)
+	if err := f.Status.Err(OpMigStatus); err != nil {
+		return MigInfo{}, err
+	}
+	return parseMigInfo(f.Payload)
+}
+
+// MigApply streams a batch of migrated records to the gaining node and
+// returns how many applied cleanly and how many were benign conflicts
+// (snapshot/double-write overlaps). The losing node's migration sender is
+// the only caller.
+func (cl *Client) MigApply(recs []MigRecord) (applied, conflicts uint32, err error) {
+	req := getFrameBuf()
+	req.b = appendMigRecords(req.b[:0], recs)
+	pc, f, err := cl.call(OpMigApply, req.b)
+	putFrameBuf(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := f.Status.Err(OpMigApply); err != nil {
+		cl.putCall(pc)
+		return 0, 0, err
+	}
+	if len(f.Payload) != 8 {
+		cl.putCall(pc)
+		return 0, 0, fmt.Errorf("flowwire: MIG_APPLY reply payload is %d bytes, want 8", len(f.Payload))
+	}
+	applied = binary.LittleEndian.Uint32(f.Payload[0:4])
+	conflicts = binary.LittleEndian.Uint32(f.Payload[4:8])
+	cl.putCall(pc)
+	return applied, conflicts, nil
 }

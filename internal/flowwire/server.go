@@ -47,6 +47,18 @@ type Config struct {
 
 	// WriteTimeout bounds each reply flush (default 30s).
 	WriteTimeout time.Duration
+
+	// Self is this node's advertised endpoint in a cluster (the one other
+	// nodes and the router dial). Required when Cluster is set; ignored
+	// otherwise.
+	Self Endpoint
+
+	// Cluster, when non-empty, runs the server as a cluster node: the list
+	// is the bootstrap node set (it must include Self), and every node
+	// derives the same uniform epoch-1 shard map from it. A cluster node
+	// answers keys outside its owned hash ranges with a WRONG_SHARD
+	// redirect and honors the migration admin ops (DESIGN.md §13).
+	Cluster []Endpoint
 }
 
 func (cfg *Config) applyDefaults() error {
@@ -104,6 +116,10 @@ type Server struct {
 	draining atomic.Bool
 	closed   bool
 
+	// cl is the cluster state (shard map, migration engine); nil on a
+	// standalone server, which keeps the hot paths cluster-free.
+	cl *cluster
+
 	connWG sync.WaitGroup // one per live connection handler
 	c      serverCounters
 }
@@ -113,21 +129,44 @@ func NewServer(cfg Config) (*Server, error) {
 	if err := cfg.applyDefaults(); err != nil {
 		return nil, err
 	}
-	return &Server{cfg: cfg, conns: make(map[*srvConn]struct{})}, nil
+	s := &Server{cfg: cfg, conns: make(map[*srvConn]struct{})}
+	if len(cfg.Cluster) > 0 {
+		cl, err := newCluster(cfg.Self, cfg.Cluster)
+		if err != nil {
+			return nil, err
+		}
+		s.cl = cl
+	}
+	return s, nil
+}
+
+// clusterMap returns the installed shard map, or nil on a standalone
+// server — one pointer load on the hot paths.
+func (s *Server) clusterMap() *ShardMap {
+	if s.cl == nil {
+		return nil
+	}
+	return s.cl.m.Load()
 }
 
 // ListenAndServe listens on a TCP addr ("host:port") and calls Serve.
 func (s *Server) ListenAndServe(addr string) error {
-	return s.ListenAndServeOn(TransportTCP, addr)
+	return s.ListenAndServeEndpoint(Endpoint{Transport: TransportTCP, Addr: addr})
 }
 
-// ListenAndServeOn listens on the named transport — TransportTCP with a
-// "host:port" addr, or TransportUnix / TransportShm with a filesystem
-// path — and calls Serve.
-// The server runtime is transport-agnostic: every connection runs the same
-// reader→processor→writer pipeline whatever net.Listener accepted it.
+// ListenAndServeOn listens on the named transport and calls Serve.
+//
+// Deprecated: use ListenAndServeEndpoint with a parsed Endpoint.
 func (s *Server) ListenAndServeOn(transport, addr string) error {
-	ln, err := Listen(transport, addr)
+	return s.ListenAndServeEndpoint(Endpoint{Transport: transport, Addr: addr})
+}
+
+// ListenAndServeEndpoint listens on a parsed endpoint — tcp://host:port,
+// unix:///path or shm:///path — and calls Serve. The server runtime is
+// transport-agnostic: every connection runs the same
+// reader→processor→writer pipeline whatever net.Listener accepted it.
+func (s *Server) ListenAndServeEndpoint(ep Endpoint) error {
+	ln, err := ListenEndpoint(ep)
 	if err != nil {
 		return err
 	}
@@ -280,6 +319,9 @@ func (s *Server) CollectInto(snap *stats.Snapshot) {
 	snap.Add("flowwire.coalesce.calls", s.c.coalesceCalls.Load())
 	snap.Add("flowwire.coalesce.frames", s.c.coalesceFrames.Load())
 	snap.Add("flowwire.coalesce.keys", s.c.coalesceKeys.Load())
+	if s.cl != nil {
+		s.cl.collectInto(snap)
+	}
 	s.cfg.Table.CollectInto(snap)
 }
 
@@ -393,7 +435,8 @@ func (c *srvConn) read() {
 		}
 		req := request{op: f.Op, reqID: f.ReqID, payload: f.Payload, fb: fb}
 		switch f.Op {
-		case OpHello, OpLookup, OpLookupMany, OpInsert, OpUpdate, OpDelete, OpStats:
+		case OpHello, OpLookup, OpLookupMany, OpInsert, OpUpdate, OpDelete, OpStats,
+			OpShardMap, OpMapUpdate, OpMigStart, OpMigStatus, OpMigApply:
 		default:
 			req.errStatus = StatusErrOp
 		}
@@ -464,6 +507,13 @@ func (c *srvConn) process() {
 // collected keys, one emit pass writes replies in frame order.
 func (c *srvConn) serveLookups() {
 	keyLen := c.srv.cfg.Table.KeyLen()
+	// One map load covers the whole coalesced group: the ownership check and
+	// the WRONG_SHARD epoch must come from the same map version.
+	m := c.srv.clusterMap()
+	var selfID uint32
+	if m != nil {
+		selfID = c.srv.cl.selfID.Load()
+	}
 	c.keys = c.keys[:0]
 	c.nkeys = c.nkeys[:0]
 	c.statuses = c.statuses[:0]
@@ -485,6 +535,18 @@ func (c *srvConn) serveLookups() {
 			c.keys, statuses[i] = parseLookupManyReq(req.payload, keyLen, c.keys)
 			if statuses[i] != StatusOK {
 				c.keys = c.keys[:before] // drop any partially collected keys
+			}
+		}
+		if m != nil && statuses[i] == StatusOK {
+			// Whole-frame ownership: the router builds per-node sub-batches,
+			// so a frame mixing owned and unowned keys means a stale map —
+			// redirect the frame and let the router re-route everything.
+			for _, k := range c.keys[before:] {
+				if uint32(m.Owner(KeyHash(k))) != selfID {
+					statuses[i] = StatusErrWrongShard
+					c.keys = c.keys[:before]
+					break
+				}
 			}
 		}
 		c.nkeys = append(c.nkeys, len(c.keys)-before)
@@ -509,6 +571,11 @@ func (c *srvConn) serveLookups() {
 		res := c.results[off : off+n]
 		off += n
 		if statuses[i] != StatusOK {
+			if statuses[i] == StatusErrWrongShard {
+				c.srv.cl.c.wrongShard.Add(1)
+				c.replyWrongShard(req.op, req.reqID, m.Epoch)
+				continue
+			}
 			c.reply(&Frame{Op: req.op, Status: statuses[i], ReqID: req.reqID})
 			continue
 		}
@@ -540,11 +607,19 @@ func (c *srvConn) serveOne(req *request) {
 	keyLen := t.KeyLen()
 	switch req.op {
 	case OpHello:
-		payload := appendHelloReply(make([]byte, 0, 16), HelloInfo{
+		hi := HelloInfo{
 			KeyLen:   keyLen,
 			Shards:   t.Shards(),
 			Capacity: t.Capacity(),
-		})
+			NodeID:   NoNode,
+		}
+		if cl := c.srv.cl; cl != nil {
+			if m := cl.m.Load(); m != nil {
+				hi.Epoch = m.Epoch
+			}
+			hi.NodeID = cl.selfID.Load()
+		}
+		payload := appendHelloReply(make([]byte, 0, 28), hi)
 		c.reply(&Frame{Op: OpHello, ReqID: req.reqID, Payload: payload})
 	case OpInsert, OpUpdate:
 		if len(req.payload) < 8 {
@@ -557,35 +632,90 @@ func (c *srvConn) serveOne(req *request) {
 			c.reply(&Frame{Op: req.op, Status: StatusErrKeyLen, ReqID: req.reqID})
 			return
 		}
-		if req.op == OpInsert {
-			c.reply(&Frame{Op: OpInsert, Status: statusOf(t.Insert(key, value)), ReqID: req.reqID})
-			return
+		st, found, epoch := c.srv.applyMutation(req.op, key, value)
+		switch {
+		case st == StatusErrWrongShard:
+			c.replyWrongShard(req.op, req.reqID, epoch)
+		case req.op == OpInsert:
+			c.reply(&Frame{Op: OpInsert, Status: st, ReqID: req.reqID})
+		default:
+			b := byte(0)
+			if found {
+				b = 1
+			}
+			c.reply(&Frame{Op: OpUpdate, ReqID: req.reqID, Payload: []byte{b}})
 		}
-		found := byte(0)
-		if t.Update(key, value) {
-			found = 1
-		}
-		c.reply(&Frame{Op: OpUpdate, ReqID: req.reqID, Payload: []byte{found}})
 	case OpDelete:
 		if len(req.payload) != keyLen {
 			c.reply(&Frame{Op: OpDelete, Status: StatusErrKeyLen, ReqID: req.reqID})
 			return
 		}
-		found := byte(0)
-		if t.Delete(req.payload) {
-			found = 1
+		st, found, epoch := c.srv.applyMutation(OpDelete, req.payload, 0)
+		if st == StatusErrWrongShard {
+			c.replyWrongShard(OpDelete, req.reqID, epoch)
+			return
 		}
-		c.reply(&Frame{Op: OpDelete, ReqID: req.reqID, Payload: []byte{found}})
+		b := byte(0)
+		if found {
+			b = 1
+		}
+		c.reply(&Frame{Op: OpDelete, ReqID: req.reqID, Payload: []byte{b}})
 	case OpStats:
 		snap := stats.NewSnapshot()
 		c.srv.CollectInto(snap)
-		payload, err := json.Marshal(snap.Counters)
+		payload, err := json.Marshal(snap)
 		if err != nil {
 			c.reply(&Frame{Op: OpStats, Status: StatusErrInternal, ReqID: req.reqID})
 			return
 		}
 		c.reply(&Frame{Op: OpStats, ReqID: req.reqID, Payload: payload})
+	case OpShardMap:
+		var payload []byte
+		if m := c.srv.clusterMap(); m != nil {
+			payload = AppendShardMap(nil, m)
+		}
+		c.reply(&Frame{Op: OpShardMap, ReqID: req.reqID, Payload: payload})
+	case OpMapUpdate:
+		c.reply(&Frame{Op: OpMapUpdate, Status: c.srv.handleMapUpdate(req.payload), ReqID: req.reqID})
+	case OpMigStart:
+		st := StatusErrMalformed
+		if rg, dst, err := parseMigStartReq(req.payload); err == nil {
+			st = c.srv.handleMigStart(rg, dst)
+		}
+		c.reply(&Frame{Op: OpMigStart, Status: st, ReqID: req.reqID})
+	case OpMigStatus:
+		cl := c.srv.cl
+		if cl == nil {
+			c.reply(&Frame{Op: OpMigStatus, Status: StatusErrCluster, ReqID: req.reqID})
+			return
+		}
+		mi := cl.migInfo()
+		c.reply(&Frame{Op: OpMigStatus, ReqID: req.reqID, Payload: appendMigInfo(nil, &mi)})
+	case OpMigApply:
+		recs, err := parseMigRecords(req.payload, nil)
+		if err != nil {
+			c.reply(&Frame{Op: OpMigApply, Status: StatusErrMalformed, ReqID: req.reqID})
+			return
+		}
+		processed, conflicts, st := c.srv.applyMigRecords(recs)
+		if st != StatusOK {
+			c.reply(&Frame{Op: OpMigApply, Status: st, ReqID: req.reqID})
+			return
+		}
+		var payload [8]byte
+		binary.LittleEndian.PutUint32(payload[0:4], processed)
+		binary.LittleEndian.PutUint32(payload[4:8], conflicts)
+		c.reply(&Frame{Op: OpMigApply, ReqID: req.reqID, Payload: payload[:]})
 	}
+}
+
+// replyWrongShard emits the WRONG_SHARD redirect carrying the node's map
+// epoch — the one error reply with a payload.
+func (c *srvConn) replyWrongShard(op Op, reqID uint64, epoch uint64) {
+	fb := getFrameBuf()
+	fb.b = AppendFrameHeader(fb.b[:0], op, StatusErrWrongShard, reqID, 8)
+	fb.b = appendWrongShard(fb.b, epoch)
+	c.send(fb)
 }
 
 // reply encodes a frame into a pooled buffer and hands it to the writer.

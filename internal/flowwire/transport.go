@@ -46,7 +46,11 @@ func CheckTransport(transport string) (string, error) {
 }
 
 // Listen opens a listener for the given transport: a TCP "host:port", a
-// unix socket path, or a shm handshake-socket path. For the path-based
+// unix socket path, or a shm handshake-socket path.
+//
+// Deprecated: new callers should parse a flowwire.Endpoint and use
+// ListenEndpoint; this split (transport, addr) form is kept as a shim for
+// existing scripts and call sites. For the path-based
 // transports, stale artifacts left by a dead server (a socket nobody
 // answers on; for shm, orphaned segment files too) are removed before
 // listening, so flowserved restarts cleanly; a live server's path is left

@@ -65,7 +65,15 @@ const (
 	OpInsert     Op = 4
 	OpUpdate     Op = 5
 	OpDelete     Op = 6
-	OpStats      Op = 7 // server+table counters as a JSON object
+	OpStats      Op = 7 // server+table stats as a JSON stats.Snapshot
+
+	// Cluster ops (DESIGN.md §13). SHARD_MAP/MAP_UPDATE carry the versioned
+	// hash-range→node map; MIG_* drive a live range migration between nodes.
+	OpShardMap  Op = 8  // fetch the node's installed shard map
+	OpMapUpdate Op = 9  // install a shard map (a bumped epoch cuts over)
+	OpMigStart  Op = 10 // losing node: snapshot+stream a range, double-write
+	OpMigStatus Op = 11 // migration ledger (snapshot progress, queue counts)
+	OpMigApply  Op = 12 // gaining node: apply a batch of migrated records
 )
 
 func (o Op) String() string {
@@ -84,6 +92,16 @@ func (o Op) String() string {
 		return "DELETE"
 	case OpStats:
 		return "STATS"
+	case OpShardMap:
+		return "SHARD_MAP"
+	case OpMapUpdate:
+		return "MAP_UPDATE"
+	case OpMigStart:
+		return "MIG_START"
+	case OpMigStatus:
+		return "MIG_STATUS"
+	case OpMigApply:
+		return "MIG_APPLY"
 	}
 	return fmt.Sprintf("Op(%d)", uint8(o))
 }
@@ -104,6 +122,16 @@ const (
 	StatusErrOversized Status = 7 // frame exceeds the server's limit
 	StatusErrDraining  Status = 8 // server is draining; request not served
 	StatusErrInternal  Status = 9
+	// StatusErrWrongShard is the redirect reply: this node does not own the
+	// key's hash range under its installed shard map. The payload carries
+	// the node's 8-byte LE map epoch so the router knows whether its own map
+	// is stale (refetch) or the node's is (retry elsewhere). Unlike every
+	// other error status, the payload is non-empty.
+	StatusErrWrongShard Status = 10
+	// StatusErrCluster reports a cluster/migration admin op that cannot be
+	// honored (migration already running, bad shard map, not a cluster
+	// node).
+	StatusErrCluster Status = 11
 )
 
 func (s Status) String() string {
@@ -128,6 +156,10 @@ func (s Status) String() string {
 		return "ERR_DRAINING"
 	case StatusErrInternal:
 		return "ERR_INTERNAL"
+	case StatusErrWrongShard:
+		return "ERR_WRONG_SHARD"
+	case StatusErrCluster:
+		return "ERR_CLUSTER"
 	}
 	return fmt.Sprintf("Status(%d)", uint8(s))
 }
@@ -317,30 +349,47 @@ func putFrameBuf(fb *frameBuf) {
 	}
 }
 
-// HelloInfo is the table geometry a HELLO reply reports.
+// NoNode is the HelloInfo.NodeID of a standalone (non-cluster) server.
+const NoNode = ^uint32(0)
+
+// HelloInfo is the table geometry a HELLO reply reports, extended on
+// cluster nodes with the node's installed shard-map epoch and its own index
+// in that map (NoNode on a standalone server).
 type HelloInfo struct {
 	KeyLen   int
 	Shards   int
 	Capacity uint64
+	Epoch    uint64 // shard-map epoch (0 when no map is installed)
+	NodeID   uint32 // this node's index in the shard map, or NoNode
 }
 
-// appendHelloReply encodes a HELLO reply payload.
+// appendHelloReply encodes a HELLO reply payload (28 bytes: the legacy
+// 16-byte geometry plus epoch and node ID).
 func appendHelloReply(dst []byte, h HelloInfo) []byte {
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(h.KeyLen))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(h.Shards))
-	return binary.LittleEndian.AppendUint64(dst, h.Capacity)
+	dst = binary.LittleEndian.AppendUint64(dst, h.Capacity)
+	dst = binary.LittleEndian.AppendUint64(dst, h.Epoch)
+	return binary.LittleEndian.AppendUint32(dst, h.NodeID)
 }
 
-// parseHelloReply decodes a HELLO reply payload.
+// parseHelloReply decodes a HELLO reply payload: 28 bytes from a current
+// server, or the legacy 16-byte form (treated as a standalone node).
 func parseHelloReply(p []byte) (HelloInfo, error) {
-	if len(p) != 16 {
-		return HelloInfo{}, fmt.Errorf("flowwire: HELLO reply payload is %d bytes, want 16", len(p))
+	if len(p) != 16 && len(p) != 28 {
+		return HelloInfo{}, fmt.Errorf("flowwire: HELLO reply payload is %d bytes, want 16 or 28", len(p))
 	}
-	return HelloInfo{
+	h := HelloInfo{
 		KeyLen:   int(binary.LittleEndian.Uint32(p[0:4])),
 		Shards:   int(binary.LittleEndian.Uint32(p[4:8])),
 		Capacity: binary.LittleEndian.Uint64(p[8:16]),
-	}, nil
+		NodeID:   NoNode,
+	}
+	if len(p) == 28 {
+		h.Epoch = binary.LittleEndian.Uint64(p[16:24])
+		h.NodeID = binary.LittleEndian.Uint32(p[24:28])
+	}
+	return h, nil
 }
 
 // LOOKUP_MANY request payload: count uint32, keyLen uint16, then count keys

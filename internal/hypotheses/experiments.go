@@ -51,18 +51,19 @@ func shardBatchExperiment() Experiment {
 }
 
 // serveOver starts an in-process flowwire server for tbl on the given
-// transport and dials one client to it. The caller owns both closes.
+// endpoint and dials one client to it. The caller owns both closes.
 func serveOver(tbl *flowserve.Table, transport, path string) (*flowwire.Server, *flowwire.Client, error) {
+	ep := flowwire.Endpoint{Transport: transport, Addr: path}
 	srv, err := flowwire.NewServer(flowwire.Config{Table: tbl})
 	if err != nil {
 		return nil, nil, err
 	}
-	ln, err := flowwire.Listen(transport, path)
+	ln, err := flowwire.ListenEndpoint(ep)
 	if err != nil {
 		return nil, nil, err
 	}
 	go srv.Serve(ln)
-	cl, err := flowwire.Dial(path, flowwire.Options{Transport: transport})
+	cl, err := flowwire.DialEndpoint(ep, flowwire.Options{})
 	if err != nil {
 		srv.Close()
 		return nil, nil, err

@@ -1,0 +1,38 @@
+#!/bin/sh
+# bench_serve_cluster.sh [out.json] — bring up a 3-node flowserved cluster on
+# loopback TCP, drive it through the flowcluster router with the flowload
+# cluster smoke, live-migrate hash ranges under load, and archive the
+# halo-bench/v1 document. -check gates the cluster-wide zero-loss ledger:
+# the flowserve.lookups counters summed across every node must balance every
+# key the workers issued, across at least one epoch-bumped cutover per sweep
+# point, with zero router errors — a lookup lost (or double-served) anywhere
+# in a migration breaks the equality. Each node's SIGTERM drain must also be
+# clean (exit 0 only when every accepted frame was answered).
+#
+#   scripts/bench_serve_cluster.sh BENCH_serve_cluster.json
+set -eu
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_serve_cluster.json}"
+
+eps="tcp://127.0.0.1:7461,tcp://127.0.0.1:7462,tcp://127.0.0.1:7463"
+
+go build -o flowserved.bench ./cmd/flowserved
+pids=""
+for port in 7461 7462 7463; do
+	./flowserved.bench -endpoint "tcp://127.0.0.1:$port" -cluster "$eps" \
+		-shards 4 -entries 65536 &
+	pids="$pids $!"
+done
+status=0
+go run ./cmd/flowload -cluster "$eps" -smoke -check \
+	-conns 2 -migrations 2 -json "$out" || status=$?
+# SIGTERM → graceful drain on every node; each exits 0 only if its drain
+# ledger closed (every accepted frame answered).
+for pid in $pids; do
+	kill -TERM "$pid" 2>/dev/null || status=$?
+done
+for pid in $pids; do
+	wait "$pid" || status=$?
+done
+rm -f flowserved.bench
+exit "$status"
